@@ -1,0 +1,60 @@
+"""Ablation: the Section 6 timer-policy alternatives.
+
+Compares how the avoidance strategies handle a synchronized start:
+
+* the paper's model with weak jitter — stays synchronized;
+* strong jitter ([0.5 Tp, 1.5 Tp]) — breaks up promptly;
+* the RFC 1058 uncoupled clock — never couples, but with identical
+  periods has no mechanism to break an existing synchronization;
+* distinct fixed periods per router — drifts apart deterministically.
+"""
+
+from repro.core import (
+    DistinctPeriodTimer,
+    ModelConfig,
+    PeriodicMessagesModel,
+    RecommendedJitterTimer,
+    UniformJitterTimer,
+)
+
+TP, TC, N = 121.0, 0.11, 10
+HORIZON = 300 * TP
+
+
+def run_policy(timer, reset_mode="after_busy"):
+    config = ModelConfig(
+        n_nodes=N, tc=TC, timer=timer, reset_mode=reset_mode, seed=6,
+        keep_cluster_history=False,
+    )
+    model = PeriodicMessagesModel(config, initial_phases="synchronized")
+    model.run(until=HORIZON, stop_on_full_unsync=True)
+    return model.tracker.breakup_time
+
+
+def test_ablation_timer_policies(benchmark, capsys):
+    def run_all():
+        return {
+            "weak_jitter": run_policy(UniformJitterTimer(TP, 0.1)),
+            "recommended_jitter": run_policy(RecommendedJitterTimer(TP)),
+            "uncoupled_clock": run_policy(UniformJitterTimer(TP, 0.0), "on_expiry"),
+            "distinct_periods": run_policy(
+                DistinctPeriodTimer.evenly_spread(TP, N, spread=0.05)
+            ),
+        }
+
+    times = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    with capsys.disabled():
+        print()
+        for name, value in times.items():
+            label = f"{value:.0f} s" if value is not None else "never (within horizon)"
+            print(f"  breakup from synchronized start [{name}]: {label}")
+    # Weak jitter cannot break a synchronized state (Tr < Tc/2 regime
+    # is strict; at Tr=0.1 the expected time is astronomically long).
+    assert times["weak_jitter"] is None
+    # The paper's recommended randomization breaks it promptly.
+    assert times["recommended_jitter"] is not None
+    assert times["recommended_jitter"] < 50 * TP
+    # The uncoupled clock has no break-up mechanism at all.
+    assert times["uncoupled_clock"] is None
+    # Distinct periods drift apart deterministically.
+    assert times["distinct_periods"] is not None

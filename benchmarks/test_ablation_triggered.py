@@ -1,0 +1,49 @@
+"""Ablation: triggered updates as an instant synchronizer.
+
+Section 4: "We can instead begin our simulations with synchronized
+routing messages, which can result from triggered updates."  This
+bench verifies the premise on the model itself: one triggered update
+leaves the whole network synchronized, and only sufficient timer
+randomization undoes it afterwards.
+"""
+
+from repro.core import ModelConfig, PeriodicMessagesModel, UniformJitterTimer
+
+TP, TC, N = 121.0, 0.11, 10
+
+
+def run_with_trigger(tr: float, horizon: float):
+    config = ModelConfig(
+        n_nodes=N, tc=TC, timer=UniformJitterTimer(TP, tr), seed=8,
+        keep_cluster_history=False,
+    )
+    model = PeriodicMessagesModel(config, initial_phases="unsynchronized")
+    model.inject_triggered_update(at_time=50.0, origin=0)
+    model.run(until=horizon, stop_on_full_unsync=False)
+    return model
+
+
+def test_ablation_triggered_updates(benchmark, capsys):
+    def run_all():
+        weak = run_with_trigger(tr=0.1, horizon=100 * TP)
+        strong = run_with_trigger(tr=3.0, horizon=2000 * TP)
+        return weak, strong
+
+    weak, strong = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    with capsys.disabled():
+        print(
+            f"\n  weak jitter:  sync at {weak.tracker.synchronization_time}, "
+            f"breakup {weak.tracker.breakup_time}"
+        )
+        print(
+            f"  strong jitter: sync at {strong.tracker.synchronization_time}, "
+            f"breakup {strong.tracker.breakup_time}"
+        )
+    # The trigger wave synchronizes everyone at 50 s + N*Tc.
+    assert weak.tracker.synchronization_time is not None
+    assert abs(weak.tracker.synchronization_time - (50.0 + N * TC)) < 1.0
+    # With weak jitter the forced synchronization persists...
+    assert weak.tracker.breakup_time is None
+    # ...with strong jitter it is undone.
+    assert strong.tracker.synchronization_time is not None
+    assert strong.tracker.breakup_time is not None

@@ -1,0 +1,14 @@
+"""Figure 1 bench: periodic ping losses through synchronized IGRP routers."""
+
+
+def test_fig01_ping_losses(run_fig):
+    result = run_fig("fig01")
+    # Paper: at least three percent of pings dropped, in bursts.
+    assert result.metrics["loss_rate"] >= 0.03
+    assert result.metrics["loss_bursts"] >= 2
+    assert result.metrics["max_burst_length"] >= 2
+    # The bursts recur at the (effective) 90-second IGRP period.
+    assert 85 <= result.metrics["median_burst_gap_pings"] <= 95
+    # Successful probes have a sane positive RTT.
+    rtts = [rtt for _, rtt in result.series["rtt_by_ping_number"] if rtt > 0]
+    assert rtts and all(0.0 < rtt < 1.0 for rtt in rtts)

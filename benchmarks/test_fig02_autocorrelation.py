@@ -1,0 +1,14 @@
+"""Figure 2 bench: RTT autocorrelation peaks at the routing period."""
+
+
+def test_fig02_autocorrelation(run_fig):
+    result = run_fig("fig02")
+    # Paper: high autocorrelation at lag ~89 (we allow the busy-time
+    # stretch of the effective period).
+    assert 85 <= result.metrics["dominant_lag_pings"] <= 95
+    assert result.metrics["acf_at_peak"] > 0.2
+    acf = dict(result.series["autocorrelation"])
+    assert acf[0] == 1.0
+    # Off-period lags are much weaker than the period lag.
+    peak = result.metrics["dominant_lag_pings"]
+    assert acf[peak] > 4 * abs(acf[peak // 2])

@@ -1,0 +1,13 @@
+"""Figure 3 bench: periodic audio outages against RIP updates."""
+
+
+def test_fig03_audio_outages(run_fig):
+    result = run_fig("fig03")
+    # Paper: large loss spikes every 30 seconds...
+    assert result.metrics["large_outages"] >= 3
+    assert 28 <= result.metrics["median_spike_gap_seconds"] <= 34
+    # ...with 50-95% loss during events (we allow 40-95)...
+    assert result.metrics["min_event_loss_rate"] >= 0.35
+    assert result.metrics["max_event_loss_rate"] <= 0.98
+    # ...and random single-packet blips in between.
+    assert result.metrics["single_packet_blips"] >= 5

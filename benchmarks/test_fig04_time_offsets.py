@@ -1,0 +1,14 @@
+"""Figure 4 bench: time-offsets converge to full synchronization."""
+
+
+def test_fig04_time_offsets(run_fig):
+    result = run_fig("fig04")
+    assert result.metrics["synchronized"] is True
+    assert result.metrics["final_largest_cluster"] == 20
+    # Offsets stay within the round.
+    offsets = [offset for _, offset in result.series["offset_by_time"]]
+    assert all(0.0 <= o < 121.11 for o in offsets)
+    # Late transmissions are bunched: the last 20 transmissions span a
+    # tiny fraction of the round.
+    tail = offsets[-20:]
+    assert max(tail) - min(tail) < 5.0

@@ -1,0 +1,16 @@
+"""Figure 5 bench: the two-router cluster formation/breakup mechanism."""
+
+import pytest
+
+
+def test_fig05_cluster_detail(run_fig):
+    result = run_fig("fig05")
+    # The nearby timers cluster immediately: first reset pair at 2*Tc.
+    assert result.metrics["first_cluster_at"] == pytest.approx(0.22)
+    # The cluster both exists for several rounds and eventually breaks.
+    assert result.metrics["clustered_rounds"] >= 3
+    assert result.metrics["first_breakup_at"] is not None
+    # Every reset follows an expiration.
+    expirations = result.series["expirations_x"]
+    resets = result.series["resets_o"]
+    assert len(expirations) >= len(resets) > 0

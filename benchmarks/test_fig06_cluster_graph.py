@@ -1,0 +1,14 @@
+"""Figure 6 bench: the cluster graph's abrupt final ascent."""
+
+
+def test_fig06_cluster_graph(run_fig):
+    result = run_fig("fig06")
+    assert result.metrics["synchronized"] is True
+    assert result.metrics["max_cluster_seen"] == 20
+    # Most of the run is spent at small cluster sizes; the jump to 20
+    # is abrupt, not gradual.
+    assert result.metrics["fraction_rounds_small_clusters"] > 0.3
+    series = [size for _, size in result.series["largest_cluster_by_time"]]
+    # Once fully synchronized, the system stays synchronized.
+    first_full = series.index(20)
+    assert all(size == 20 for size in series[first_full:])

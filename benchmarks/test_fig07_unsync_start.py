@@ -1,0 +1,15 @@
+"""Figure 7 bench: time to synchronize grows with Tr."""
+
+import math
+
+
+def test_fig07_unsync_start(run_fig):
+    result = run_fig("fig07")
+    points = dict(result.series["mean_sync_time_by_tr_over_tc"])
+    # Smaller Tr synchronizes faster; the largest Tr may not synchronize
+    # within the reduced horizon at all (that is the paper's point).
+    t_low, t_mid, t_high = points[0.6], points[1.0], points[1.4]
+    assert t_low is not None
+    assert t_mid is None or t_mid > t_low
+    assert t_high is None or (t_mid is not None and t_high > t_mid)
+    assert t_low < math.inf

@@ -1,0 +1,15 @@
+"""Figure 8 bench: time to break up falls with Tr."""
+
+
+def test_fig08_sync_start(run_fig):
+    result = run_fig("fig08")
+    points = dict(result.series["mean_breakup_time_by_tr_over_tc"])
+    t_23, t_25, t_28 = points[2.3], points[2.5], points[2.8]
+    # Paper: not broken at 2.3 Tc within the horizon; broken at 2.5 Tc
+    # and (much faster) at 2.8 Tc.
+    assert t_23 is None
+    assert t_28 is not None
+    if t_25 is not None:
+        assert t_28 < t_25
+    # 2.8 Tc breaks up within hundreds of rounds (paper: 300).
+    assert t_28 / 121.11 < 2000

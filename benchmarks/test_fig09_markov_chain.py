@@ -1,0 +1,17 @@
+"""Figure 9 bench: the Markov chain structure."""
+
+
+def test_fig09_markov_chain(run_fig):
+    result = run_fig("fig09")
+    assert result.metrics["states"] == 20
+    assert result.metrics["row_sums_valid"] is True
+    assert result.metrics["boundary_ok"] is True
+    p_down = dict(result.series["p_down_by_state"])
+    p_up = dict(result.series["p_up_by_state"])
+    # Equation 1: break-up probability strictly decreases with size.
+    downs = [p_down[i] for i in range(2, 21)]
+    assert all(a > b for a, b in zip(downs, downs[1:]))
+    # Equation 2: growth probability rises then falls (crowding term).
+    ups = [p_up[i] for i in range(2, 20)]
+    peak_index = ups.index(max(ups))
+    assert 0 < peak_index < len(ups) - 1

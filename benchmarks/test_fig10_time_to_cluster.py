@@ -1,0 +1,21 @@
+"""Figure 10 bench: analysis vs simulation, ascending first passages."""
+
+
+def test_fig10_time_to_cluster(run_fig):
+    result = run_fig("fig10")
+    analysis = dict(result.series["analysis_seconds_by_size"])
+    simulation = dict(result.series["simulation_mean_seconds_by_size"])
+    # Both curves are monotone non-decreasing in cluster size.
+    for curve in (analysis, simulation):
+        sizes = sorted(curve)
+        values = [curve[s] for s in sizes]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+    # Every fast-seed run synchronized, and the analysis sits above the
+    # (early-stop biased) simulation mean but within ~an order of
+    # magnitude and a half.
+    assert result.metrics["runs_synchronized"] >= 1
+    ratio = result.metrics["analysis_over_simulation_ratio"]
+    assert 1.0 <= ratio <= 40.0
+    # Anchor: analysis f(N)*(Tp+Tc) ~ 5.6e5 s for f(2)=19 (Figure 10's
+    # x-axis runs to 6e5 s).
+    assert 3e5 <= result.metrics["analysis_f_n_seconds"] <= 9e5

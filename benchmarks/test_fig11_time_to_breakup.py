@@ -1,0 +1,20 @@
+"""Figure 11 bench: analysis vs simulation, descending first passages."""
+
+
+def test_fig11_time_to_breakup(run_fig):
+    result = run_fig("fig11")
+    analysis = dict(result.series["analysis_seconds_by_size"])
+    simulation = dict(result.series["simulation_mean_seconds_by_size"])
+    # g decreases with target size (reaching size 19 is fast, size 1 slow).
+    sizes = sorted(analysis)
+    values = [analysis[s] for s in sizes]
+    assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+    assert result.metrics["runs_broken_up"] >= 1
+    # Analysis overestimates simulations (paper: 2-3x; fast runs with
+    # early-stop conditioning can push this higher).
+    ratio = result.metrics["analysis_over_simulation_ratio"]
+    assert 1.0 <= ratio <= 40.0
+    # The simulation's descent is ordered too.
+    sim_sizes = sorted(simulation)
+    sim_values = [simulation[s] for s in sim_sizes]
+    assert all(a >= b - 1e-9 for a, b in zip(sim_values, sim_values[1:]))

@@ -1,0 +1,18 @@
+"""Figure 12 bench: f(N) and g(1) versus Tr."""
+
+import math
+
+
+def test_fig12_randomization_sweep(run_fig):
+    result = run_fig("fig12")
+    f_curve = result.series["f_n_seconds_by_tr_over_tc"]
+    g_curve = result.series["g_1_seconds_by_tr_over_tc"]
+    # f grows (weakly) with Tr wherever finite; g falls.
+    f_finite = [(m, v) for m, v in f_curve if math.isfinite(v)]
+    g_finite = [(m, v) for m, v in g_curve if math.isfinite(v)]
+    assert all(a[1] <= b[1] * 1.001 for a, b in zip(f_finite, f_finite[1:]))
+    assert all(a[1] >= b[1] * 0.999 for a, b in zip(g_finite, g_finite[1:]))
+    # The paper's y-axis spans many orders of magnitude.
+    assert result.metrics["f_growth_orders_of_magnitude"] > 5.0
+    # The curves cross in the moderate region (paper: around 2 Tc).
+    assert 1.5 <= result.metrics["crossover_tr_over_tc"] <= 3.0

@@ -1,0 +1,29 @@
+"""Figure 13 bench: the sweep scales across N and Tc."""
+
+import math
+
+
+def test_fig13_parameter_scaling(run_fig):
+    result = run_fig("fig13")
+    # Twelve curves: f and g for each (Tc, N) combination.
+    assert len(result.series) == 12
+    # The ten-times-Tc rule: for every combination, break-up is fast
+    # (under 1000 rounds) by Tr = 10 Tc at the latest.
+    for key, value in result.metrics.items():
+        if key.startswith("tr_for_fast_breakup_"):
+            assert value.endswith("Tc"), f"{key} never reached fast break-up: {value}"
+            threshold = float(value.split()[0])
+            assert threshold <= 10.0, f"{key}: {value}"
+    # Larger N needs at least as much randomization (same Tc).
+    def threshold(tc, n):
+        return float(result.metrics[f"tr_for_fast_breakup_tc{tc}_n{n}"].split()[0])
+
+    for tc in (0.01, 0.11):
+        assert threshold(tc, 10) <= threshold(tc, 30) + 1e-9
+    # g-curves end low: strong randomization breaks clusters quickly.
+    for tc in (0.01, 0.11):
+        for n in (10, 20, 30):
+            g_curve = result.series[f"g_tc{tc}_n{n}"]
+            final = g_curve[-1][1]
+            assert math.isfinite(final)
+            assert final / (121.0 + tc) < 1000  # rounds

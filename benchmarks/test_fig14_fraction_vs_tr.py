@@ -1,0 +1,16 @@
+"""Figure 14 bench: sharp transition in Tr."""
+
+
+def test_fig14_fraction_vs_tr(run_fig):
+    result = run_fig("fig14")
+    # Predominately synchronized at Tr = Tc, predominately
+    # unsynchronized at 2.5 Tc.
+    assert result.metrics["fraction_at_min_tr"] < 0.01
+    assert result.metrics["fraction_at_max_tr"] > 0.99
+    # The transition is abrupt: it spans well under half a Tc.
+    assert result.metrics["transition_width_tr_over_tc"] < 0.5
+    # And it happens around 2 Tc for the paper's parameters.
+    assert 1.7 <= result.metrics["transition_center_tr_over_tc"] <= 2.4
+    # Monotone non-decreasing curve.
+    fractions = [f for _, f in result.series["fraction_unsynchronized_by_tr_over_tc"]]
+    assert all(a <= b + 1e-12 for a, b in zip(fractions, fractions[1:]))

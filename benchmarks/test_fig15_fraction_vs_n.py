@@ -1,0 +1,15 @@
+"""Figure 15 bench: one added router flips the network."""
+
+
+def test_fig15_fraction_vs_n(run_fig):
+    result = run_fig("fig15")
+    # Small networks stay unsynchronized, large ones synchronize.
+    assert result.metrics["fraction_at_n_min"] > 0.99
+    assert result.metrics["fraction_at_n_max"] < 0.01
+    # The headline: a single router accounts for a large share of the
+    # transition, and only a couple of routers sit inside it.
+    assert result.metrics["largest_single_router_drop"] > 0.4
+    assert result.metrics["routers_spanning_transition"] <= 3
+    # Monotone non-increasing in N.
+    fractions = [f for _, f in result.series["fraction_unsynchronized_by_n"]]
+    assert all(a >= b - 1e-6 for a, b in zip(fractions, fractions[1:]))

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""The 1988 LBL Ethernet anecdote: emergent synchronization, end to end.
+
+"We began this investigation in 1988 after observing synchronized
+routing messages from DECnet's DNA Phase IV on our local Ethernet.  On
+this network each DECnet router transmitted a routing message at
+120-second intervals; within hours after bringing up the routers on
+the network after a failure, the routing messages from the various
+routers were completely synchronized."
+
+This example does it with real packets: ten routers on a shared LAN
+segment run a DECnet-flavoured periodic protocol; each full-table
+update costs ~1 ms/route to send and to receive, and timers restart
+only after the work is done.  Both of the paper's synchronizing
+mechanisms appear on cue:
+
+* bringing the routers up sets off a *wave of triggered updates* that
+  bunches most of them within minutes;
+* the weak periodic coupling then sweeps up the stragglers over the
+  following hours — no shared clock, no further triggers.
+
+With the paper's recommended timer jitter, the trigger wave still
+happens but the bunching immediately disperses and never returns.
+"""
+
+from repro.net import Network
+from repro.protocols import DECNET_DNA4, DistanceVectorAgent
+
+N_ROUTERS = 10
+ROUTES_PER_ROUTER = 20
+CHECKPOINT_HOURS = (0.2, 1, 4, 12, 24, 36, 48)
+
+
+def largest_cluster(agents, tolerance=0.05) -> int:
+    """Largest group of routers whose last timer resets coincide."""
+    last = sorted(a.timer_reset_times[-1] for a in agents if a.timer_reset_times)
+    best = run = 1
+    for earlier, later in zip(last, last[1:]):
+        run = run + 1 if later - earlier <= tolerance else 1
+        best = max(best, run)
+    return best
+
+
+def run_lan(jitter: float):
+    spec = DECNET_DNA4.with_jitter(jitter)
+    net = Network()
+    routers = [net.add_router(f"lbl{i}") for i in range(N_ROUTERS)]
+    net.add_lan("lbl-ethernet", stations=routers, bandwidth_bps=10e6)
+    agents = [
+        DistanceVectorAgent(r, spec, seed=300 + k, synthetic_routes=ROUTES_PER_ROUTER)
+        for k, r in enumerate(routers)
+    ]
+    timeline = []
+    for hours in CHECKPOINT_HOURS:
+        net.run(until=hours * 3600.0)
+        timeline.append((hours, largest_cluster(agents)))
+    return timeline
+
+
+def show(label: str, timeline) -> None:
+    print(f"{label}:")
+    for hours, cluster in timeline:
+        bar = "#" * cluster
+        state = "  <- fully synchronized" if cluster == N_ROUTERS else ""
+        print(f"  t = {hours:5.1f} h: largest cluster {cluster:2d}/{N_ROUTERS} {bar}{state}")
+    print()
+
+
+def main() -> None:
+    print(f"{N_ROUTERS} DECnet routers brought up together on one Ethernet,")
+    print(f"{ROUTES_PER_ROUTER} local routes each (~210-entry tables, ~0.2 s per update),")
+    print("updates every 120 s.\n")
+    show("without timer randomization (0.1 s of OS noise)", run_lan(jitter=0.1))
+    show("with the recommended jitter (timer on [0.5 Tp, 1.5 Tp])", run_lan(jitter=60.0))
+    print("The startup triggered-update wave bunches most routers within")
+    print("minutes; the periodic-timer coupling then absorbs the stragglers —")
+    print("unless the timers carry enough randomness to pull the bunch apart.")
+
+
+if __name__ == "__main__":
+    main()

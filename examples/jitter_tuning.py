@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""How much randomness does *your* network need?
+
+The paper's Section 5 analysis, packaged as a deployment aid.  Given a
+router population and its measured per-update processing cost, the
+Markov chain predicts the expected time to synchronize and to
+de-synchronize for a range of timer jitters, and labels each the way
+Figure 12 does (low / moderate / high randomization).
+
+The worked example is the paper's own: the Xerox PARC cisco routers
+took "roughly 300 ms to process a routing message (1 ms per route
+times 300 routes per update)"; the paper concludes they "would have to
+add at least a second of randomness to their update intervals to
+prevent synchronization."
+"""
+
+from repro.core import RouterTimingParameters
+from repro.markov import classify_randomization, synchronization_times
+
+
+def tune(n_routers: int, period: float, tc: float, label: str) -> float:
+    print(f"--- {label} ---")
+    print(f"  N = {n_routers} routers, Tp = {period} s, Tc = {tc * 1000:.0f} ms")
+    print(f"  {'Tr':>10}  {'Tr/Tc':>6}  {'sync in':>12}  {'break up in':>12}  region")
+    recommended = None
+    for multiple in (0.5, 1.0, 2.0, 3.0, 5.0, 10.0, 20.0):
+        tr = multiple * tc
+        if tr > period:
+            break
+        params = RouterTimingParameters(n_nodes=n_routers, tp=period, tc=tc, tr=tr)
+        times = synchronization_times(params)
+        region = classify_randomization(params).region
+        sync = times.seconds_to_synchronize
+        breakup = times.seconds_to_break_up
+
+        def fmt(seconds: float) -> str:
+            if seconds == float("inf") or seconds > 3e9:
+                return "never"
+            if seconds > 86400:
+                return f"{seconds / 86400:.1f} d"
+            if seconds > 3600:
+                return f"{seconds / 3600:.1f} h"
+            return f"{seconds:.0f} s"
+
+        print(f"  {tr:>9.2f}s  {multiple:>6.1f}  {fmt(sync):>12}  "
+              f"{fmt(breakup):>12}  {region}")
+        if recommended is None and region == "high":
+            recommended = tr
+    if recommended is not None:
+        print(f"  => add at least ~{recommended:.2f} s of randomness "
+              f"(and Tr = Tp/2 = {period / 2:.0f} s is always safe)")
+    print()
+    return recommended or period / 2
+
+
+def main() -> None:
+    # The paper's PARC example: 300 routes at 1 ms each.
+    tune(n_routers=10, period=90.0, tc=0.3, label="Xerox PARC ciscos (IGRP, 300 routes)")
+    # A small RIP deployment with short tables.
+    tune(n_routers=5, period=30.0, tc=0.02, label="small RIP site (20 routes)")
+    # A large flat network with big tables.
+    tune(n_routers=30, period=30.0, tc=0.5, label="large RIP network (500 routes)")
+
+
+if __name__ == "__main__":
+    main()

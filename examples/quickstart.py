@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: watch 20 routers synchronize, then fix them.
+
+Runs the Periodic Messages model twice with the paper's parameters
+(N=20, Tp=121 s, Tc=0.11 s): once with a weak random timer component
+(Tr = 0.1 s — the routers inevitably synchronize) and once with the
+paper's recommended randomization (timer uniform on [0.5 Tp, 1.5 Tp] —
+they never do).
+"""
+
+from repro.core import (
+    ModelConfig,
+    PeriodicMessagesModel,
+    RecommendedJitterTimer,
+    RouterTimingParameters,
+)
+
+
+def describe(model: PeriodicMessagesModel, label: str) -> None:
+    tracker = model.tracker
+    print(f"--- {label} ---")
+    print(f"  rounds simulated:        {model.rounds_elapsed:.0f}")
+    print(f"  largest cluster seen:    {max(tracker.round_largest, default=0)}")
+    if tracker.synchronization_time is not None:
+        rounds = tracker.synchronization_time / 121.11
+        print(f"  fully synchronized at:   {tracker.synchronization_time:.0f} s "
+              f"({rounds:.0f} rounds)")
+    else:
+        print("  fully synchronized at:   never (within horizon)")
+    print()
+
+
+def main() -> None:
+    horizon = 2e5  # about 2.3 simulated days
+
+    # 1. The paper's observation: weak randomness ends in lock step.
+    params = RouterTimingParameters(n_nodes=20, tp=121.0, tc=0.11, tr=0.1)
+    weak = PeriodicMessagesModel(ModelConfig.from_parameters(params, seed=1))
+    weak.run(until=horizon, stop_on_full_sync=True)
+    describe(weak, "weak randomization (Tr = 0.1 s ~ 0.9 Tc)")
+
+    # 2. The paper's fix: timer uniform on [0.5 Tp, 1.5 Tp].
+    config = ModelConfig(
+        n_nodes=20, tc=0.11, timer=RecommendedJitterTimer(121.0), seed=1
+    )
+    fixed = PeriodicMessagesModel(config)
+    fixed.run(until=horizon, stop_on_full_sync=True)
+    describe(fixed, "recommended randomization (timer on [0.5 Tp, 1.5 Tp])")
+
+    print("The transition is not gradual: below the threshold the network")
+    print("always ends up synchronized; above it, it never does.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Frame-phase effects for video at a shared bottleneck.
+
+Section 1 of the paper warns that realtime traffic is the next
+synchronization hazard: "individual variable-bit-rate video
+connections sharing a bottleneck gateway and transmitting the same
+number of frames per second could contribute to a larger periodic
+traffic pattern in the network."
+
+Here six 30-fps VBR cameras share one bottleneck link that comfortably
+carries their *average* rate.  When their frame clocks are aligned
+(all start at t = 0 — think NTP-disciplined encoders), every 33 ms
+delivers a simultaneous burst that overruns the gateway queue and
+cripples all six streams at once.  Staggering the frame phases — the
+same total load — restores nearly perfect delivery.
+"""
+
+from repro.net import Network
+from repro.traffic import VBRVideoSession
+
+N_SESSIONS = 6
+FPS = 30.0
+DURATION = 10.0
+BOTTLENECK_BPS = 6e6
+QUEUE_PACKETS = 10
+
+
+def run(staggered: bool) -> list[VBRVideoSession]:
+    net = Network()
+    aggregation = net.add_router("agg", blocking_updates=False)
+    egress = net.add_router("egress", blocking_updates=False)
+    net.connect(aggregation, egress, bandwidth_bps=BOTTLENECK_BPS,
+                delay_s=0.005, queue_packets=QUEUE_PACKETS)
+    for k in range(N_SESSIONS):
+        net.connect(net.add_host(f"cam{k}"), aggregation,
+                    bandwidth_bps=100e6, delay_s=0.001)
+        net.connect(egress, net.add_host(f"viewer{k}"),
+                    bandwidth_bps=100e6, delay_s=0.001)
+    net.install_static_routes()
+    sessions = []
+    for k in range(N_SESSIONS):
+        phase = (k / N_SESSIONS) / FPS if staggered else 0.0
+        sessions.append(
+            VBRVideoSession(
+                net.host(f"cam{k}"), net.host(f"viewer{k}"),
+                fps=FPS, duration=DURATION, seed=20 + k, start_time=phase,
+            )
+        )
+    net.run(until=DURATION + 2.0)
+    return sessions
+
+
+def report(label: str, sessions: list[VBRVideoSession]) -> None:
+    rates = [s.frame_completion_rate() for s in sessions]
+    mean = sum(rates) / len(rates)
+    print(f"--- {label} ---")
+    for index, session in enumerate(sessions):
+        rate = session.frame_completion_rate()
+        bar = "#" * int(rate * 40)
+        print(f"  camera {index}: {100 * rate:5.1f}% complete frames {bar}")
+    print(f"  mean: {100 * mean:.1f}%\n")
+
+
+def main() -> None:
+    offered = N_SESSIONS * FPS * 4000 * 8 / 1e6
+    print(f"{N_SESSIONS} cameras x 30 fps x ~4 kB frames = "
+          f"{offered:.1f} Mb/s average, through a {BOTTLENECK_BPS / 1e6:.0f} Mb/s link\n")
+    report("frame clocks aligned (all frames at the same instant)", run(staggered=False))
+    report("frame clocks staggered across the frame interval", run(staggered=True))
+    print("Identical average load; only the phase differs.  Synchronized")
+    print("periodic sources overwhelm a queue their average rate fits in —")
+    print("the same lesson as the routing messages, one layer up.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The sandboxed environment has no `wheel` package and no network, so
+PEP 660 editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` perform a
+classic setuptools develop install.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""repro — a reproduction of Floyd & Jacobson, "The Synchronization of
+Periodic Routing Messages" (SIGCOMM 1993).
+
+Subpackages:
+
+* :mod:`repro.core` — the Periodic Messages model (the paper's primary
+  contribution) with cluster tracking and timer policies.
+* :mod:`repro.markov` — the Section 5 birth--death chain analysis.
+* :mod:`repro.des`, :mod:`repro.rng` — simulation substrates.
+* :mod:`repro.net`, :mod:`repro.protocols`, :mod:`repro.traffic` — the
+  packet-level network, routing protocols, and traffic generators
+  behind the measurement figures.
+* :mod:`repro.analysis` — autocorrelation, outage, and coherence tools.
+* :mod:`repro.models` — the other synchronization phenomena of
+  Section 1 (TCP windows, external clocks, client-server recovery).
+* :mod:`repro.experiments` — one driver per paper figure plus a CLI.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

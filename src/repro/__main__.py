@@ -1,0 +1,5 @@
+"""``python -m repro`` — run figure reproductions from the shell."""
+
+from .experiments.cli import main
+
+raise SystemExit(main())

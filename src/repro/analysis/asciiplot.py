@@ -1,0 +1,124 @@
+"""Terminal rendering of figure series.
+
+The original figures are scatter/line plots; this module renders the
+same series as ASCII so `python -m repro fig04 --plot` shows the
+morphology (offset lines merging, the cluster graph's jump, the
+sigmoid transitions) without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["scatter", "line", "log_safe"]
+
+_DEFAULT_WIDTH = 72
+_DEFAULT_HEIGHT = 20
+
+
+def _finite_points(points: Sequence[tuple[float, float]]) -> list[tuple[float, float]]:
+    return [
+        (float(x), float(y))
+        for x, y in points
+        if _is_finite(x) and _is_finite(y)
+    ]
+
+
+def _is_finite(value) -> bool:
+    try:
+        return math.isfinite(float(value))
+    except (TypeError, ValueError):
+        return False
+
+
+def _fmt_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e4 or abs(value) < 1e-2:
+        return f"{value:.2g}"
+    return f"{value:.4g}"
+
+
+def scatter(
+    points: Sequence[tuple[float, float]],
+    width: int = _DEFAULT_WIDTH,
+    height: int = _DEFAULT_HEIGHT,
+    mark: str = "*",
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render points as an ASCII scatter plot.
+
+    Non-finite points are dropped; a degenerate axis (all x equal or
+    all y equal) is widened symmetrically so the plot stays readable.
+    """
+    if width < 16 or height < 4:
+        raise ValueError("plot must be at least 16x4")
+    data = _finite_points(points)
+    if not data:
+        raise ValueError("nothing to plot: no finite points")
+    xs = [p[0] for p in data]
+    ys = [p[1] for p in data]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_lo, x_hi = x_lo - 0.5, x_hi + 0.5
+    if y_hi == y_lo:
+        y_lo, y_hi = y_lo - 0.5, y_hi + 0.5
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in data:
+        col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = mark
+    lines = []
+    if title:
+        lines.append(title.center(width + 2))
+    top_tick = _fmt_tick(y_hi)
+    bottom_tick = _fmt_tick(y_lo)
+    for index, row_cells in enumerate(grid):
+        prefix = "|"
+        if index == 0:
+            prefix = "+"
+        lines.append(prefix + "".join(row_cells))
+    lines.append("+" + "-" * width)
+    lines.append(f" {_fmt_tick(x_lo)}{' ' * max(1, width - len(_fmt_tick(x_lo)) - len(_fmt_tick(x_hi)))}{_fmt_tick(x_hi)}")
+    lines.append(f" y: {bottom_tick} .. {top_tick}"
+                 + (f"  ({y_label})" if y_label else ""))
+    if x_label:
+        lines.append(f" x: {x_label}")
+    return "\n".join(lines)
+
+
+def line(
+    points: Sequence[tuple[float, float]],
+    width: int = _DEFAULT_WIDTH,
+    height: int = _DEFAULT_HEIGHT,
+    **kwargs,
+) -> str:
+    """Scatter with linear interpolation between consecutive points."""
+    data = _finite_points(points)
+    if len(data) < 2:
+        return scatter(data, width=width, height=height, **kwargs)
+    dense: list[tuple[float, float]] = []
+    for (x0, y0), (x1, y1) in zip(data, data[1:]):
+        steps = max(2, width // max(1, len(data) - 1))
+        for step in range(steps):
+            t = step / steps
+            dense.append((x0 + t * (x1 - x0), y0 + t * (y1 - y0)))
+    dense.append(data[-1])
+    return scatter(dense, width=width, height=height, **kwargs)
+
+
+def log_safe(points: Sequence[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Map y values to log10, dropping non-positive/non-finite entries.
+
+    Figure 12's y-axis spans eight orders of magnitude; plot
+    ``log_safe(series)`` instead of the raw series.
+    """
+    out = []
+    for x, y in points:
+        if _is_finite(y) and float(y) > 0 and _is_finite(x):
+            out.append((float(x), math.log10(float(y))))
+    return out

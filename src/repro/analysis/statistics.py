@@ -1,0 +1,98 @@
+"""Statistical helpers for simulation output analysis.
+
+Simulation output is autocorrelated, so naive i.i.d. confidence
+intervals are wrong; the batch-means method splits a long run into
+batches whose means are approximately independent.  Also provides the
+small general-purpose summaries the experiment drivers report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["SummaryStats", "summarize", "batch_means_ci", "geometric_mean", "median"]
+
+# Two-sided 95% t quantiles for 1..30 degrees of freedom; beyond 30 we
+# use the normal value.  (scipy is available but a table keeps this
+# module dependency-free and exact for the df range we use.)
+_T_95 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+
+
+def _t_quantile_95(df: int) -> float:
+    if df < 1:
+        raise ValueError("need at least one degree of freedom")
+    return _T_95[df - 1] if df <= len(_T_95) else 1.96
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    stddev: float
+    minimum: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Mean / stddev / extremes of a non-empty sample."""
+    if not values:
+        raise ValueError("summarize of empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / (n - 1) if n > 1 else 0.0
+    return SummaryStats(n, mean, math.sqrt(var), min(values), max(values))
+
+
+def batch_means_ci(
+    observations: Sequence[float],
+    batches: int = 10,
+) -> tuple[float, float]:
+    """Mean and 95% half-width via the method of batch means.
+
+    The run is split into ``batches`` equal contiguous batches (a tail
+    shorter than a batch is dropped); the batch means are treated as
+    approximately i.i.d. normal.
+    """
+    if batches < 2:
+        raise ValueError("need at least two batches")
+    n = len(observations)
+    batch_size = n // batches
+    if batch_size < 1:
+        raise ValueError(f"too few observations ({n}) for {batches} batches")
+    means = []
+    for b in range(batches):
+        chunk = observations[b * batch_size : (b + 1) * batch_size]
+        means.append(sum(chunk) / batch_size)
+    grand = sum(means) / batches
+    var = sum((m - grand) ** 2 for m in means) / (batches - 1)
+    half_width = _t_quantile_95(batches - 1) * math.sqrt(var / batches)
+    return grand, half_width
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    if not values:
+        raise ValueError("geometric_mean of empty sample")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def median(values: Sequence[float]) -> float:
+    """Sample median (average of the middle two for even counts)."""
+    if not values:
+        raise ValueError("median of empty sample")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])

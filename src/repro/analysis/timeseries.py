@@ -1,0 +1,121 @@
+"""Time-series utilities shared by the experiment drivers.
+
+Covers the mundane transformations the figures need: offset-within-
+round computation (Figures 4/5), series resampling, run-length
+encodings, and simple peak detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["time_offsets", "resample_step", "runs_of", "find_peaks", "Series"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """A (times, values) pair with length invariants enforced."""
+
+    times: tuple[float, ...]
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.values):
+            raise ValueError("times and values must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @staticmethod
+    def from_pairs(pairs: Sequence[tuple[float, float]]) -> "Series":
+        """Build from an iterable of (time, value) pairs."""
+        times = tuple(p[0] for p in pairs)
+        values = tuple(p[1] for p in pairs)
+        return Series(times, values)
+
+
+def time_offsets(event_times: Sequence[float], period: float) -> list[float]:
+    """Each event time modulo the round period.
+
+    This is exactly the y-axis of the paper's Figure 4: "the time
+    mod T, for T = Tp + Tc seconds ... the time that each routing
+    message was sent relative to the start of each round".
+    """
+    if period <= 0:
+        raise ValueError("period must be positive")
+    return [t % period for t in event_times]
+
+
+def resample_step(series: Series, sample_times: Sequence[float]) -> list[float]:
+    """Sample a piecewise-constant (step) series at given times.
+
+    The series value at time ``t`` is the value of the latest point
+    with ``time <= t``; sample times before the first point get the
+    first value.
+    """
+    if len(series) == 0:
+        raise ValueError("cannot resample an empty series")
+    out: list[float] = []
+    index = 0
+    times, values = series.times, series.values
+    for t in sample_times:
+        while index + 1 < len(times) and times[index + 1] <= t:
+            index += 1
+        if t < times[0]:
+            out.append(values[0])
+        else:
+            out.append(values[index])
+        # Rewind is not supported: sample times must be non-decreasing.
+    for earlier, later in zip(sample_times, sample_times[1:]):
+        if later < earlier:
+            raise ValueError("sample_times must be non-decreasing")
+    return out
+
+
+def runs_of(flags: Sequence[bool], target: bool = True) -> list[tuple[int, int]]:
+    """Maximal runs of ``target`` values as (start_index, length) pairs."""
+    runs: list[tuple[int, int]] = []
+    start: int | None = None
+    for i, flag in enumerate(flags):
+        if flag == target:
+            if start is None:
+                start = i
+        else:
+            if start is not None:
+                runs.append((start, i - start))
+                start = None
+    if start is not None:
+        runs.append((start, len(flags) - start))
+    return runs
+
+
+def find_peaks(values: Sequence[float], threshold: float) -> list[int]:
+    """Indices of local maxima with value >= threshold.
+
+    A plateau of equal values counts as a single peak at its first
+    index; endpoints count as peaks when they are not exceeded by
+    their single neighbour.
+    """
+    n = len(values)
+    if n == 0:
+        return []
+    if n == 1:
+        return [0] if values[0] >= threshold else []
+    peaks: list[int] = []
+    i = 0
+    while i < n:
+        v = values[i]
+        if v < threshold:
+            i += 1
+            continue
+        # Extend over any plateau of equal values starting here.
+        j = i
+        while j + 1 < n and values[j + 1] == v:
+            j += 1
+        left_ok = i == 0 or values[i - 1] < v
+        right_ok = j == n - 1 or values[j + 1] < v
+        if left_ok and right_ok:
+            peaks.append(i)
+        i = j + 1
+    return peaks

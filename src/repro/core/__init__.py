@@ -1,0 +1,73 @@
+"""The Periodic Messages model — the paper's primary contribution.
+
+Exposes the discrete-event model (:class:`PeriodicMessagesModel`),
+cluster tracking, timer policies, the paper's canonical parameters,
+and sweep/transition-finding helpers.
+"""
+
+from .clusters import ClusterGroup, ClusterTracker
+from .ensemble import EnsembleResult, FirstPassageEnsemble
+from .fastsim import CascadeModel
+from .model import InitialPhases, ModelConfig, PeriodicMessagesModel, RouterState
+from .parameters import (
+    FIG4_HORIZON,
+    FIG4_TR,
+    FIG7_HORIZON,
+    FIG10_F2_ROUNDS,
+    FIG10_TR,
+    FIG11_TR,
+    PAPER_N,
+    PAPER_TC,
+    PAPER_TP,
+    RouterTimingParameters,
+)
+from .sweeps import (
+    SweepResult,
+    find_transition_n,
+    sweep_nodes,
+    sweep_tr,
+    time_to_break_up,
+    time_to_synchronize,
+)
+from .timers import (
+    DistinctPeriodTimer,
+    FixedTimer,
+    RecommendedJitterTimer,
+    TimerPolicy,
+    UniformJitterTimer,
+    make_paper_timer,
+)
+
+__all__ = [
+    "ClusterGroup",
+    "ClusterTracker",
+    "CascadeModel",
+    "EnsembleResult",
+    "FirstPassageEnsemble",
+    "InitialPhases",
+    "ModelConfig",
+    "PeriodicMessagesModel",
+    "RouterState",
+    "FIG4_HORIZON",
+    "FIG4_TR",
+    "FIG7_HORIZON",
+    "FIG10_F2_ROUNDS",
+    "FIG10_TR",
+    "FIG11_TR",
+    "PAPER_N",
+    "PAPER_TC",
+    "PAPER_TP",
+    "RouterTimingParameters",
+    "SweepResult",
+    "find_transition_n",
+    "sweep_nodes",
+    "sweep_tr",
+    "time_to_break_up",
+    "time_to_synchronize",
+    "DistinctPeriodTimer",
+    "FixedTimer",
+    "RecommendedJitterTimer",
+    "TimerPolicy",
+    "UniformJitterTimer",
+    "make_paper_timer",
+]

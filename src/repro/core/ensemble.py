@@ -1,0 +1,155 @@
+"""Multi-seed ensembles of the Periodic Messages model.
+
+The paper's Figures 10 and 11 average twenty simulations; its Figure
+12 marks single runs.  This module packages that workflow: run one
+configuration over many seeds, collect first-passage times (to
+synchronization, to break-up, or to arbitrary cluster sizes), and
+summarize them honestly — runs that never reach the target within the
+horizon are reported as censored rather than silently dropped.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+from .model import ModelConfig, PeriodicMessagesModel
+from .parameters import RouterTimingParameters
+
+__all__ = ["EnsembleResult", "FirstPassageEnsemble"]
+
+
+@dataclass(frozen=True)
+class EnsembleResult:
+    """Aggregate of one first-passage quantity across seeds.
+
+    Attributes
+    ----------
+    times:
+        The observed first-passage times, one per completed run.
+    censored:
+        Number of runs in which the event did not occur within the
+        horizon (their true times exceed it).
+    horizon:
+        The common simulation horizon.
+    """
+
+    times: tuple[float, ...]
+    censored: int
+    horizon: float
+
+    @property
+    def runs(self) -> int:
+        """Total runs, completed plus censored."""
+        return len(self.times) + self.censored
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of runs in which the event occurred."""
+        return len(self.times) / self.runs if self.runs else 0.0
+
+    @property
+    def mean(self) -> float:
+        """Mean over completed runs (NaN when none completed)."""
+        if not self.times:
+            return math.nan
+        return sum(self.times) / len(self.times)
+
+    @property
+    def mean_lower_bound(self) -> float:
+        """A censoring-aware lower bound on the true mean.
+
+        Counts every censored run at the horizon — the smallest value
+        its unobserved time could have.
+        """
+        if not self.runs:
+            return math.nan
+        total = sum(self.times) + self.censored * self.horizon
+        return total / self.runs
+
+    def half_width(self) -> float:
+        """Normal-approximation 95% half-width over completed runs."""
+        n = len(self.times)
+        if n < 2:
+            return math.nan
+        mean = self.mean
+        var = sum((t - mean) ** 2 for t in self.times) / (n - 1)
+        return 1.96 * math.sqrt(var / n)
+
+
+@dataclass
+class FirstPassageEnsemble:
+    """Runs one configuration over many seeds.
+
+    Parameters
+    ----------
+    params:
+        Timing parameters for every run.
+    horizon:
+        Per-run simulation horizon in seconds.
+    seeds:
+        The seeds; one independent model per seed.
+    direction:
+        ``"up"`` — start unsynchronized, record times to reach each
+        cluster size (Figure 10); ``"down"`` — start synchronized,
+        record times for the per-round largest cluster to fall to each
+        size (Figure 11).
+    """
+
+    params: RouterTimingParameters
+    horizon: float
+    seeds: Sequence[int] = tuple(range(1, 21))
+    direction: Literal["up", "down"] = "up"
+    _passages: list[dict[int, float]] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if not self.seeds:
+            raise ValueError("need at least one seed")
+        if self.direction not in ("up", "down"):
+            raise ValueError(f"unknown direction {self.direction!r}")
+
+    def run(self) -> "FirstPassageEnsemble":
+        """Execute every run (idempotent: re-running clears old data)."""
+        self._passages = []
+        for seed in self.seeds:
+            config = ModelConfig.from_parameters(
+                self.params, seed=seed, keep_cluster_history=False
+            )
+            phases = "unsynchronized" if self.direction == "up" else "synchronized"
+            model = PeriodicMessagesModel(config, initial_phases=phases)
+            model.run(
+                until=self.horizon,
+                stop_on_full_sync=(self.direction == "up"),
+                stop_on_full_unsync=(self.direction == "down"),
+            )
+            tracker = model.tracker
+            if self.direction == "up":
+                self._passages.append(dict(tracker.first_time_at_least))
+            else:
+                self._passages.append(dict(tracker.first_time_at_most))
+        return self
+
+    def result_for(self, size: int) -> EnsembleResult:
+        """Aggregate first-passage times to one cluster size."""
+        if not self._passages:
+            raise RuntimeError("call run() first")
+        if not 1 <= size <= self.params.n_nodes:
+            raise ValueError(f"size must be in [1, {self.params.n_nodes}]")
+        times = [fp[size] for fp in self._passages if size in fp]
+        censored = len(self._passages) - len(times)
+        return EnsembleResult(tuple(times), censored, self.horizon)
+
+    def curve(self) -> list[tuple[int, EnsembleResult]]:
+        """(size, aggregate) for every cluster size — a Figure 10/11 curve."""
+        return [
+            (size, self.result_for(size))
+            for size in range(1, self.params.n_nodes + 1)
+        ]
+
+    def terminal_result(self) -> EnsembleResult:
+        """The headline quantity: full sync (up) or full break-up (down)."""
+        target = self.params.n_nodes if self.direction == "up" else 1
+        return self.result_for(target)

@@ -1,0 +1,108 @@
+"""Canonical parameter values from the paper.
+
+Section 4: "For the simulations in this section, Tp is 121 seconds"
+(chosen so the minimum timer value is comparable to the 120-second
+DECnet timer on the authors' network) and "Tc = 0.11 seconds" (an
+estimated 0.1 s of computation plus 0.01 s of transmission per routing
+message).  The simulations use N = 20 nodes; the random component Tr
+is the experimental variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "PAPER_N",
+    "PAPER_TP",
+    "PAPER_TC",
+    "FIG4_TR",
+    "FIG4_HORIZON",
+    "FIG7_HORIZON",
+    "FIG10_TR",
+    "FIG10_F2_ROUNDS",
+    "FIG11_TR",
+    "RouterTimingParameters",
+]
+
+#: Number of routing nodes in the Section 4 simulations.
+PAPER_N = 20
+
+#: Constant component of the routing timer (seconds).
+PAPER_TP = 121.0
+
+#: Processing + transmission cost of one routing message (seconds).
+PAPER_TC = 0.11
+
+#: Random timer component used for Figure 4.
+FIG4_TR = 0.1
+
+#: Simulated horizon of Figures 4 and 6 (seconds; "just over 1 day").
+FIG4_HORIZON = 1e5
+
+#: Simulated horizon of Figures 7 and 8 (seconds; "115 days").
+FIG7_HORIZON = 1e7
+
+#: Random component for Figure 10 (time to synchronize).
+FIG10_TR = 0.1
+
+#: The paper's fitted f(2) = 19 rounds for the Figure 10 parameters.
+FIG10_F2_ROUNDS = 19.0
+
+#: Random component for Figure 11 (time to break up).
+FIG11_TR = 0.3
+
+
+@dataclass(frozen=True)
+class RouterTimingParameters:
+    """The (N, Tp, Tc, Tr) tuple that parameterizes both models.
+
+    Attributes
+    ----------
+    n_nodes:
+        Number of routers N.
+    tp:
+        Constant timer component Tp (seconds).
+    tc:
+        Per-message processing cost Tc (seconds).
+    tr:
+        Half-width of the random timer component Tr (seconds); each
+        interval is drawn uniformly from ``[tp - tr, tp + tr]``.
+    """
+
+    n_nodes: int = PAPER_N
+    tp: float = PAPER_TP
+    tc: float = PAPER_TC
+    tr: float = FIG4_TR
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("need at least one node")
+        if self.tp <= 0:
+            raise ValueError("Tp must be positive")
+        if self.tc < 0:
+            raise ValueError("Tc must be non-negative")
+        if self.tr < 0:
+            raise ValueError("Tr must be non-negative")
+        if self.tr > self.tp:
+            raise ValueError("Tr > Tp would allow non-positive timer intervals")
+
+    @property
+    def round_length(self) -> float:
+        """Average unsynchronized round length, Tp + Tc seconds."""
+        return self.tp + self.tc
+
+    @property
+    def tr_over_tc(self) -> float:
+        """The randomization ratio Tr/Tc the paper's guidance is stated in."""
+        if self.tc == 0:
+            raise ZeroDivisionError("Tr/Tc undefined for Tc = 0")
+        return self.tr / self.tc
+
+    def with_tr(self, tr: float) -> "RouterTimingParameters":
+        """A copy with a different random component."""
+        return RouterTimingParameters(self.n_nodes, self.tp, self.tc, tr)
+
+    def with_nodes(self, n_nodes: int) -> "RouterTimingParameters":
+        """A copy with a different node count."""
+        return RouterTimingParameters(n_nodes, self.tp, self.tc, self.tr)

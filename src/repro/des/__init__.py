@@ -1,0 +1,28 @@
+"""Discrete-event simulation substrate.
+
+Provides the :class:`Simulator` event loop (heap- or calendar-queue
+backed), :class:`Event` scheduling with deterministic tie-breaking,
+and statistics collectors.
+"""
+
+from .calendar_queue import CalendarQueue
+from .engine import SimulationError, Simulator
+from .events import Event, EventCancelled
+from .process import Process, Signal, all_of, spawn
+from .stats import Counter, Histogram, Tally, TimeWeighted
+
+__all__ = [
+    "Process",
+    "Signal",
+    "all_of",
+    "spawn",
+    "CalendarQueue",
+    "Simulator",
+    "SimulationError",
+    "Event",
+    "EventCancelled",
+    "Counter",
+    "Histogram",
+    "Tally",
+    "TimeWeighted",
+]

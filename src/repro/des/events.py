@@ -1,0 +1,69 @@
+"""Event objects for the discrete-event engine.
+
+An :class:`Event` is a scheduled callback.  Ordering is by
+``(time, priority, sequence)``: ties in simulated time break first on
+an explicit integer priority and then on scheduling order, so the
+engine is fully deterministic even when many events share a timestamp
+(which happens constantly in the Periodic Messages model, where every
+router is "immediately notified" of a transmission).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["Event", "EventCancelled"]
+
+
+class EventCancelled(Exception):
+    """Raised when interacting with an event that was cancelled."""
+
+
+class Event:
+    """A pending callback in simulated time.
+
+    Events are created through :meth:`repro.des.engine.Simulator.schedule`
+    rather than directly.  They support cancellation (lazy deletion:
+    the entry stays in the queue but is skipped when popped).
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "label")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        label: str | None = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.label = label
+
+    def sort_key(self) -> tuple[float, int, int]:
+        """Total order used by every scheduler implementation."""
+        return (self.time, self.priority, self.seq)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when due."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback (engine-internal)."""
+        if self.cancelled:
+            raise EventCancelled(f"event {self!r} fired after cancellation")
+        self.callback(*self.args)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = self.label or getattr(self.callback, "__name__", "callback")
+        flag = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.6f} p={self.priority} #{self.seq} {name}{flag}>"

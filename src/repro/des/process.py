@@ -1,0 +1,146 @@
+"""Generator-based processes on top of the event engine.
+
+Model code in this repository is mostly written in callback style, but
+sequential behaviours (a router's prepare/send/reset loop, a client's
+poll/retry loop) often read better as coroutines.  A process is a
+generator that yields:
+
+* a ``float`` — hold for that many simulated seconds;
+* a :class:`Signal` — suspend until the signal fires (the value passed
+  to :meth:`Signal.fire` is sent into the generator).
+
+Processes compose with callback code freely: both run on the same
+:class:`~repro.des.engine.Simulator`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable
+
+from .engine import Simulator
+
+__all__ = ["Signal", "Process", "spawn"]
+
+
+class Signal:
+    """A one-to-many wakeup primitive.
+
+    Processes yield a Signal to wait on it; callback code (or another
+    process) calls :meth:`fire` to resume every waiter.  Signals are
+    reusable: waiters registered after a firing wait for the next one.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: list[Callable[[Any], None]] = []
+        self.fire_count = 0
+
+    def add_waiter(self, callback: Callable[[Any], None]) -> None:
+        """Register a resume callback (used by the process runner)."""
+        self._waiters.append(callback)
+
+    def fire(self, value: Any = None) -> int:
+        """Wake every current waiter; returns how many were woken."""
+        self.fire_count += 1
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(value)
+        return len(waiters)
+
+    @property
+    def waiting(self) -> int:
+        """Number of currently suspended waiters."""
+        return len(self._waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Signal {self.name!r} waiting={self.waiting}>"
+
+
+class Process:
+    """A running generator process.
+
+    Create via :func:`spawn`.  The process starts at the simulator's
+    current time (or after ``start_delay``) and steps each time its
+    current wait completes.  When the generator returns, the process
+    is finished and :attr:`result` holds its return value.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator,
+        name: str = "process",
+        start_delay: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self.generator = generator
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self.failed: BaseException | None = None
+        self.completion = Signal(f"{name}-done")
+        sim.schedule(start_delay, self._step, None, label=f"proc-{name}")
+
+    def _step(self, sent_value: Any) -> None:
+        if self.finished:
+            return
+        try:
+            yielded = self.generator.send(sent_value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self.completion.fire(stop.value)
+            return
+        except BaseException as error:  # surface model bugs loudly
+            self.finished = True
+            self.failed = error
+            raise
+        if isinstance(yielded, Signal):
+            yielded.add_waiter(lambda value: self._step(value))
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise ValueError(f"process {self.name} yielded a negative delay")
+            self.sim.schedule(float(yielded), self._step, None, label=f"proc-{self.name}")
+        else:
+            raise TypeError(
+                f"process {self.name} yielded {yielded!r}; expected a delay or a Signal"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "finished" if self.finished else "running"
+        return f"<Process {self.name!r} {state}>"
+
+
+def spawn(
+    sim: Simulator,
+    generator: Generator,
+    name: str = "process",
+    start_delay: float = 0.0,
+) -> Process:
+    """Start a generator as a process on the simulator."""
+    return Process(sim, generator, name=name, start_delay=start_delay)
+
+
+def all_of(sim: Simulator, processes: Iterable[Process]) -> Signal:
+    """A signal that fires once every given process has finished."""
+    processes = list(processes)
+    barrier = Signal("all-of")
+    remaining = {"count": len(processes)}
+
+    def one_done(_value: Any) -> None:
+        remaining["count"] -= 1
+        if remaining["count"] == 0:
+            barrier.fire()
+
+    if not processes:
+        barrier.fire()
+        return barrier
+    for process in processes:
+        if process.finished:
+            one_done(None)
+        else:
+            process.completion.add_waiter(one_done)
+    return barrier
+
+
+__all__.append("all_of")

@@ -1,0 +1,173 @@
+"""Statistics collectors for simulation runs.
+
+Collectors are plain accumulators updated by model code: tallies of
+observations, time-weighted averages of piecewise-constant signals
+(queue lengths, cluster sizes), event counters, and fixed-bin
+histograms.  They avoid storing full sample paths unless asked.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = ["Tally", "TimeWeighted", "Counter", "Histogram"]
+
+
+class Tally:
+    """Streaming mean/variance/extremes of discrete observations.
+
+    Uses Welford's online algorithm, so it is numerically stable for
+    long runs.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Add many observations."""
+        for value in values:
+            self.record(value)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two samples)."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Tally {self.name!r} n={self.count} mean={self.mean:.6g}>"
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant signal.
+
+    Call :meth:`update` whenever the signal changes; the integral is
+    accumulated between updates.
+    """
+
+    def __init__(self, initial_value: float = 0.0, start_time: float = 0.0, name: str = "") -> None:
+        self.name = name
+        self._value = initial_value
+        self._last_time = start_time
+        self._area = 0.0
+        self._start = start_time
+        self.minimum = initial_value
+        self.maximum = initial_value
+
+    @property
+    def value(self) -> float:
+        """The current signal level."""
+        return self._value
+
+    def update(self, time: float, value: float) -> None:
+        """Record that the signal changed to ``value`` at ``time``."""
+        if time < self._last_time:
+            raise ValueError(f"time went backwards: {time} < {self._last_time}")
+        self._area += self._value * (time - self._last_time)
+        self._last_time = time
+        self._value = value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def mean(self, now: float | None = None) -> float:
+        """Time average over ``[start, now]`` (``now`` defaults to last update)."""
+        end = self._last_time if now is None else now
+        if end < self._last_time:
+            raise ValueError("now precedes the last recorded update")
+        span = end - self._start
+        if span <= 0:
+            return self._value
+        area = self._area + self._value * (end - self._last_time)
+        return area / span
+
+
+class Counter:
+    """A named event counter with a rate helper."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.count = 0
+
+    def increment(self, amount: int = 1) -> None:
+        """Add to the count (amount may be any non-negative integer)."""
+        if amount < 0:
+            raise ValueError("cannot increment by a negative amount")
+        self.count += amount
+
+    def rate(self, elapsed: float) -> float:
+        """Counts per second over the given elapsed time."""
+        if elapsed <= 0:
+            return 0.0
+        return self.count / elapsed
+
+
+class Histogram:
+    """Fixed-width-bin histogram with under/overflow buckets."""
+
+    def __init__(self, low: float, high: float, bins: int, name: str = "") -> None:
+        if bins < 1:
+            raise ValueError("need at least one bin")
+        if high <= low:
+            raise ValueError("high must exceed low")
+        self.name = name
+        self.low = low
+        self.high = high
+        self.bins = bins
+        self._width = (high - low) / bins
+        self.counts = [0] * bins
+        self.underflow = 0
+        self.overflow = 0
+        self.total = 0
+
+    def record(self, value: float) -> None:
+        """Add one observation to the appropriate bin."""
+        self.total += 1
+        if value < self.low:
+            self.underflow += 1
+        elif value >= self.high:
+            self.overflow += 1
+        else:
+            self.counts[int((value - self.low) / self._width)] += 1
+
+    def bin_edges(self) -> list[float]:
+        """The ``bins + 1`` bin boundary values."""
+        return [self.low + i * self._width for i in range(self.bins + 1)]
+
+    def fraction_in(self, low: float, high: float) -> float:
+        """Fraction of recorded values with ``low <= v < high`` (bin-resolved)."""
+        if self.total == 0:
+            return 0.0
+        hits = 0
+        edges = self.bin_edges()
+        for i, count in enumerate(self.counts):
+            if edges[i] >= low and edges[i + 1] <= high:
+                hits += count
+        return hits / self.total

@@ -1,0 +1,15 @@
+"""Per-figure experiment drivers, registry, and CLI."""
+
+from .registry import FAST_KWARGS, FIGURES, figure_ids, run_figure
+from .result import FigureResult
+from .scenarios import TransitPath, build_transit_path
+
+__all__ = [
+    "FAST_KWARGS",
+    "FIGURES",
+    "figure_ids",
+    "run_figure",
+    "FigureResult",
+    "TransitPath",
+    "build_transit_path",
+]

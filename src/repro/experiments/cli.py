@@ -1,0 +1,100 @@
+"""Command-line interface for the figure reproductions.
+
+Usage::
+
+    repro-sync list
+    repro-sync fig04 [--fast]
+    repro-sync all --fast
+
+(``python -m repro`` is equivalent.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .registry import figure_ids, run_figure
+
+__all__ = ["main", "build_parser"]
+
+
+def _render_plots(result) -> str:
+    """ASCII-plot every series of a figure result (metrics first)."""
+    from ..analysis.asciiplot import scatter
+
+    lines = [f"== {result.figure_id}: {result.title} =="]
+    for key, value in result.metrics.items():
+        lines.append(f"  {key}: {value}")
+    for name, points in result.series.items():
+        numeric = [
+            (x, y) for x, y in points
+            if isinstance(x, (int, float)) and isinstance(y, (int, float))
+        ]
+        lines.append("")
+        try:
+            lines.append(scatter(numeric, title=name))
+        except ValueError as error:
+            lines.append(f"  [series {name!r} not plottable: {error}]")
+    for note in result.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sync",
+        description=(
+            "Reproduce figures from Floyd & Jacobson, 'The Synchronization "
+            "of Periodic Routing Messages' (SIGCOMM 1993)."
+        ),
+    )
+    parser.add_argument(
+        "target",
+        help="a figure id (fig01..fig15), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="use reduced-scale parameters (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--max-points",
+        type=int,
+        default=25,
+        help="series points to print per figure (default 25)",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render each series as an ASCII plot instead of a table",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.target == "list":
+        for figure_id in figure_ids():
+            print(figure_id)
+        return 0
+    targets = figure_ids() if args.target == "all" else [args.target]
+    try:
+        for figure_id in targets:
+            result = run_figure(figure_id, fast=args.fast)
+            if args.plot:
+                print(_render_plots(result))
+            else:
+                print(result.format_text(max_points=args.max_points))
+            print()
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

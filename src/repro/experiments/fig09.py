@@ -1,0 +1,45 @@
+"""Figure 9: the Markov chain itself.
+
+The paper's Figure 9 is a diagram of the N-state birth--death chain
+whose state is the largest cluster size, annotated with the transition
+probabilities p(i, i-1) and p(i, i+1).  The reproduction emits those
+probabilities for the canonical parameters — the chain every later
+figure is computed from.
+"""
+
+from __future__ import annotations
+
+from ..core import RouterTimingParameters
+from ..markov import build_chain
+from .result import FigureResult
+
+__all__ = ["run"]
+
+
+def run(
+    n_nodes: int = 20,
+    tp: float = 121.0,
+    tc: float = 0.11,
+    tr: float = 0.1,
+    p12: float = 1.0 / 19.0,
+) -> FigureResult:
+    """Emit the chain structure for the given parameters."""
+    params = RouterTimingParameters(n_nodes=n_nodes, tp=tp, tc=tc, tr=tr)
+    chain = build_chain(params, p12=p12)
+    result = FigureResult(
+        figure_id="fig09",
+        title="The Markov chain (states = largest cluster size)",
+    )
+    result.add_series("p_up_by_state", [(i, chain.p(i)) for i in range(1, n_nodes + 1)])
+    result.add_series("p_down_by_state", [(i, chain.q(i)) for i in range(1, n_nodes + 1)])
+    result.metrics["states"] = chain.n
+    result.metrics["p12"] = p12
+    result.metrics["row_sums_valid"] = all(
+        0.0 <= chain.p(i) + chain.q(i) <= 1.0 + 1e-12 for i in range(1, n_nodes + 1)
+    )
+    result.metrics["boundary_ok"] = chain.q(1) == 0.0 and chain.p(n_nodes) == 0.0
+    result.notes.append(
+        "structural figure: the birth-death chain with Equation 1 down-"
+        "probabilities and Equation 2 up-probabilities"
+    )
+    return result

@@ -1,0 +1,61 @@
+"""Figure 13: the Figure 12 sweep across N and Tc.
+
+The paper repeats the randomization sweep for N in {10, 20, 30} and
+for Tc in {0.01, 0.11} seconds to show the analysis scales: for a wide
+range of parameters, Tr >= ~10 Tc breaks clusters quickly, and larger
+networks need more randomness.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core import RouterTimingParameters
+from ..markov import synchronization_times
+from .result import FigureResult
+
+__all__ = ["run"]
+
+
+def run(
+    n_values: tuple[int, ...] = (10, 20, 30),
+    tc_values: tuple[float, ...] = (0.01, 0.11),
+    tr_over_tc_max: float = 8.0,
+    steps: int = 32,
+    tp: float = 121.0,
+) -> FigureResult:
+    """Reproduce Figure 13."""
+    result = FigureResult(
+        figure_id="fig13",
+        title="Expected transition times vs Tr, for N in {10,20,30} and two Tc",
+    )
+    for tc in tc_values:
+        for n in n_values:
+            f_curve = []
+            g_curve = []
+            for step in range(1, steps + 1):
+                multiple = tr_over_tc_max * step / steps
+                params = RouterTimingParameters(
+                    n_nodes=n, tp=tp, tc=tc, tr=multiple * tc
+                )
+                times = synchronization_times(params)
+                f_curve.append((multiple, times.seconds_to_synchronize))
+                g_curve.append((multiple, times.seconds_to_break_up))
+            label = f"tc{tc}_n{n}"
+            result.add_series(f"f_{label}", f_curve)
+            result.add_series(f"g_{label}", g_curve)
+            # Where does break-up become fast (< 1000 rounds)?
+            round_seconds = tp + tc
+            fast = [
+                m for m, v in g_curve
+                if math.isfinite(v) and v / round_seconds < 1000
+            ]
+            result.metrics[f"tr_for_fast_breakup_{label}"] = (
+                f"{min(fast):.2f} Tc" if fast else f"> {tr_over_tc_max} Tc"
+            )
+    result.notes.append(
+        "paper anchor: for a wide range of parameters, Tr at least ten "
+        "times Tc ensures clusters are quickly broken up; larger N shifts "
+        "the required Tr upward"
+    )
+    return result

@@ -1,0 +1,52 @@
+"""Figure 14: fraction of time unsynchronized, as a function of Tr.
+
+The estimator ``f(N) / (f(N) + g(1))`` swept over Tr shows the sharp
+transition from predominately-synchronized to predominately-
+unsynchronized as the random component is increased — the abruptness
+is the paper's first main result, seen from the equilibrium side.
+"""
+
+from __future__ import annotations
+
+from ..core import RouterTimingParameters
+from ..markov import fraction_unsynchronized_sweep, transition_sharpness
+from .result import FigureResult
+
+__all__ = ["run", "PAPER_PARAMS"]
+
+PAPER_PARAMS = RouterTimingParameters(n_nodes=20, tp=121.0, tc=0.11, tr=0.1)
+
+
+def run(
+    tr_over_tc_min: float = 1.0,
+    tr_over_tc_max: float = 2.5,
+    steps: int = 60,
+) -> FigureResult:
+    """Reproduce Figure 14."""
+    tc = PAPER_PARAMS.tc
+    tr_values = [
+        (tr_over_tc_min + (tr_over_tc_max - tr_over_tc_min) * k / (steps - 1)) * tc
+        for k in range(steps)
+    ]
+    curve = fraction_unsynchronized_sweep(PAPER_PARAMS, tr_values)
+    points = [(tr / tc, frac) for tr, frac in curve]
+    result = FigureResult(
+        figure_id="fig14",
+        title="The fraction of time unsynchronized, vs the random component Tr",
+    )
+    result.add_series("fraction_unsynchronized_by_tr_over_tc", points)
+    result.metrics["fraction_at_min_tr"] = points[0][1]
+    result.metrics["fraction_at_max_tr"] = points[-1][1]
+    try:
+        width = transition_sharpness(points)
+        result.metrics["transition_width_tr_over_tc"] = width
+        midpoints = [m for m, f in points if 0.4 <= f <= 0.6]
+        if midpoints:
+            result.metrics["transition_center_tr_over_tc"] = midpoints[0]
+    except ValueError:
+        result.metrics["transition_width_tr_over_tc"] = "curve does not span 0.1..0.9"
+    result.notes.append(
+        "paper anchor: a sharp transition from predominately-synchronized "
+        "to predominately-unsynchronized as Tr crosses ~2 Tc"
+    )
+    return result

@@ -1,0 +1,99 @@
+"""Registry mapping figure ids to their drivers.
+
+Every driver is a callable returning a
+:class:`~repro.experiments.result.FigureResult`.  ``fast_kwargs``
+holds per-figure argument overrides that shrink horizons/seed counts
+to bench-friendly sizes while preserving the paper's shape claims.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from . import (
+    fig01,
+    fig02,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+)
+from .result import FigureResult
+
+__all__ = ["FIGURES", "FAST_KWARGS", "run_figure", "figure_ids"]
+
+FIGURES: dict[str, Callable[..., FigureResult]] = {
+    "fig01": fig01.run,
+    "fig02": fig02.run,
+    "fig03": fig03.run,
+    "fig04": fig04.run,
+    "fig05": fig05.run,
+    "fig06": fig06.run,
+    "fig07": fig07.run,
+    "fig08": fig08.run,
+    "fig09": fig09.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "fig15": fig15.run,
+}
+
+#: Reduced-scale arguments for quick runs (benchmarks, smoke tests).
+#: EXPERIMENTS.md records how each reduction preserves the figure's
+#: qualitative claim.
+FAST_KWARGS: dict[str, dict] = {
+    "fig01": {"count": 400},
+    "fig02": {"count": 400, "max_lag": 150},
+    "fig03": {"duration": 180.0},
+    "fig04": {"horizon": 6e4},
+    "fig05": {"rounds": 30},
+    "fig06": {"horizon": 6e4},
+    "fig07": {"tr_multiples": (0.6, 1.0, 1.4), "horizon": 1e7, "seeds": (1,)},
+    "fig08": {"tr_multiples": (2.3, 2.5, 2.8), "horizon": 2e6, "seeds": (1,)},
+    "fig09": {},
+    "fig10": {"horizon": 4e5, "seeds": (1, 4, 5)},
+    "fig11": {"horizon": 4e5, "seeds": (1, 2, 3)},
+    "fig12": {"sim_checks": False},
+    "fig13": {"steps": 16},
+    "fig14": {},
+    "fig15": {},
+}
+
+
+def figure_ids() -> list[str]:
+    """All registered figure ids, in paper order."""
+    return sorted(FIGURES)
+
+
+def run_figure(figure_id: str, fast: bool = False, **overrides) -> FigureResult:
+    """Run one figure's reproduction.
+
+    Parameters
+    ----------
+    figure_id:
+        "fig01" .. "fig15".
+    fast:
+        Apply the registry's reduced-scale arguments.
+    overrides:
+        Explicit keyword arguments for the driver (take precedence
+        over the fast defaults).
+    """
+    if figure_id not in FIGURES:
+        raise ValueError(f"unknown figure {figure_id!r}; known: {figure_ids()}")
+    kwargs = dict(FAST_KWARGS.get(figure_id, {})) if fast else {}
+    kwargs.update(overrides)
+    result = FIGURES[figure_id](**kwargs)
+    if fast:
+        result.notes.append("reduced-scale (fast) run; see EXPERIMENTS.md for full scale")
+    return result

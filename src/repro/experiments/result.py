@@ -1,0 +1,80 @@
+"""The common result container for figure reproductions.
+
+Every ``figNN`` driver returns a :class:`FigureResult`: named data
+series (what the paper plots), headline metrics (what the text
+claims), and free-form notes.  ``format_text()`` renders the same
+rows/series the paper reports, for terminal consumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["FigureResult"]
+
+
+@dataclass
+class FigureResult:
+    """Output of one figure reproduction.
+
+    Attributes
+    ----------
+    figure_id:
+        "fig01" .. "fig15" (or an ablation id).
+    title:
+        The paper's caption, abbreviated.
+    series:
+        Named data series; each is a sequence of (x, y) pairs.
+    metrics:
+        Headline scalar results (loss rates, transition widths, ...).
+    notes:
+        Caveats: scale reductions, substitutions, seeds.
+    """
+
+    figure_id: str
+    title: str
+    series: dict[str, Sequence[tuple[Any, Any]]] = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_series(self, name: str, points: Sequence[tuple[Any, Any]]) -> None:
+        """Attach a named series."""
+        if name in self.series:
+            raise ValueError(f"duplicate series {name!r}")
+        self.series[name] = list(points)
+
+    def format_text(self, max_points: int = 25) -> str:
+        """Human-readable rendering: metrics first, then sampled series."""
+        lines = [f"== {self.figure_id}: {self.title} =="]
+        for key, value in self.metrics.items():
+            lines.append(f"  {key}: {_fmt(value)}")
+        for name, points in self.series.items():
+            lines.append(f"  -- series {name!r} ({len(points)} points) --")
+            for x, y in _thin(points, max_points):
+                lines.append(f"    {_fmt(x):>14}  {_fmt(y)}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.4g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def _thin(points: Sequence[tuple[Any, Any]], limit: int) -> list[tuple[Any, Any]]:
+    if len(points) <= limit:
+        return list(points)
+    stride = max(1, len(points) // limit)
+    thinned = list(points[::stride])
+    if thinned[-1] != points[-1]:
+        thinned.append(points[-1])
+    return thinned

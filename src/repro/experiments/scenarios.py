@@ -1,0 +1,106 @@
+"""Shared measurement scenarios for the figure reproductions.
+
+Two canonical topologies stand in for the paper's measurement
+infrastructure (see DESIGN.md's substitution table):
+
+* :func:`build_transit_path` — a host, a chain of core routers running
+  a synchronized periodic routing protocol, and a far host: the
+  Berkeley -> NEARnet -> MIT path of Figures 1-2.
+* :func:`build_audiocast_path` — the same shape tuned for the MBone
+  audiocast of Figure 3 (RIP at 30 s, partial blocking, a lossier
+  lower-speed path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..net import Host, Network, Router
+from ..protocols import DistanceVectorAgent, ProtocolSpec
+
+__all__ = ["TransitPath", "build_transit_path"]
+
+
+@dataclass
+class TransitPath:
+    """A built measurement topology."""
+
+    network: Network
+    src: Host
+    dst: Host
+    routers: list[Router]
+    agents: list[DistanceVectorAgent] = field(default_factory=list)
+
+    def settle(self, duration: float) -> None:
+        """Run the network forward (e.g. to let routing converge)."""
+        self.network.run(until=self.network.sim.now + duration)
+
+
+def build_transit_path(
+    spec: ProtocolSpec,
+    n_routers: int = 5,
+    synthetic_routes: int = 300,
+    synchronized_start: bool = True,
+    start_time: float = 5.0,
+    blocking_updates: bool = True,
+    busy_drop_probability: float = 1.0,
+    host_link_delay: float = 0.01,
+    core_link_delay: float = 0.005,
+    bandwidth_bps: float = 1.5e6,
+    seed: int = 1,
+) -> TransitPath:
+    """Host -- router chain -- host, with a periodic routing protocol.
+
+    Parameters
+    ----------
+    spec:
+        Routing protocol constants (period, jitter, per-route cost).
+    n_routers:
+        Length of the core chain.
+    synthetic_routes:
+        Extra routes each router originates, sizing updates to the
+        PARC measurement (300 routes -> ~0.3 s of processing each).
+    synchronized_start:
+        Start every router's update timer at the same instant — the
+        state NEARnet was observed in.  Otherwise timers start at
+        random phases.
+    blocking_updates / busy_drop_probability:
+        The router behaviour knobs (pre-fix vs post-fix NEARnet).
+    """
+    if n_routers < 1:
+        raise ValueError("need at least one core router")
+    if synchronized_start:
+        # These scenarios reproduce a network *observed* in the
+        # synchronized state; disable triggered updates so the startup
+        # convergence wave (whose randomized coalescing delays would
+        # stagger the timers by a second or so) cannot perturb it.
+        spec = replace(spec, triggered_updates=False)
+    net = Network()
+    src = net.add_host("src")
+    dst = net.add_host("dst")
+    routers = [
+        net.add_router(
+            f"core{i}",
+            blocking_updates=blocking_updates,
+            busy_drop_probability=busy_drop_probability,
+        )
+        for i in range(n_routers)
+    ]
+    net.connect(src, routers[0], bandwidth_bps=bandwidth_bps, delay_s=host_link_delay)
+    for a, b in zip(routers, routers[1:]):
+        net.connect(a, b, bandwidth_bps=bandwidth_bps, delay_s=core_link_delay)
+    net.connect(routers[-1], dst, bandwidth_bps=bandwidth_bps, delay_s=host_link_delay)
+    net.install_static_routes()
+    agents = []
+    for index, router in enumerate(routers):
+        offset = start_time if synchronized_start else None
+        agents.append(
+            DistanceVectorAgent(
+                router,
+                spec,
+                seed=seed * 1000 + index,
+                synthetic_routes=synthetic_routes,
+                start_offset=offset,
+            )
+        )
+    return TransitPath(network=net, src=src, dst=dst, routers=routers, agents=agents)

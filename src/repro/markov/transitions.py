@@ -1,0 +1,138 @@
+"""The paper's transition probabilities (Section 5.1).
+
+The Markov chain state is the size ``i`` of the largest cluster in a
+round of N routing messages.  The paper derives:
+
+* **Break-up** (Equation 1): the cluster's ``i`` timers expire at
+  times uniform in a ``2 Tr`` window; the head escapes when the gap
+  between the first and second expiry exceeds ``Tc``::
+
+      p(i, i-1) = (1 - Tc / (2 Tr)) ** i        for i > 1
+
+  (zero when ``Tr <= Tc/2`` — a cluster can then never shed its head).
+
+* **Growth** (Equation 2): a cluster of size ``i`` advances by
+  ``(i-1) Tc - Tr (i-1)/(i+1)`` seconds per round relative to a lone
+  cluster, and the gap to the following lone cluster is exponential
+  with mean ``Tp / (N - i + 1)``::
+
+      p(i, i+1) = 1 - exp(-((N-i+1)/Tp) * ((i-1) Tc - Tr (i-1)/(i+1)))
+
+  for ``2 <= i <= N-1`` (zero if the drift is negative).
+
+* ``p(1, 2)`` is not derived in the paper; it is supplied externally,
+  either as a fitted ``f(2)`` (the paper uses 19 rounds for Figure
+  10), from simulation, or from the diffusion approximation in
+  :mod:`repro.markov.calibration`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.parameters import RouterTimingParameters
+from .chain import BirthDeathChain
+
+__all__ = [
+    "breakup_probability",
+    "cluster_drift_per_round",
+    "growth_probability",
+    "build_chain",
+]
+
+
+def breakup_probability(i: int, tc: float, tr: float) -> float:
+    """Equation 1: probability a cluster of size ``i`` loses its head.
+
+    The first of ``i`` uniform order statistics on a ``2 Tr`` interval
+    is followed by a gap exceeding ``Tc`` with probability
+    ``(1 - Tc/(2 Tr))**i`` (Feller).
+    """
+    if i < 1:
+        raise ValueError("cluster size must be positive")
+    if tc < 0 or tr < 0:
+        raise ValueError("Tc and Tr must be non-negative")
+    if i == 1:
+        return 0.0  # a lone cluster has no head to shed
+    if tr == 0.0 or tc >= 2.0 * tr:
+        return 0.0
+    return (1.0 - tc / (2.0 * tr)) ** i
+
+
+def cluster_drift_per_round(i: int, tc: float, tr: float) -> float:
+    """Mean advance of a size-``i`` cluster relative to a lone cluster.
+
+    A cluster's busy period lasts ``i*Tc`` instead of ``Tc``, but its
+    round starts at the *minimum* of ``i`` timer draws, which is
+    ``Tr (i-1)/(i+1)`` earlier than the mean.  Net per-round drift:
+    ``(i-1) Tc - Tr (i-1)/(i+1)`` seconds.
+    """
+    if i < 1:
+        raise ValueError("cluster size must be positive")
+    return (i - 1) * tc - tr * (i - 1) / (i + 1)
+
+
+def growth_probability(
+    i: int,
+    n_nodes: int,
+    tp: float,
+    tc: float,
+    tr: float,
+) -> float:
+    """Equation 2: probability a cluster of size ``i`` absorbs a follower.
+
+    The distance to the following lone cluster is modelled as
+    exponential with mean ``Tp / (N - i + 1)``; the cluster catches it
+    within a round when that distance is less than the drift.
+    """
+    if not 1 <= i <= n_nodes:
+        raise ValueError(f"cluster size {i} outside [1, {n_nodes}]")
+    if i == n_nodes:
+        return 0.0  # nothing left to absorb
+    drift = cluster_drift_per_round(i, tc, tr)
+    if drift <= 0.0:
+        return 0.0
+    rate = (n_nodes - i + 1) / tp
+    return 1.0 - math.exp(-rate * drift)
+
+
+def build_chain(
+    params: RouterTimingParameters,
+    p12: float,
+) -> BirthDeathChain:
+    """Assemble the paper's chain for the given timing parameters.
+
+    Parameters
+    ----------
+    params:
+        The (N, Tp, Tc, Tr) tuple.
+    p12:
+        The probability of forming a first cluster of size two in one
+        round (``p(1,2) = 1/f(2)``); see module docstring.
+    """
+    if not 0.0 <= p12 <= 1.0:
+        raise ValueError(f"p12 must be a probability, got {p12}")
+    n, tp, tc, tr = params.n_nodes, params.tp, params.tc, params.tr
+    if n < 2:
+        raise ValueError("the chain needs at least two states")
+    up = []
+    down = []
+    for i in range(1, n + 1):
+        if i == 1:
+            up.append(p12)
+            down.append(0.0)
+        else:
+            p = growth_probability(i, n, tp, tc, tr)
+            q = breakup_probability(i, tc, tr)
+            # Equations 1 and 2 are independent approximations; at
+            # extreme parameters (very large N or Tc relative to Tp)
+            # their sum can nominally exceed one.  Renormalize onto
+            # the simplex boundary: the state then changes every round,
+            # with the derived odds.
+            total = p + q
+            if total > 1.0:
+                p /= total
+                q /= total
+            up.append(p)
+            down.append(q)
+    return BirthDeathChain(up, down)

@@ -1,0 +1,19 @@
+"""The other synchronization phenomena from Section 1 of the paper.
+
+Besides periodic routing messages, the paper catalogues TCP window
+synchronization, synchronization to an external clock, and
+client-server recovery synchronization; each is modelled here.
+"""
+
+from .client_server import ClientServerConfig, ClientServerModel
+from .external_clock import ClockAlignmentConfig, ExternalClockModel
+from .tcp_window import TcpWindowConfig, TcpWindowModel
+
+__all__ = [
+    "ClientServerConfig",
+    "ClientServerModel",
+    "ClockAlignmentConfig",
+    "ExternalClockModel",
+    "TcpWindowConfig",
+    "TcpWindowModel",
+]

@@ -1,0 +1,155 @@
+"""Client--server recovery synchronization (the Sprite anecdote).
+
+Section 1: "in the Sprite operating system clients check with the file
+server every 30 seconds; in an early version of the system, when the
+file server recovered after a failure ... a number of clients would
+become synchronized in their recovery procedures" [Ba92].
+
+The model: N clients poll a server on a fixed period.  While the
+server is down, a polling client enters a retry loop; the moment the
+server recovers, every waiting client is answered together and — if
+clients restart their polling timer from the answer — their
+subsequent check-ins are synchronized.  Randomizing the post-recovery
+timer restores dispersion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.coherence import offsets_to_phases, order_parameter
+from ..des import Simulator
+from ..rng import RandomSource
+
+__all__ = ["ClientServerConfig", "ClientServerModel"]
+
+
+@dataclass(frozen=True)
+class ClientServerConfig:
+    """Parameters of the polling population.
+
+    Attributes
+    ----------
+    n_clients:
+        Number of polling clients.
+    period:
+        Seconds between check-ins (Sprite used 30).
+    retry_interval:
+        Seconds between retries while the server is down.
+    timer_jitter:
+        Half-width of the uniform jitter added to every timer (0
+        reproduces the synchronization bug; ~period/2 is the paper's
+        style of fix).
+    seed:
+        Master random seed.
+    """
+
+    n_clients: int = 50
+    period: float = 30.0
+    retry_interval: float = 5.0
+    timer_jitter: float = 0.0
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_clients < 1:
+            raise ValueError("need at least one client")
+        if self.period <= 0 or self.retry_interval <= 0:
+            raise ValueError("period and retry_interval must be positive")
+        if not 0 <= self.timer_jitter <= self.period:
+            raise ValueError("timer_jitter must be in [0, period]")
+
+
+class ClientServerModel:
+    """DES of clients polling a failable server."""
+
+    def __init__(self, config: ClientServerConfig) -> None:
+        self.config = config
+        self.sim = Simulator()
+        master = RandomSource.scrambled(config.seed)
+        self._rngs = [master.spawn(i) for i in range(config.n_clients)]
+        self.server_up = True
+        self.checkins: list[tuple[float, int]] = []
+        self.retries = 0
+        self._waiting: list[int] = []
+        phase_rng = master.spawn(config.n_clients + 1)
+        for client in range(config.n_clients):
+            start = phase_rng.uniform(0.0, config.period)
+            self.sim.schedule_at(start, self._check_in, client,
+                                 label=f"checkin-{client}")
+
+    # -- server control ---------------------------------------------------
+
+    def fail_server_at(self, time: float) -> None:
+        """Schedule a server failure."""
+        self.sim.schedule_at(time, self._set_server, False)
+
+    def recover_server_at(self, time: float) -> None:
+        """Schedule a server recovery."""
+        self.sim.schedule_at(time, self._set_server, True)
+
+    def _set_server(self, up: bool) -> None:
+        self.server_up = up
+        if up:
+            # Every waiting client is answered at the same instant —
+            # the synchronizing event.
+            waiting, self._waiting = self._waiting, []
+            for client in waiting:
+                self._answered(client)
+
+    # -- client behaviour ------------------------------------------------------
+
+    def _check_in(self, client: int) -> None:
+        if self.server_up:
+            self._answered(client)
+        else:
+            if client not in self._waiting:
+                self._waiting.append(client)
+            self.retries += 1
+            self.sim.schedule(self.config.retry_interval, self._retry, client,
+                              label=f"retry-{client}")
+
+    def _retry(self, client: int) -> None:
+        if client not in self._waiting:
+            return  # already answered at recovery
+        if self.server_up:
+            self._waiting.remove(client)
+            self._answered(client)
+        else:
+            self.retries += 1
+            self.sim.schedule(self.config.retry_interval, self._retry, client,
+                              label=f"retry-{client}")
+
+    def _answered(self, client: int) -> None:
+        now = self.sim.now
+        self.checkins.append((now, client))
+        jitter = self.config.timer_jitter
+        interval = self._rngs[client].uniform(
+            self.config.period - jitter, self.config.period + jitter
+        )
+        self.sim.schedule(interval, self._check_in, client,
+                          label=f"checkin-{client}")
+
+    # -- measurement ---------------------------------------------------------------
+
+    def run(self, until: float) -> float:
+        """Advance the model to the horizon."""
+        return self.sim.run(until=until)
+
+    def phase_coherence(self, window: float | None = None) -> float:
+        """Kuramoto order parameter of recent check-in phases.
+
+        ~0 for well-spread polling, ~1 when the population is
+        synchronized.  ``window`` defaults to one period.
+        """
+        if not self.checkins:
+            raise RuntimeError("no check-ins recorded yet")
+        window = window if window is not None else self.config.period
+        cutoff = self.sim.now - window
+        latest: dict[int, float] = {}
+        for time, client in self.checkins:
+            if time >= cutoff:
+                latest[client] = time
+        if not latest:
+            raise RuntimeError("no check-ins within the window")
+        phases = offsets_to_phases(list(latest.values()), self.config.period)
+        return order_parameter(phases)

@@ -1,0 +1,170 @@
+"""TCP window increase/decrease synchronization [ZhCl90, FJ92].
+
+Section 1's first example: "the synchronization of the window
+increase/decrease cycles of separate TCP connections sharing a common
+bottleneck gateway", avoidable "by adding randomization to the
+gateway's algorithm for choosing packets to drop during periods of
+congestion" [FJ92].
+
+The model is a round-per-RTT congestion-avoidance abstraction: each
+connection grows its window by one segment per round; when the sum of
+windows exceeds the pipe (capacity + buffer) the gateway drops, and
+the drop policy decides who halves:
+
+* ``"all"`` — drop-tail overflow hits every connection (the classic
+  synchronized sawtooth);
+* ``"random"`` — a RED-style gateway picks one connection, weighted by
+  its share of the traffic;
+* ``"fraction"`` — each connection is hit independently with a fixed
+  probability (a partially randomized gateway), interpolating between
+  the two extremes.
+
+With policy "all", the windows move in lock step and aggregate
+utilization dips after every overflow; with "random" the sawtooths
+interleave and utilization stays high.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rng import RandomSource
+
+__all__ = ["TcpWindowConfig", "TcpWindowModel"]
+
+
+@dataclass(frozen=True)
+class TcpWindowConfig:
+    """Parameters of the shared-bottleneck population.
+
+    Attributes
+    ----------
+    n_connections:
+        TCP connections sharing the bottleneck.
+    capacity:
+        Bottleneck bandwidth-delay product in segments per RTT.
+    buffer:
+        Gateway queue capacity in segments.
+    drop_policy:
+        ``"all"`` (drop-tail: everyone halves), ``"random"``
+        (RED-like: one victim, chosen proportionally to its window),
+        or ``"fraction"`` (each connection halves independently with
+        probability ``fraction_hit``).
+    fraction_hit:
+        Per-connection halving probability for the "fraction" policy.
+    seed:
+        Random seed (victim selection, initial windows).
+    """
+
+    n_connections: int = 10
+    capacity: int = 100
+    buffer: int = 40
+    drop_policy: str = "all"
+    fraction_hit: float = 0.5
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_connections < 1:
+            raise ValueError("need at least one connection")
+        if self.capacity < self.n_connections:
+            raise ValueError("capacity must fit at least one segment per connection")
+        if self.buffer < 0:
+            raise ValueError("buffer must be non-negative")
+        if self.drop_policy not in ("all", "random", "fraction"):
+            raise ValueError(f"unknown drop_policy {self.drop_policy!r}")
+        if not 0.0 < self.fraction_hit <= 1.0:
+            raise ValueError("fraction_hit must be in (0, 1]")
+
+
+class TcpWindowModel:
+    """Round-based simulation of congestion-avoidance sawtooths."""
+
+    def __init__(self, config: TcpWindowConfig) -> None:
+        self.config = config
+        self.rng = RandomSource.scrambled(config.seed)
+        # Start with small, randomly spread windows.
+        self.windows = [
+            1 + self.rng.randint(0, max(1, config.capacity // config.n_connections))
+            for _ in range(config.n_connections)
+        ]
+        self.rounds = 0
+        self.window_history: list[list[int]] = [list(self.windows)]
+        self.halving_rounds: list[list[int]] = []  # connections halved per round
+        self.throughput_history: list[int] = []
+
+    @property
+    def pipe_size(self) -> int:
+        """Segments in flight the path can hold before overflow."""
+        return self.config.capacity + self.config.buffer
+
+    def step(self) -> None:
+        """Advance one RTT: additive increase, then drops on overflow."""
+        self.rounds += 1
+        self.windows = [w + 1 for w in self.windows]
+        halved: list[int] = []
+        total = sum(self.windows)
+        if total > self.pipe_size:
+            if self.config.drop_policy == "all":
+                halved = list(range(len(self.windows)))
+            elif self.config.drop_policy == "random":
+                halved = [self._pick_victim()]
+            else:  # fraction
+                halved = [
+                    index for index in range(len(self.windows))
+                    if self.rng.bernoulli(self.config.fraction_hit)
+                ]
+                if not halved:
+                    halved = [self._pick_victim()]  # someone must back off
+            for index in halved:
+                self.windows[index] = max(1, self.windows[index] // 2)
+        self.halving_rounds.append(halved)
+        self.throughput_history.append(min(sum(self.windows), self.config.capacity))
+        self.window_history.append(list(self.windows))
+
+    def _pick_victim(self) -> int:
+        """Choose a connection to halve, weighted by window size.
+
+        This is the random-drop insight of [FJ92]: a uniformly random
+        *packet* belongs to connection k with probability proportional
+        to k's share of the traffic.
+        """
+        total = sum(self.windows)
+        target = self.rng.uniform(0.0, float(total))
+        running = 0.0
+        for index, window in enumerate(self.windows):
+            running += window
+            if target <= running:
+                return index
+        return len(self.windows) - 1
+
+    def run(self, rounds: int) -> None:
+        """Advance the model by ``rounds`` RTTs."""
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        for _ in range(rounds):
+            self.step()
+
+    # -- measurement -----------------------------------------------------------
+
+    def synchronization_index(self) -> float:
+        """Fraction of loss events in which *every* connection halved.
+
+        1.0 is the fully synchronized drop-tail pathology; with random
+        single-victim drops the index is 0.
+        """
+        loss_rounds = [h for h in self.halving_rounds if h]
+        if not loss_rounds:
+            return 0.0
+        full = sum(1 for h in loss_rounds if len(h) == self.config.n_connections)
+        return full / len(loss_rounds)
+
+    def mean_utilization(self, warmup_rounds: int = 50) -> float:
+        """Average bottleneck utilization after a warm-up."""
+        usable = self.throughput_history[warmup_rounds:]
+        if not usable:
+            raise ValueError("not enough rounds recorded")
+        return sum(usable) / (len(usable) * self.config.capacity)
+
+    def aggregate_window_series(self) -> list[int]:
+        """Total outstanding segments per round (the sawtooth trace)."""
+        return [sum(snapshot) for snapshot in self.window_history]

@@ -1,0 +1,34 @@
+"""Packet-level network substrate: nodes, links, and topologies."""
+
+from .lan import Lan
+from .monitor import DropRecord, NetworkMonitor
+from .link import Link, LinkStats
+from .node import (
+    BROADCAST,
+    Host,
+    Node,
+    ProtocolAgent,
+    Router,
+    RouterStats,
+    channel_neighbors,
+)
+from .packet import Packet, PacketKind
+from .topology import Network
+
+__all__ = [
+    "DropRecord",
+    "NetworkMonitor",
+    "Lan",
+    "Link",
+    "LinkStats",
+    "BROADCAST",
+    "Host",
+    "Node",
+    "ProtocolAgent",
+    "Router",
+    "RouterStats",
+    "channel_neighbors",
+    "Packet",
+    "PacketKind",
+    "Network",
+]

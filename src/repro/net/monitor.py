@@ -1,0 +1,135 @@
+"""Network-wide measurement taps.
+
+A :class:`NetworkMonitor` snapshots the counters every element of a
+:class:`~repro.net.topology.Network` already maintains — link/LAN
+throughput and drops, router forwarding and busy-drop counts — and can
+additionally tap drop hooks to keep a timeline of loss events, which
+is exactly the raw material of the paper's Figures 1 and 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .node import Router
+from .packet import Packet
+from .topology import Network
+
+__all__ = ["DropRecord", "NetworkMonitor"]
+
+
+@dataclass(frozen=True)
+class DropRecord:
+    """One observed queue/medium drop."""
+
+    time: float
+    where: str
+    packet_kind: str
+    src: str
+    dst: str
+
+
+class NetworkMonitor:
+    """Aggregated counters and a drop timeline for one network.
+
+    Construct after the topology is built (it installs drop hooks on
+    every existing link and LAN); snapshot methods can be called at
+    any time.
+    """
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self.drops: list[DropRecord] = []
+        for link in network.links:
+            name = f"{link.a.name}<->{link.b.name}"
+            link.drop_hooks.append(self._make_hook(name))
+        for lan in network.lans:
+            lan.drop_hooks.append(self._make_hook(f"lan:{lan.name}"))
+
+    def _make_hook(self, where: str):
+        def hook(packet: Packet, _toward) -> None:
+            self.drops.append(
+                DropRecord(
+                    time=self.network.sim.now,
+                    where=where,
+                    packet_kind=packet.kind.value,
+                    src=packet.src,
+                    dst=packet.dst,
+                )
+            )
+
+        return hook
+
+    # -- snapshots -----------------------------------------------------------
+
+    def link_report(self) -> list[dict]:
+        """Per-direction link counters."""
+        rows = []
+        for link in self.network.links:
+            for toward in (link.b, link.a):
+                stats = link.stats_toward(toward)
+                rows.append(
+                    {
+                        "link": f"{link.other_end(toward).name}->{toward.name}",
+                        "packets": stats.packets_sent,
+                        "bytes": stats.bytes_sent,
+                        "queue_drops": stats.packets_dropped,
+                    }
+                )
+        for lan in self.network.lans:
+            rows.append(
+                {
+                    "link": f"lan:{lan.name}",
+                    "packets": lan.stats.packets_sent,
+                    "bytes": lan.stats.bytes_sent,
+                    "queue_drops": lan.stats.packets_dropped,
+                }
+            )
+        return rows
+
+    def router_report(self) -> list[dict]:
+        """Per-router forwarding and loss counters."""
+        rows = []
+        for node in self.network.nodes.values():
+            if not isinstance(node, Router):
+                continue
+            rows.append(
+                {
+                    "router": node.name,
+                    "forwarded": node.stats.forwarded,
+                    "updates": node.stats.delivered_updates,
+                    "busy_drops": node.stats.dropped_routing_busy,
+                    "no_route_drops": node.stats.dropped_no_route,
+                    "ttl_drops": node.stats.dropped_ttl,
+                }
+            )
+        return rows
+
+    def total_busy_drops(self) -> int:
+        """Packets lost to routing-update processing, network-wide."""
+        return sum(row["busy_drops"] for row in self.router_report())
+
+    def drop_times(self, kind: str | None = None) -> list[float]:
+        """Timestamps of observed queue/medium drops (optionally by kind)."""
+        return [
+            record.time
+            for record in self.drops
+            if kind is None or record.packet_kind == kind
+        ]
+
+    def format_table(self) -> str:
+        """A printable two-part summary."""
+        lines = ["routers:"]
+        for row in self.router_report():
+            lines.append(
+                f"  {row['router']:>12}  fwd={row['forwarded']:<8} "
+                f"updates={row['updates']:<6} busy_drops={row['busy_drops']:<6} "
+                f"no_route={row['no_route_drops']:<4} ttl={row['ttl_drops']}"
+            )
+        lines.append("links:")
+        for row in self.link_report():
+            lines.append(
+                f"  {row['link']:>20}  pkts={row['packets']:<8} "
+                f"bytes={row['bytes']:<10} drops={row['queue_drops']}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,307 @@
+"""Hosts and routers.
+
+Nodes attach to *channels*: point-to-point :class:`~repro.net.link.Link`
+objects or shared :class:`~repro.net.lan.Lan` segments.  Unicast frames
+crossing a LAN carry a link-layer destination
+(:attr:`~repro.net.packet.Packet.link_dst`); stations discard frames
+addressed past them, as an Ethernet NIC would.
+
+The router models the behaviour at the heart of the paper's
+measurement section: while a router is processing routing updates it
+may be unable to forward data packets (the pre-fix NEARnet behaviour
+behind Figures 1-3).  That window is controlled by the attached
+routing protocol agent via :meth:`Router.occupy_for`; whether it
+blocks forwarding (and how hard) is configurable so the ablation
+benchmarks can reproduce the NEARnet software fix.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol, Union
+
+from ..des import Simulator
+from ..rng import RandomSource
+from .packet import Packet, PacketKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .lan import Lan
+    from .link import Link
+
+    Channel = Union["Link", "Lan"]
+
+__all__ = ["Node", "Host", "Router", "RouterStats", "ProtocolAgent", "channel_neighbors"]
+
+#: Broadcast destination for LAN-scoped routing updates.
+BROADCAST = "*"
+
+
+def channel_neighbors(channel: "Channel", node: "Node") -> list["Node"]:
+    """The nodes reachable from ``node`` over one channel.
+
+    One node for a point-to-point link, every other station for a LAN.
+    """
+    if hasattr(channel, "other_stations"):
+        return channel.other_stations(node)  # type: ignore[union-attr]
+    return [channel.other_end(node)]  # type: ignore[union-attr]
+
+
+class ProtocolAgent(Protocol):
+    """What a routing protocol attached to a router must provide."""
+
+    def handle_update(self, packet: Packet, channel: "Channel") -> None:
+        """An incoming routing update reached the router."""
+        ...
+
+    def on_link_state(self, channel: "Channel", up: bool) -> None:
+        """An attached channel changed state."""
+        ...
+
+
+class Node:
+    """Common behaviour of hosts and routers."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        if not name or name == BROADCAST:
+            raise ValueError(f"invalid node name {name!r}")
+        self.sim = sim
+        self.name = name
+        self.links: list["Link"] = []
+        self.lans: list["Lan"] = []
+
+    @property
+    def channels(self) -> list["Channel"]:
+        """All attached channels, links first."""
+        return [*self.links, *self.lans]
+
+    def attach_link(self, link: "Link") -> None:
+        """Called by Link construction; registers the attachment."""
+        self.links.append(link)
+
+    def attach_channel(self, lan: "Lan") -> None:
+        """Called by Lan.attach; registers the attachment."""
+        self.lans.append(lan)
+
+    def neighbors(self) -> list["Node"]:
+        """Directly reachable nodes over up channels."""
+        found: list["Node"] = []
+        for link in self.links:
+            if link.up:
+                found.append(link.other_end(self))
+        for lan in self.lans:
+            if lan.up:
+                found.extend(lan.other_stations(self))
+        return found
+
+    def frame_addressed_to_me(self, packet: Packet) -> bool:
+        """Link-layer filter: broadcast frames and frames for this node."""
+        return packet.link_dst is None or packet.link_dst == self.name
+
+    def receive(self, packet: Packet, channel: "Channel") -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def on_link_state(self, link: "Link", up: bool) -> None:
+        """Default: ignore link state changes."""
+
+    def on_channel_state(self, channel: "Channel", up: bool) -> None:
+        """A LAN segment changed state; default mirrors link handling."""
+        self.on_link_state(channel, up)  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Host(Node):
+    """An end system: sources and sinks application traffic.
+
+    Applications register per-kind delivery handlers; outbound packets
+    leave through the host's first channel.  A LAN-attached host sends
+    unicast frames to the destination directly when it is on the same
+    segment, and to ``default_gateway`` otherwise.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        super().__init__(sim, name)
+        self._handlers: dict[PacketKind, Callable[[Packet], None]] = {}
+        self.packets_received = 0
+        self.packets_sent = 0
+        self.default_gateway: str | None = None
+
+    def register_handler(self, kind: PacketKind, handler: Callable[[Packet], None]) -> None:
+        """Deliver packets of ``kind`` to ``handler``."""
+        self._handlers[kind] = handler
+
+    def send(self, packet: Packet) -> bool:
+        """Emit a packet via the access channel; False if it was dropped."""
+        channels = self.channels
+        if not channels:
+            raise RuntimeError(f"host {self.name} has no attached channel")
+        channel = channels[0]
+        packet.record_hop(self.name)
+        packet.created_at = packet.created_at or self.sim.now
+        self.packets_sent += 1
+        if channel in self.lans:
+            on_segment = {station.name for station in channel.other_stations(self)}
+            if packet.dst in on_segment:
+                packet.link_dst = packet.dst
+            elif self.default_gateway is not None:
+                packet.link_dst = self.default_gateway
+            else:
+                packet.link_dst = None  # broadcast and hope (diagnostics)
+        return channel.send(packet, self)
+
+    def receive(self, packet: Packet, channel: "Channel") -> None:
+        """Deliver to the registered handler (silently drop unknown kinds)."""
+        if not self.frame_addressed_to_me(packet):
+            return
+        if packet.dst not in (self.name, BROADCAST):
+            return  # not ours; hosts do not forward
+        self.packets_received += 1
+        handler = self._handlers.get(packet.kind)
+        if handler is not None:
+            handler(packet)
+
+
+class RouterStats:
+    """Forwarding counters for a router."""
+
+    def __init__(self) -> None:
+        self.forwarded = 0
+        self.delivered_updates = 0
+        self.dropped_routing_busy = 0
+        self.dropped_no_route = 0
+        self.dropped_ttl = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<RouterStats fwd={self.forwarded} busy_drop={self.dropped_routing_busy} "
+            f"no_route={self.dropped_no_route}>"
+        )
+
+
+class Router(Node):
+    """A packet forwarder running a routing protocol.
+
+    Parameters
+    ----------
+    blocking_updates:
+        When True (the pre-fix NEARnet behaviour), data packets that
+        arrive while the router is processing routing updates are
+        dropped with probability ``busy_drop_probability``.  When
+        False (the post-fix behaviour), routing-update processing does
+        not affect forwarding.
+    busy_drop_probability:
+        Probability that a data packet arriving during update
+        processing is lost; 1.0 models a hard control-plane stall,
+        smaller values model contention.
+    forwarding_delay:
+        Per-packet lookup/switching latency.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        blocking_updates: bool = True,
+        busy_drop_probability: float = 1.0,
+        forwarding_delay: float = 0.0001,
+        rng: RandomSource | None = None,
+    ) -> None:
+        super().__init__(sim, name)
+        if not 0.0 <= busy_drop_probability <= 1.0:
+            raise ValueError("busy_drop_probability must be in [0, 1]")
+        if forwarding_delay < 0:
+            raise ValueError("forwarding_delay must be non-negative")
+        self.blocking_updates = blocking_updates
+        self.busy_drop_probability = busy_drop_probability
+        self.forwarding_delay = forwarding_delay
+        self.rng = rng if rng is not None else RandomSource(seed=hash(name) % (2**31 - 2) + 1)
+        #: dst name -> (outgoing channel, next-hop node name)
+        self.forwarding_table: dict[str, tuple["Channel", str]] = {}
+        self.update_busy_until = 0.0
+        self.protocol: ProtocolAgent | None = None
+        self.stats = RouterStats()
+
+    # -- control plane -----------------------------------------------------
+
+    def attach_protocol(self, agent: ProtocolAgent) -> None:
+        """Install the routing protocol agent."""
+        self.protocol = agent
+
+    def occupy_for(self, duration: float) -> None:
+        """Mark the router busy with routing-update work.
+
+        Busy intervals accumulate, mirroring the Periodic Messages
+        busy-period extension: work arriving while busy extends the
+        window.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        start = max(self.sim.now, self.update_busy_until)
+        self.update_busy_until = start + duration
+
+    @property
+    def routing_busy(self) -> bool:
+        """True while routing-update work is outstanding."""
+        return self.sim.now < self.update_busy_until
+
+    def set_route(self, dst: str, channel: "Channel", next_hop: str | None = None) -> None:
+        """Point the forwarding entry for ``dst`` at a channel.
+
+        ``next_hop`` (the link-layer destination) defaults to the far
+        end for a point-to-point link; it is required for a LAN.
+        """
+        if channel not in self.channels:
+            raise ValueError(f"channel {channel!r} is not attached to {self.name}")
+        if next_hop is None:
+            if channel in self.lans:
+                raise ValueError("next_hop is required for a LAN route")
+            next_hop = channel.other_end(self).name  # type: ignore[union-attr]
+        self.forwarding_table[dst] = (channel, next_hop)
+
+    def clear_route(self, dst: str) -> None:
+        """Remove a forwarding entry if present."""
+        self.forwarding_table.pop(dst, None)
+
+    def on_link_state(self, channel: "Channel", up: bool) -> None:
+        if self.protocol is not None:
+            self.protocol.on_link_state(channel, up)
+        if not up:
+            stale = [dst for dst, (via, _) in self.forwarding_table.items() if via is channel]
+            for dst in stale:
+                del self.forwarding_table[dst]
+
+    # -- data plane -----------------------------------------------------------
+
+    def receive(self, packet: Packet, channel: "Channel") -> None:
+        if not self.frame_addressed_to_me(packet):
+            return
+        if packet.is_routing:
+            self.stats.delivered_updates += 1
+            if self.protocol is not None:
+                self.protocol.handle_update(packet, channel)
+            return
+        if packet.dst == self.name:
+            return  # routers sink stray data addressed to them
+        self._forward(packet, arrived_on=channel)
+
+    def _forward(self, packet: Packet, arrived_on: "Channel") -> None:
+        if self.routing_busy and self.blocking_updates:
+            if self.rng.bernoulli(self.busy_drop_probability):
+                self.stats.dropped_routing_busy += 1
+                return
+        if packet.ttl <= 1:
+            self.stats.dropped_ttl += 1
+            return
+        entry = self.forwarding_table.get(packet.dst)
+        if entry is None or not entry[0].up:
+            self.stats.dropped_no_route += 1
+            return
+        out, next_hop = entry
+        packet.record_hop(self.name)
+        packet.link_dst = next_hop
+        self.stats.forwarded += 1
+        if self.forwarding_delay > 0:
+            self.sim.schedule(self.forwarding_delay, out.send, packet, self,
+                              label=f"fwd-{self.name}")
+        else:
+            out.send(packet, self)

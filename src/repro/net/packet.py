@@ -1,0 +1,93 @@
+"""Packets for the network substrate.
+
+A deliberately small IP-ish abstraction: every packet has a source and
+destination node name, a kind (used by hosts to demultiplex to the
+right application), a size in bytes (which determines serialization
+delay on links), and a free-form payload dictionary.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["PacketKind", "Packet"]
+
+_packet_ids = itertools.count(1)
+
+
+class PacketKind(str, Enum):
+    """Demultiplexing key for delivered packets."""
+
+    DATA = "data"
+    PING_REQUEST = "ping_request"
+    PING_REPLY = "ping_reply"
+    AUDIO = "audio"
+    VIDEO = "video"
+    ROUTING_UPDATE = "routing_update"
+
+
+@dataclass
+class Packet:
+    """One packet in flight.
+
+    Attributes
+    ----------
+    src, dst:
+        Node names.  ``dst`` may be the broadcast address ``"*"`` for
+        LAN-scoped routing updates.
+    kind:
+        A :class:`PacketKind`.
+    size_bytes:
+        Wire size; serialization delay on a link is
+        ``8 * size_bytes / bandwidth``.
+    created_at:
+        Simulated send time of the original transmission.
+    payload:
+        Application data (e.g. ping sequence numbers, route entries).
+    packet_id:
+        Unique per simulation process, assigned automatically.
+    hops:
+        Node names traversed so far (filled in by the forwarding path).
+    ttl:
+        Remaining hop budget; routers drop packets at zero.
+    link_dst:
+        Link-layer destination for the current hop.  None means
+        broadcast (every station on a shared segment processes the
+        frame); a name means only that station does.  Point-to-point
+        links ignore it.
+    """
+
+    src: str
+    dst: str
+    kind: PacketKind = PacketKind.DATA
+    size_bytes: int = 512
+    created_at: float = 0.0
+    payload: dict = field(default_factory=dict)
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    hops: list[str] = field(default_factory=list)
+    ttl: int = 64
+    link_dst: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if self.ttl <= 0:
+            raise ValueError("ttl must be positive")
+
+    @property
+    def is_routing(self) -> bool:
+        """True for routing-protocol traffic."""
+        return self.kind is PacketKind.ROUTING_UPDATE
+
+    def record_hop(self, node_name: str) -> None:
+        """Append a node to the path trace and spend one TTL unit."""
+        self.hops.append(node_name)
+        self.ttl -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Packet #{self.packet_id} {self.kind.value} "
+            f"{self.src}->{self.dst} {self.size_bytes}B>"
+        )

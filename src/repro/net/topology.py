@@ -1,0 +1,193 @@
+"""Network assembly and static route computation.
+
+A :class:`Network` owns the simulator, the nodes, the point-to-point
+links, and the shared LAN segments, and can install static
+shortest-path routes (hop count, computed with a plain BFS over up
+channels) — the starting condition for experiments that do not
+exercise dynamic route convergence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..des import Simulator
+from .lan import Lan
+from .link import Link
+from .node import Host, Node, Router, channel_neighbors
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A container wiring hosts, routers, links, and LANs to one simulator."""
+
+    def __init__(self, sim: Simulator | None = None) -> None:
+        self.sim = sim if sim is not None else Simulator()
+        self.nodes: dict[str, Node] = {}
+        self.links: list[Link] = []
+        self.lans: list[Lan] = []
+
+    # -- construction --------------------------------------------------------
+
+    def add_host(self, name: str) -> Host:
+        """Create and register a host."""
+        host = Host(self.sim, name)
+        self._register(host)
+        return host
+
+    def add_router(self, name: str, **kwargs) -> Router:
+        """Create and register a router (kwargs pass through to Router)."""
+        router = Router(self.sim, name, **kwargs)
+        self._register(router)
+        return router
+
+    def _register(self, node: Node) -> None:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+
+    def connect(
+        self,
+        a: str | Node,
+        b: str | Node,
+        bandwidth_bps: float = 1.5e6,
+        delay_s: float = 0.005,
+        queue_packets: int = 50,
+    ) -> Link:
+        """Create a point-to-point link between two registered nodes."""
+        node_a = self._resolve(a)
+        node_b = self._resolve(b)
+        if node_a is node_b:
+            raise ValueError("cannot connect a node to itself")
+        link = Link(self.sim, node_a, node_b, bandwidth_bps, delay_s, queue_packets)
+        self.links.append(link)
+        return link
+
+    def add_lan(
+        self,
+        name: str,
+        stations: list[str | Node] | None = None,
+        bandwidth_bps: float = 10e6,
+        delay_s: float = 0.0001,
+        queue_packets: int = 200,
+    ) -> Lan:
+        """Create a shared segment and attach the given stations."""
+        lan = Lan(self.sim, name, bandwidth_bps, delay_s, queue_packets)
+        self.lans.append(lan)
+        for station in stations or []:
+            lan.attach(self._resolve(station))
+        return lan
+
+    def _resolve(self, node: str | Node) -> Node:
+        if isinstance(node, Node):
+            if node.name not in self.nodes or self.nodes[node.name] is not node:
+                raise ValueError(f"node {node.name!r} is not part of this network")
+            return node
+        if node not in self.nodes:
+            raise ValueError(f"unknown node {node!r}")
+        return self.nodes[node]
+
+    def host(self, name: str) -> Host:
+        """Look up a host by name (type-checked)."""
+        node = self._resolve(name)
+        if not isinstance(node, Host):
+            raise TypeError(f"{name!r} is not a host")
+        return node
+
+    def router(self, name: str) -> Router:
+        """Look up a router by name (type-checked)."""
+        node = self._resolve(name)
+        if not isinstance(node, Router):
+            raise TypeError(f"{name!r} is not a router")
+        return node
+
+    def routers(self) -> list[Router]:
+        """All routers, in insertion order."""
+        return [n for n in self.nodes.values() if isinstance(n, Router)]
+
+    # -- static routing ----------------------------------------------------------
+
+    def install_static_routes(self) -> None:
+        """Install hop-count shortest-path forwarding entries everywhere.
+
+        For every router, runs a BFS over up channels and points each
+        destination at the first hop of a shortest path.  Ties break
+        deterministically by channel attachment order.  Also assigns
+        every LAN-attached host a default gateway (the first router on
+        its segment) so it can address off-segment traffic.
+        """
+        for router in self.routers():
+            first_hop = self._bfs_first_hops(router)
+            router.forwarding_table.clear()
+            for dst_name, (channel, next_hop) in first_hop.items():
+                router.forwarding_table[dst_name] = (channel, next_hop)
+        for node in self.nodes.values():
+            if isinstance(node, Host) and node.lans:
+                segment = node.lans[0]
+                gateways = [s for s in segment.other_stations(node) if isinstance(s, Router)]
+                if gateways:
+                    node.default_gateway = gateways[0].name
+
+    def _bfs_first_hops(self, source: Node) -> dict[str, tuple]:
+        """Map destination name -> (outgoing channel, next-hop name)."""
+        first_hop: dict[str, tuple] = {}
+        visited = {source.name}
+        queue: deque[Node] = deque()
+        for channel in source.channels:
+            if not channel.up:
+                continue
+            for neighbor in channel_neighbors(channel, source):
+                if neighbor.name in visited:
+                    continue
+                visited.add(neighbor.name)
+                first_hop[neighbor.name] = (channel, neighbor.name)
+                queue.append(neighbor)
+        while queue:
+            node = queue.popleft()
+            via = first_hop[node.name]
+            for channel in node.channels:
+                if not channel.up:
+                    continue
+                for neighbor in channel_neighbors(channel, node):
+                    if neighbor.name in visited:
+                        continue
+                    visited.add(neighbor.name)
+                    first_hop[neighbor.name] = via
+                    queue.append(neighbor)
+        return first_hop
+
+    # -- running -----------------------------------------------------------------
+
+    def run(self, until: float) -> float:
+        """Advance the simulation to the horizon."""
+        return self.sim.run(until=until)
+
+    def path_between(self, a: str, b: str) -> list[str]:
+        """Node names on a shortest path from ``a`` to ``b`` (BFS).
+
+        Raises if no path exists over up channels.
+        """
+        source = self._resolve(a)
+        target = self._resolve(b)
+        parents: dict[str, str] = {}
+        visited = {source.name}
+        queue: deque[Node] = deque([source])
+        while queue:
+            node = queue.popleft()
+            if node is target:
+                break
+            for channel in node.channels:
+                if not channel.up:
+                    continue
+                for neighbor in channel_neighbors(channel, node):
+                    if neighbor.name not in visited:
+                        visited.add(neighbor.name)
+                        parents[neighbor.name] = node.name
+                        queue.append(neighbor)
+        if target.name not in visited:
+            raise ValueError(f"no path from {a!r} to {b!r}")
+        path = [target.name]
+        while path[-1] != source.name:
+            path.append(parents[path[-1]])
+        return list(reversed(path))

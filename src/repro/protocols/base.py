@@ -1,0 +1,404 @@
+"""Distance-vector routing over the packet substrate.
+
+This is the substrate behind the paper's measurement figures: routers
+periodically broadcast their full routing table to their neighbours,
+pay a per-route processing cost for every update sent *or* received
+(the cisco routers at Xerox PARC measured about 1 ms per route, ~300
+routes per update [De93]), and — in the Periodic Messages timer mode —
+restart their update timer only when that work is done.  The protocol
+family (RIP, IGRP, DECnet DNA-IV, EGP, Hello) differs mainly in the
+constants, captured by :class:`ProtocolSpec` presets.
+
+Updates are sent once per attached channel: a unicast-style message on
+each point-to-point link, and a single broadcast frame on each shared
+LAN — the configuration in which the paper first observed
+synchronization ("each DECnet router transmitted a routing message at
+120-second intervals" on one Ethernet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Literal, Union
+
+from ..core.timers import TimerPolicy, UniformJitterTimer
+from ..net.node import Router, channel_neighbors
+from ..net.packet import Packet, PacketKind
+from ..rng import RandomSource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..net.lan import Lan
+    from ..net.link import Link
+
+    Channel = Union["Link", "Lan"]
+
+__all__ = ["ProtocolSpec", "RouteEntry", "DistanceVectorAgent"]
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Constants defining one periodic distance-vector protocol.
+
+    Attributes
+    ----------
+    name:
+        Protocol label ("rip", "igrp", ...).
+    period:
+        Mean update period Tp in seconds.
+    jitter:
+        Random timer component Tr in seconds (uniform on
+        ``[period - jitter, period + jitter]``).
+    infinity:
+        Metric meaning "unreachable".
+    per_route_cost:
+        Seconds of CPU per route entry processed (sent or received).
+    bytes_per_route:
+        Wire size contribution of one route entry.
+    header_bytes:
+        Fixed update-packet overhead.
+    triggered_updates:
+        Whether topology changes emit immediate updates.
+    trigger_delay:
+        Coalescing delay before a triggered update is sent.
+    timeout_periods:
+        Periods without news before a route is declared unreachable.
+    holddown_periods:
+        After a route is lost, refuse alternative paths to it for this
+        many periods (IGRP's defence against count-to-infinity
+        rumours); 0 disables hold-down.
+    reset_mode:
+        ``"after_busy"`` (the Periodic Messages coupling) or
+        ``"on_expiry"`` (the RFC 1058 uncoupled clock).
+    split_horizon:
+        Do not re-advertise a route onto the channel it was learned
+        from.
+    """
+
+    name: str
+    period: float
+    jitter: float = 0.0
+    infinity: int = 16
+    per_route_cost: float = 0.001
+    bytes_per_route: int = 20
+    header_bytes: int = 24
+    triggered_updates: bool = True
+    trigger_delay: float = 1.0
+    timeout_periods: float = 6.0
+    holddown_periods: float = 0.0
+    reset_mode: Literal["after_busy", "on_expiry"] = "after_busy"
+    split_horizon: bool = True
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if not 0 <= self.jitter <= self.period:
+            raise ValueError("jitter must be in [0, period]")
+        if self.infinity < 2:
+            raise ValueError("infinity must be at least 2")
+        if self.per_route_cost < 0 or self.trigger_delay < 0:
+            raise ValueError("costs and delays must be non-negative")
+        if self.holddown_periods < 0:
+            raise ValueError("holddown_periods must be non-negative")
+
+    def with_jitter(self, jitter: float) -> "ProtocolSpec":
+        """A copy with a different random timer component."""
+        return replace(self, jitter=jitter)
+
+    def timer_policy(self) -> TimerPolicy:
+        """The timer policy implied by (period, jitter)."""
+        return UniformJitterTimer(self.period, self.jitter)
+
+
+@dataclass
+class RouteEntry:
+    """One routing-table row."""
+
+    dst: str
+    metric: int
+    via: "Channel | None"  # None for local destinations
+    via_neighbor: str | None = None  # next-hop name (for LAN channels)
+    last_heard: float = 0.0
+    local: bool = False
+    holddown_until: float = 0.0
+
+
+class DistanceVectorAgent:
+    """The routing process on one router.
+
+    Parameters
+    ----------
+    router:
+        The router this agent controls (attaches itself).
+    spec:
+        Protocol constants.
+    seed:
+        Seed for the agent's private random stream (timer jitter,
+        trigger delays).
+    synthetic_routes:
+        Number of extra locally-originated destinations advertised,
+        used to give updates a realistic size/cost (e.g. 300 to match
+        the PARC measurement) without building 300 hosts.
+    start_offset:
+        When the first periodic timer fires.  Defaults to a uniform
+        draw over one period (the unsynchronized start); passing the
+        same value to every router starts them synchronized.
+    """
+
+    def __init__(
+        self,
+        router: Router,
+        spec: ProtocolSpec,
+        seed: int = 1,
+        synthetic_routes: int = 0,
+        start_offset: float | None = None,
+    ) -> None:
+        if synthetic_routes < 0:
+            raise ValueError("synthetic_routes must be non-negative")
+        self.router = router
+        self.sim = router.sim
+        self.spec = spec
+        self.rng = RandomSource.scrambled(seed)
+        self.timer = spec.timer_policy()
+        self.table: dict[str, RouteEntry] = {}
+        self.updates_sent = 0
+        self.updates_received = 0
+        self.triggered_sent = 0
+        self.timer_reset_times: list[float] = []
+        self._trigger_pending = False
+        self._reset_pending = False
+        self._timer_event = None
+        router.attach_protocol(self)
+        self._install_local_routes(synthetic_routes)
+        offset = (
+            start_offset
+            if start_offset is not None
+            else self.rng.uniform(0.0, spec.period)
+        )
+        self.sim.schedule_at(offset, self._on_timer, label=f"dv-timer-{router.name}")
+
+    # -- table management ----------------------------------------------------
+
+    def _install_local_routes(self, synthetic_routes: int) -> None:
+        self.table[self.router.name] = RouteEntry(
+            self.router.name, 0, None, None, self.sim.now, local=True
+        )
+        for channel in self.router.channels:
+            for neighbor in channel_neighbors(channel, self.router):
+                self.table[neighbor.name] = RouteEntry(
+                    neighbor.name, 1, channel, neighbor.name, self.sim.now, local=True
+                )
+                if channel.up:
+                    self.router.set_route(neighbor.name, channel, neighbor.name)
+        for index in range(synthetic_routes):
+            name = f"{self.router.name}:net{index}"
+            self.table[name] = RouteEntry(name, 1, None, None, self.sim.now, local=True)
+
+    def route_count(self) -> int:
+        """Number of table entries (drives update size and cost)."""
+        return len(self.table)
+
+    def reachable(self, dst: str) -> bool:
+        """Whether the table holds a live route to ``dst``."""
+        entry = self.table.get(dst)
+        return entry is not None and entry.metric < self.spec.infinity
+
+    # -- periodic machinery -----------------------------------------------------
+
+    def _on_timer(self) -> None:
+        self._timer_event = None
+        self._expire_stale_routes()
+        self._send_update()
+        if self.spec.reset_mode == "on_expiry":
+            self._reset_timer()
+        else:
+            self._schedule_reset_at_busy_end()
+
+    def _schedule_reset_at_busy_end(self) -> None:
+        if self._reset_pending:
+            return
+        self._reset_pending = True
+        self.sim.schedule_at(
+            max(self.sim.now, self.router.update_busy_until),
+            self._maybe_reset,
+            label=f"dv-reset-{self.router.name}",
+        )
+
+    def _maybe_reset(self) -> None:
+        # Lazy re-arm, mirroring the core model's busy-period handling.
+        if self.router.update_busy_until > self.sim.now + 1e-15:
+            self.sim.schedule_at(
+                self.router.update_busy_until,
+                self._maybe_reset,
+                label=f"dv-reset-{self.router.name}",
+            )
+            return
+        self._reset_pending = False
+        self._reset_timer()
+
+    def _reset_timer(self) -> None:
+        self.timer_reset_times.append(self.sim.now)
+        interval = self.timer.interval(self.rng, 0)
+        self._timer_event = self.sim.schedule(
+            interval, self._on_timer, label=f"dv-timer-{self.router.name}"
+        )
+
+    def _router_facing_channels(self) -> list:
+        """Channels with at least one router on the far side."""
+        found = []
+        for channel in self.router.channels:
+            if not channel.up:
+                continue
+            if any(isinstance(n, Router) for n in channel_neighbors(channel, self.router)):
+                found.append(channel)
+        return found
+
+    def _send_update(self, triggered: bool = False) -> None:
+        total_routes = self.route_count()
+        cost = self.spec.per_route_cost * total_routes
+        self.router.occupy_for(cost)
+        self.updates_sent += 1
+        if triggered:
+            self.triggered_sent += 1
+        for channel in self._router_facing_channels():
+            routes = self._routes_for_channel(channel)
+            size = self.spec.header_bytes + self.spec.bytes_per_route * len(routes)
+            packet = Packet(
+                src=self.router.name,
+                dst="*",
+                kind=PacketKind.ROUTING_UPDATE,
+                size_bytes=size,
+                created_at=self.sim.now,
+                payload={
+                    "routes": routes,
+                    "triggered": triggered,
+                    "protocol": self.spec.name,
+                },
+            )
+            channel.send(packet, self.router)
+
+    def _routes_for_channel(self, channel) -> list[tuple[str, int]]:
+        """Advertised (dst, metric) pairs, split-horizon filtered."""
+        routes = []
+        for entry in self.table.values():
+            if self.spec.split_horizon and entry.via is channel and not entry.local:
+                continue
+            routes.append((entry.dst, entry.metric))
+        return routes
+
+    def _poison(self, entry: RouteEntry) -> None:
+        """Mark a route unreachable and start its hold-down window."""
+        entry.metric = self.spec.infinity
+        entry.holddown_until = (
+            self.sim.now + self.spec.holddown_periods * self.spec.period
+        )
+        self.router.clear_route(entry.dst)
+
+    def _expire_stale_routes(self) -> None:
+        deadline = self.spec.timeout_periods * self.spec.period
+        now = self.sim.now
+        changed = False
+        for entry in self.table.values():
+            if entry.local or entry.metric >= self.spec.infinity:
+                continue
+            if now - entry.last_heard > deadline:
+                self._poison(entry)
+                changed = True
+        if changed:
+            self._request_triggered_update()
+
+    # -- receiving -----------------------------------------------------------------
+
+    def handle_update(self, packet: Packet, channel) -> None:
+        """Process a neighbour's update (Bellman-Ford relaxation)."""
+        self.updates_received += 1
+        routes = packet.payload.get("routes", [])
+        self.router.occupy_for(self.spec.per_route_cost * len(routes))
+        sender = packet.src
+        changed = False
+        now = self.sim.now
+        local_names = self._local_names()
+        for dst, metric in routes:
+            if dst == self.router.name or dst in local_names:
+                continue
+            candidate = min(int(metric) + 1, self.spec.infinity)
+            entry = self.table.get(dst)
+            if entry is None:
+                if candidate < self.spec.infinity:
+                    self.table[dst] = RouteEntry(dst, candidate, channel, sender, now)
+                    self.router.set_route(dst, channel, sender)
+                    changed = True
+                continue
+            if entry.local:
+                continue
+            if entry.via is channel and entry.via_neighbor == sender:
+                # News from the current next hop always wins.
+                entry.last_heard = now
+                if candidate != entry.metric:
+                    changed = True
+                    if candidate >= self.spec.infinity:
+                        self._poison(entry)
+                    else:
+                        entry.metric = candidate
+            elif now < entry.holddown_until:
+                # Hold-down: refuse rumours about a recently lost route.
+                continue
+            elif candidate < entry.metric:
+                entry.metric = candidate
+                entry.via = channel
+                entry.via_neighbor = sender
+                entry.last_heard = now
+                self.router.set_route(dst, channel, sender)
+                changed = True
+        if changed and self.spec.triggered_updates:
+            self._request_triggered_update()
+
+    def _local_names(self) -> set[str]:
+        return {dst for dst, e in self.table.items() if e.local}
+
+    def on_link_state(self, channel, up: bool) -> None:
+        """A directly attached channel changed state."""
+        changed = False
+        if up:
+            for neighbor in channel_neighbors(channel, self.router):
+                entry = self.table.get(neighbor.name)
+                if entry is None or entry.metric >= self.spec.infinity or not entry.local:
+                    self.table[neighbor.name] = RouteEntry(
+                        neighbor.name, 1, channel, neighbor.name, self.sim.now, local=True
+                    )
+                    self.router.set_route(neighbor.name, channel, neighbor.name)
+                    changed = True
+        else:
+            for entry in self.table.values():
+                if entry.via is channel and entry.metric < self.spec.infinity:
+                    self._poison(entry)
+                    changed = True
+        if changed and self.spec.triggered_updates:
+            self._request_triggered_update()
+
+    def _request_triggered_update(self) -> None:
+        """Schedule a coalesced triggered update.
+
+        Per RFC 1058 practice the update is delayed a short random
+        time so that waves of triggered updates do not themselves
+        congest the network; further changes within the window fold
+        into the same update.
+        """
+        if not self.spec.triggered_updates or self._trigger_pending:
+            return
+        self._trigger_pending = True
+        delay = self.spec.trigger_delay * (0.5 + self.rng.random())
+
+        def fire() -> None:
+            self._trigger_pending = False
+            self._send_update(triggered=True)
+            # In the Periodic Messages model a triggered update also
+            # restarts the periodic timer after the busy period (the
+            # pending periodic expiry is abandoned); in the uncoupled
+            # mode the periodic timer stays armed.
+            if self.spec.reset_mode == "after_busy":
+                if self._timer_event is not None:
+                    self._timer_event.cancel()
+                    self._timer_event = None
+                self._schedule_reset_at_busy_end()
+
+        self.sim.schedule(delay, fire, label=f"dv-trigger-{self.router.name}")

@@ -1,0 +1,16 @@
+"""Traffic generators: ping probes, CBR audio, VBR video, background load."""
+
+from .audio import AudioSession
+from .background import PeriodicScriptSource, PoissonSource
+from .ping import LOSS_RTT, PingClient, PingResponder
+from .video import VBRVideoSession
+
+__all__ = [
+    "AudioSession",
+    "PeriodicScriptSource",
+    "PoissonSource",
+    "LOSS_RTT",
+    "PingClient",
+    "PingResponder",
+    "VBRVideoSession",
+]

@@ -1,0 +1,117 @@
+"""Constant-bit-rate audio traffic (the Figure 3 workload).
+
+The December 1992 packet-video audiocast carried PCM audio in small
+packets tens of milliseconds apart; its tunnelled multicast packets
+competed with RIP routing updates at congested routers and lost.  The
+:class:`AudioSession` couples a CBR source to a sink and produces the
+per-packet delivery record the outage analysis consumes.
+"""
+
+from __future__ import annotations
+
+from ..net.node import Host
+from ..net.packet import Packet, PacketKind
+from ..rng import RandomSource
+
+__all__ = ["AudioSession"]
+
+
+class AudioSession:
+    """A one-way CBR audio stream with per-packet delivery tracking.
+
+    Parameters
+    ----------
+    src, dst:
+        Source and destination hosts.
+    packet_interval:
+        Seconds between packets (0.02 = 50 packets/s, typical PCM
+        audio packetization).
+    duration:
+        Length of the stream in seconds.
+    size_bytes:
+        Audio packet size (160 bytes of payload + headers).
+    random_loss_probability:
+        Per-packet probability of loss from causes outside the
+        simulated path (the "little blips more-or-less randomly spread
+        along the time axis" in Figure 3).
+    seed:
+        Seed for the random-blip stream.
+    start_time:
+        When the stream starts.
+    """
+
+    def __init__(
+        self,
+        src: Host,
+        dst: Host,
+        packet_interval: float = 0.02,
+        duration: float = 60.0,
+        size_bytes: int = 200,
+        random_loss_probability: float = 0.0,
+        seed: int = 1,
+        start_time: float = 0.0,
+    ) -> None:
+        if packet_interval <= 0 or duration <= 0:
+            raise ValueError("packet_interval and duration must be positive")
+        if not 0.0 <= random_loss_probability <= 1.0:
+            raise ValueError("random_loss_probability must be in [0, 1]")
+        self.src = src
+        self.dst = dst
+        self.packet_interval = packet_interval
+        self.size_bytes = size_bytes
+        self.random_loss_probability = random_loss_probability
+        self.rng = RandomSource.scrambled(seed)
+        self.total_packets = int(round(duration / packet_interval))
+        self.send_times: list[float] = []
+        self._received: set[int] = set()
+        self._sent = 0
+        dst.register_handler(PacketKind.AUDIO, self._on_packet)
+        src.sim.schedule_at(start_time, self._send_next, label=f"audio-{src.name}")
+
+    def _send_next(self) -> None:
+        now = self.src.sim.now
+        seq = self._sent
+        self._sent += 1
+        self.send_times.append(now)
+        if self.rng.bernoulli(self.random_loss_probability):
+            pass  # lost to background noise before reaching our path
+        else:
+            packet = Packet(
+                src=self.src.name,
+                dst=self.dst.name,
+                kind=PacketKind.AUDIO,
+                size_bytes=self.size_bytes,
+                created_at=now,
+                payload={"seq": seq},
+            )
+            self.src.send(packet)
+        if self._sent < self.total_packets:
+            self.src.sim.schedule(self.packet_interval, self._send_next,
+                                  label=f"audio-{self.src.name}")
+
+    def _on_packet(self, packet: Packet) -> None:
+        self._received.add(packet.payload["seq"])
+
+    # -- results ------------------------------------------------------------
+
+    @property
+    def packets_sent(self) -> int:
+        """Packets emitted so far."""
+        return self._sent
+
+    @property
+    def packets_received(self) -> int:
+        """Packets delivered to the sink so far."""
+        return len(self._received)
+
+    def delivery_record(self) -> tuple[list[float], list[bool]]:
+        """(send_times, delivered flags), the outage-analysis input."""
+        delivered = [seq in self._received for seq in range(self._sent)]
+        return list(self.send_times), delivered
+
+    @property
+    def loss_rate(self) -> float:
+        """Overall fraction of packets lost."""
+        if self._sent == 0:
+            return 0.0
+        return 1.0 - len(self._received) / self._sent

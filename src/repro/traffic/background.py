@@ -1,0 +1,125 @@
+"""Background traffic sources.
+
+Two shapes: memoryless Poisson traffic (the classic neutral load) and
+the periodic "user script" source — [Pa93a] observed that periodic
+background scripts run by individual users are themselves a growing
+component of synchronized Internet traffic.
+"""
+
+from __future__ import annotations
+
+from ..net.node import Host
+from ..net.packet import Packet, PacketKind
+from ..rng import RandomSource
+
+__all__ = ["PoissonSource", "PeriodicScriptSource"]
+
+
+class PoissonSource:
+    """DATA packets with exponential inter-arrival times.
+
+    Parameters
+    ----------
+    src, dst:
+        Endpoint hosts (the sink needs no special handler).
+    rate_pps:
+        Mean packets per second.
+    size_bytes:
+        Packet size.
+    duration:
+        How long to emit (seconds); None means until the horizon.
+    """
+
+    def __init__(
+        self,
+        src: Host,
+        dst: Host,
+        rate_pps: float,
+        size_bytes: int = 512,
+        duration: float | None = None,
+        seed: int = 1,
+        start_time: float = 0.0,
+    ) -> None:
+        if rate_pps <= 0:
+            raise ValueError("rate must be positive")
+        if duration is not None and duration <= 0:
+            raise ValueError("duration must be positive when given")
+        self.src = src
+        self.dst = dst
+        self.rate_pps = rate_pps
+        self.size_bytes = size_bytes
+        self.stop_at = None if duration is None else start_time + duration
+        self.rng = RandomSource.scrambled(seed)
+        self.packets_sent = 0
+        first = start_time + self.rng.exponential(1.0 / rate_pps)
+        src.sim.schedule_at(first, self._send, label=f"poisson-{src.name}")
+
+    def _send(self) -> None:
+        now = self.src.sim.now
+        if self.stop_at is not None and now > self.stop_at:
+            return
+        self.src.send(
+            Packet(
+                src=self.src.name,
+                dst=self.dst.name,
+                kind=PacketKind.DATA,
+                size_bytes=self.size_bytes,
+                created_at=now,
+                payload={"seq": self.packets_sent},
+            )
+        )
+        self.packets_sent += 1
+        self.src.sim.schedule(self.rng.exponential(1.0 / self.rate_pps), self._send,
+                              label=f"poisson-{self.src.name}")
+
+
+class PeriodicScriptSource:
+    """A burst of packets every fixed period (cron-style user scripts).
+
+    E.g. "several users fetch the most recent weather map from Colorado
+    every hour on the hour" — many such sources with the same period
+    and phase produce strongly synchronized load.
+    """
+
+    def __init__(
+        self,
+        src: Host,
+        dst: Host,
+        period: float,
+        burst_packets: int = 10,
+        size_bytes: int = 512,
+        duration: float | None = None,
+        start_time: float = 0.0,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if burst_packets < 1:
+            raise ValueError("burst must contain at least one packet")
+        self.src = src
+        self.dst = dst
+        self.period = period
+        self.burst_packets = burst_packets
+        self.size_bytes = size_bytes
+        self.stop_at = None if duration is None else start_time + duration
+        self.packets_sent = 0
+        self.burst_times: list[float] = []
+        src.sim.schedule_at(start_time, self._burst, label=f"script-{src.name}")
+
+    def _burst(self) -> None:
+        now = self.src.sim.now
+        if self.stop_at is not None and now > self.stop_at:
+            return
+        self.burst_times.append(now)
+        for index in range(self.burst_packets):
+            self.src.send(
+                Packet(
+                    src=self.src.name,
+                    dst=self.dst.name,
+                    kind=PacketKind.DATA,
+                    size_bytes=self.size_bytes,
+                    created_at=now,
+                    payload={"seq": self.packets_sent, "burst_index": index},
+                )
+            )
+            self.packets_sent += 1
+        self.src.sim.schedule(self.period, self._burst, label=f"script-{self.src.name}")

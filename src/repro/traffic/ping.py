@@ -1,0 +1,155 @@
+"""Ping measurement traffic.
+
+Reproduces the paper's May 1992 methodology: "runs of a thousand
+pings each, at one-second intervals" (1.01 s exactly, which is why the
+90-second IGRP period shows up at lag 89).  The client records a
+round-trip time per probe, with losses marked by a negative RTT —
+matching Figure 1's plotting convention.
+"""
+
+from __future__ import annotations
+
+from ..net.node import Host
+from ..net.packet import Packet, PacketKind
+
+__all__ = ["PingClient", "PingResponder", "LOSS_RTT"]
+
+#: RTT value recorded for a lost probe (Figure 1 plots losses below zero).
+LOSS_RTT = -1.0
+
+
+class PingResponder:
+    """Echo server: answers PING_REQUEST with PING_REPLY."""
+
+    def __init__(self, host: Host) -> None:
+        self.host = host
+        self.requests_answered = 0
+        host.register_handler(PacketKind.PING_REQUEST, self._on_request)
+
+    def _on_request(self, packet: Packet) -> None:
+        self.requests_answered += 1
+        reply = Packet(
+            src=self.host.name,
+            dst=packet.src,
+            kind=PacketKind.PING_REPLY,
+            size_bytes=packet.size_bytes,
+            created_at=self.host.sim.now,
+            payload={"seq": packet.payload["seq"], "echo_of": packet.packet_id},
+        )
+        self.host.send(reply)
+
+
+class PingClient:
+    """Sends a run of probes and records per-probe RTT or loss.
+
+    Parameters
+    ----------
+    host:
+        Source host.
+    dst:
+        Destination host name (must run a :class:`PingResponder`).
+    count:
+        Number of probes.
+    interval:
+        Seconds between probes (paper: 1.01).
+    timeout:
+        Seconds after which an unanswered probe counts as lost.
+    size_bytes:
+        Probe size (64 bytes, a classic ping).
+    start_time:
+        When the first probe leaves.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        dst: str,
+        count: int = 1000,
+        interval: float = 1.01,
+        timeout: float = 2.0,
+        size_bytes: int = 64,
+        start_time: float = 0.0,
+    ) -> None:
+        if count < 1:
+            raise ValueError("count must be positive")
+        if interval <= 0 or timeout <= 0:
+            raise ValueError("interval and timeout must be positive")
+        self.host = host
+        self.dst = dst
+        self.count = count
+        self.interval = interval
+        self.timeout = timeout
+        self.size_bytes = size_bytes
+        self.send_times: list[float] = []
+        self.rtts: list[float] = []
+        self._outstanding: dict[int, float] = {}  # seq -> send time
+        self._next_seq = 0
+        host.register_handler(PacketKind.PING_REPLY, self._on_reply)
+        host.sim.schedule_at(start_time, self._send_next, label=f"ping-{host.name}")
+
+    # -- sending ----------------------------------------------------------
+
+    def _send_next(self) -> None:
+        now = self.host.sim.now
+        seq = self._next_seq
+        self._next_seq += 1
+        self.send_times.append(now)
+        self.rtts.append(LOSS_RTT)  # pessimistic; overwritten on reply
+        self._outstanding[seq] = now
+        packet = Packet(
+            src=self.host.name,
+            dst=self.dst,
+            kind=PacketKind.PING_REQUEST,
+            size_bytes=self.size_bytes,
+            created_at=now,
+            payload={"seq": seq},
+        )
+        self.host.send(packet)
+        self.host.sim.schedule(self.timeout, self._on_timeout, seq,
+                               label=f"ping-timeout-{self.host.name}")
+        if self._next_seq < self.count:
+            self.host.sim.schedule(self.interval, self._send_next,
+                                   label=f"ping-{self.host.name}")
+
+    # -- receiving -----------------------------------------------------------
+
+    def _on_reply(self, packet: Packet) -> None:
+        seq = packet.payload.get("seq")
+        sent_at = self._outstanding.pop(seq, None)
+        if sent_at is None:
+            return  # duplicate or post-timeout reply
+        self.rtts[seq] = self.host.sim.now - sent_at
+
+    def _on_timeout(self, seq: int) -> None:
+        self._outstanding.pop(seq, None)
+
+    # -- results -----------------------------------------------------------------
+
+    @property
+    def complete(self) -> bool:
+        """True when every probe has been sent and resolved."""
+        return self._next_seq >= self.count and not self._outstanding
+
+    @property
+    def losses(self) -> int:
+        """Number of probes with no reply."""
+        return sum(1 for rtt in self.rtts if rtt <= LOSS_RTT)
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of probes lost (0.0 for an empty run)."""
+        return self.losses / len(self.rtts) if self.rtts else 0.0
+
+    def loss_burst_lengths(self) -> list[int]:
+        """Lengths of maximal runs of consecutive losses."""
+        bursts = []
+        run = 0
+        for rtt in self.rtts:
+            if rtt <= LOSS_RTT:
+                run += 1
+            elif run:
+                bursts.append(run)
+                run = 0
+        if run:
+            bursts.append(run)
+        return bursts

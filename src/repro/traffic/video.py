@@ -1,0 +1,129 @@
+"""Variable-bit-rate video traffic.
+
+Section 1 of the paper points at periodic realtime traffic — "individual
+variable-bit-rate video connections sharing a bottleneck gateway and
+transmitting the same number of frames per second could contribute to a
+larger periodic traffic pattern" — as a growing synchronization risk.
+This source emits a frame every ``1/fps`` seconds, fragments it into
+MTU-sized packets sent back-to-back, and the sink reports per-frame
+completeness.
+"""
+
+from __future__ import annotations
+
+from ..net.node import Host
+from ..net.packet import Packet, PacketKind
+from ..rng import RandomSource
+
+__all__ = ["VBRVideoSession"]
+
+
+class VBRVideoSession:
+    """A one-way VBR video stream.
+
+    Parameters
+    ----------
+    src, dst:
+        Endpoint hosts.
+    fps:
+        Frames per second.
+    mean_frame_bytes / std_frame_bytes:
+        Frame-size distribution (truncated normal, min one packet).
+    mtu_bytes:
+        Fragment size.
+    duration:
+        Stream length in seconds.
+    seed:
+        Seed for frame-size draws.
+    start_time:
+        When the first frame is emitted (staggering many sessions'
+        start times is exactly the de-synchronization question).
+    """
+
+    def __init__(
+        self,
+        src: Host,
+        dst: Host,
+        fps: float = 30.0,
+        mean_frame_bytes: int = 4000,
+        std_frame_bytes: int = 1500,
+        mtu_bytes: int = 1000,
+        duration: float = 10.0,
+        seed: int = 1,
+        start_time: float = 0.0,
+    ) -> None:
+        if fps <= 0 or duration <= 0:
+            raise ValueError("fps and duration must be positive")
+        if mtu_bytes <= 0 or mean_frame_bytes <= 0:
+            raise ValueError("sizes must be positive")
+        self.src = src
+        self.dst = dst
+        self.frame_interval = 1.0 / fps
+        self.mean_frame_bytes = mean_frame_bytes
+        self.std_frame_bytes = std_frame_bytes
+        self.mtu_bytes = mtu_bytes
+        self.total_frames = int(round(duration * fps))
+        self.rng = RandomSource.scrambled(seed)
+        self.frames_sent = 0
+        self.packets_sent = 0
+        self.frame_sizes: list[int] = []
+        self._fragments_expected: dict[int, int] = {}
+        self._fragments_received: dict[int, int] = {}
+        dst.register_handler(PacketKind.VIDEO, self._on_packet)
+        src.sim.schedule_at(start_time, self._send_frame, label=f"video-{src.name}")
+
+    def _send_frame(self) -> None:
+        frame_id = self.frames_sent
+        self.frames_sent += 1
+        size = max(
+            self.mtu_bytes // 2,
+            int(self.rng.normal(self.mean_frame_bytes, self.std_frame_bytes)),
+        )
+        self.frame_sizes.append(size)
+        fragments = max(1, -(-size // self.mtu_bytes))  # ceil division
+        self._fragments_expected[frame_id] = fragments
+        remaining = size
+        for index in range(fragments):
+            chunk = min(self.mtu_bytes, remaining)
+            remaining -= chunk
+            packet = Packet(
+                src=self.src.name,
+                dst=self.dst.name,
+                kind=PacketKind.VIDEO,
+                size_bytes=max(chunk, 1),
+                created_at=self.src.sim.now,
+                payload={"frame": frame_id, "fragment": index},
+            )
+            self.src.send(packet)
+            self.packets_sent += 1
+        if self.frames_sent < self.total_frames:
+            self.src.sim.schedule(self.frame_interval, self._send_frame,
+                                  label=f"video-{self.src.name}")
+
+    def _on_packet(self, packet: Packet) -> None:
+        frame_id = packet.payload["frame"]
+        self._fragments_received[frame_id] = self._fragments_received.get(frame_id, 0) + 1
+
+    # -- results -------------------------------------------------------------
+
+    def complete_frames(self) -> int:
+        """Frames for which every fragment arrived."""
+        return sum(
+            1
+            for frame_id, expected in self._fragments_expected.items()
+            if self._fragments_received.get(frame_id, 0) >= expected
+        )
+
+    def frame_completion_rate(self) -> float:
+        """Fraction of sent frames fully delivered."""
+        if not self.frames_sent:
+            return 0.0
+        return self.complete_frames() / self.frames_sent
+
+    def damaged_frame_times(self) -> list[float]:
+        """Send times of frames that lost at least one fragment."""
+        times = []
+        for frame_id, expected in self._fragments_expected.items():
+            if self._fragments_received.get(frame_id, 0) < expected:
+                times.append(frame_id * self.frame_interval)
+        return sorted(times)

@@ -1,0 +1,85 @@
+"""Tests for ASCII plotting."""
+
+import math
+
+import pytest
+
+from repro.analysis import line, log_safe, scatter
+
+
+class TestScatter:
+    def test_marks_appear(self):
+        art = scatter([(0.0, 0.0), (1.0, 1.0)], width=20, height=5)
+        assert art.count("*") >= 2
+
+    def test_extremes_land_in_corners(self):
+        art = scatter([(0.0, 0.0), (1.0, 1.0)], width=20, height=5)
+        rows = [r for r in art.splitlines() if r.startswith(("|", "+")) and "*" in r]
+        # Highest y is in the first plotted row, lowest in the last.
+        assert "*" in rows[0]
+        assert "*" in rows[-1]
+        assert rows[0].rstrip().endswith("*")  # max x at right edge
+
+    def test_degenerate_axes_widened(self):
+        art = scatter([(1.0, 5.0), (1.0, 5.0)], width=20, height=5)
+        assert "*" in art
+
+    def test_nonfinite_points_dropped(self):
+        art = scatter([(0.0, 1.0), (1.0, math.inf), (float("nan"), 2.0), (2.0, 3.0)],
+                      width=20, height=5)
+        assert art.count("*") >= 2
+
+    def test_all_nonfinite_raises(self):
+        with pytest.raises(ValueError):
+            scatter([(math.inf, 1.0)])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            scatter([])
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            scatter([(0, 0)], width=5, height=5)
+
+    def test_title_and_labels_rendered(self):
+        art = scatter([(0, 0), (1, 1)], width=20, height=5,
+                      title="T", x_label="seconds", y_label="offset")
+        assert "T" in art
+        assert "seconds" in art
+        assert "offset" in art
+
+    def test_axis_ticks_present(self):
+        art = scatter([(10.0, 2.0), (20.0, 8.0)], width=20, height=5)
+        assert "10" in art and "20" in art
+        assert "2" in art and "8" in art
+
+
+class TestLine:
+    def test_interpolation_fills_gaps(self):
+        sparse = scatter([(0.0, 0.0), (10.0, 10.0)], width=40, height=10)
+        dense = line([(0.0, 0.0), (10.0, 10.0)], width=40, height=10)
+        assert dense.count("*") > sparse.count("*")
+
+    def test_single_point_falls_back(self):
+        art = line([(1.0, 1.0)], width=20, height=5)
+        assert "*" in art
+
+
+class TestLogSafe:
+    def test_maps_to_log10(self):
+        out = log_safe([(1.0, 100.0), (2.0, 1000.0)])
+        assert out == [(1.0, pytest.approx(2.0)), (2.0, pytest.approx(3.0))]
+
+    def test_drops_nonpositive_and_nonfinite(self):
+        out = log_safe([(1.0, 0.0), (2.0, -5.0), (3.0, math.inf), (4.0, 10.0)])
+        assert out == [(4.0, pytest.approx(1.0))]
+
+
+class TestCliPlot:
+    def test_plot_flag_renders(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["fig09", "--fast", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "p_up_by_state" in out
+        assert "*" in out

@@ -1,0 +1,83 @@
+"""Tests for autocorrelation analysis."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import autocorrelation, dominant_lag, fill_losses
+
+
+def test_acf_of_periodic_signal_peaks_at_period():
+    period = 10
+    series = [1.0 if i % period == 0 else 0.0 for i in range(500)]
+    acf = autocorrelation(series, max_lag=50)
+    assert dominant_lag(acf, min_lag=2, max_lag=50) == period
+
+
+def test_acf_lag_zero_is_one():
+    acf = autocorrelation([1.0, 3.0, 2.0, 5.0], max_lag=3)
+    assert acf[0] == pytest.approx(1.0)
+
+
+def test_acf_constant_series_is_zero_beyond_lag_zero():
+    acf = autocorrelation([4.0] * 20, max_lag=5)
+    assert acf[0] == 1.0
+    assert all(v == 0.0 for v in acf[1:])
+
+
+def test_acf_matches_direct_formula():
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=200)
+    acf = autocorrelation(x, max_lag=20)
+    mean = x.mean()
+    centered = x - mean
+    denom = np.dot(centered, centered)
+    for lag in range(21):
+        direct = np.dot(centered[: len(x) - lag], centered[lag:]) / denom
+        assert acf[lag] == pytest.approx(direct, abs=1e-9)
+
+
+def test_acf_empty_raises():
+    with pytest.raises(ValueError):
+        autocorrelation([])
+
+
+def test_acf_max_lag_clamped():
+    acf = autocorrelation([1.0, 2.0, 3.0], max_lag=100)
+    assert len(acf) == 3
+
+
+def test_fill_losses_replaces_negative_rtts():
+    filled = fill_losses([0.2, -1.0, 0.3, -1.0], loss_value=2.0)
+    assert list(filled) == [0.2, 2.0, 0.3, 2.0]
+
+
+def test_fill_losses_keeps_valid_samples():
+    rtts = [0.1, 0.2, 0.3]
+    assert list(fill_losses(rtts)) == rtts
+
+
+def test_dominant_lag_window_validation():
+    acf = autocorrelation([1.0, 2.0, 1.0, 2.0, 1.0, 2.0], max_lag=4)
+    with pytest.raises(ValueError):
+        dominant_lag(acf, min_lag=0)
+    with pytest.raises(ValueError):
+        dominant_lag(acf, min_lag=3, max_lag=2)
+
+
+def test_sinusoid_acf_is_cosine_like():
+    n = 1000
+    series = [math.sin(2 * math.pi * i / 25) for i in range(n)]
+    acf = autocorrelation(series, max_lag=25)
+    assert acf[25] == pytest.approx(1.0, abs=0.05)
+    assert acf[12] < 0  # half period anti-correlates
+
+
+@given(st.lists(st.floats(-100, 100), min_size=3, max_size=50))
+@settings(max_examples=50)
+def test_acf_bounded_by_one(values):
+    acf = autocorrelation(values, max_lag=len(values) - 1)
+    assert np.all(np.abs(acf) <= 1.0 + 1e-9)

@@ -1,0 +1,87 @@
+"""Tests for outage extraction and loss-window analysis."""
+
+import math
+
+import pytest
+
+from repro.analysis import extract_outages, loss_rate_in_windows, periodic_spike_lags
+
+
+def make_record(n, interval, lost_indices):
+    times = [i * interval for i in range(n)]
+    delivered = [i not in lost_indices for i in range(n)]
+    return times, delivered
+
+
+def test_single_loss_is_one_interval_outage():
+    times, delivered = make_record(10, 0.02, {4})
+    outages = extract_outages(times, delivered)
+    assert len(outages) == 1
+    assert outages[0].packets_lost == 1
+    assert outages[0].duration == pytest.approx(0.02)
+    assert outages[0].start_time == pytest.approx(0.08)
+
+
+def test_consecutive_losses_merge():
+    times, delivered = make_record(20, 0.02, {5, 6, 7})
+    outages = extract_outages(times, delivered)
+    assert len(outages) == 1
+    assert outages[0].packets_lost == 3
+    assert outages[0].duration == pytest.approx(0.06)
+
+
+def test_separate_runs_stay_separate():
+    times, delivered = make_record(30, 0.02, {3, 4, 10, 20, 21})
+    outages = extract_outages(times, delivered)
+    assert [o.packets_lost for o in outages] == [2, 1, 2]
+
+
+def test_trailing_outage_is_closed():
+    times, delivered = make_record(10, 0.02, {8, 9})
+    outages = extract_outages(times, delivered)
+    assert len(outages) == 1
+    assert outages[0].packets_lost == 2
+
+
+def test_no_losses_no_outages():
+    times, delivered = make_record(10, 0.02, set())
+    assert extract_outages(times, delivered) == []
+
+
+def test_length_mismatch_raises():
+    with pytest.raises(ValueError):
+        extract_outages([0.0, 1.0], [True])
+
+
+def test_nonmonotone_times_raise():
+    with pytest.raises(ValueError):
+        extract_outages([0.0, 1.0, 0.5], [True, True, True])
+
+
+def test_periodic_spike_lags_filters_blips():
+    times, delivered = make_record(3000, 0.02, set())
+    # Big outages every 30 s (indices 0, 1500) plus a blip at index 700.
+    lost = set(range(0, 100)) | {700} | set(range(1500, 1600))
+    delivered = [i not in lost for i in range(3000)]
+    outages = extract_outages(times, delivered)
+    lags = periodic_spike_lags(outages, min_duration=1.0)
+    assert len(lags) == 1
+    assert lags[0] == pytest.approx(30.0)
+
+
+def test_loss_rate_in_windows():
+    times, delivered = make_record(100, 1.0, set(range(10, 20)))
+    rates = loss_rate_in_windows(times, delivered, [0.0, 10.0, 50.0], 10.0)
+    assert rates[0] == pytest.approx(0.0)
+    assert rates[1] == pytest.approx(1.0)
+    assert rates[2] == pytest.approx(0.0)
+
+
+def test_loss_rate_empty_window_is_nan():
+    rates = loss_rate_in_windows([0.0], [True], [100.0], 5.0)
+    assert math.isnan(rates[0])
+
+
+def test_loss_rate_rejects_bad_window():
+    with pytest.raises(ValueError):
+        loss_rate_in_windows([0.0], [True], [0.0], 0.0)

@@ -1,0 +1,82 @@
+"""Tests for the first-passage ensemble runner."""
+
+import math
+
+import pytest
+
+from repro.core import EnsembleResult, FirstPassageEnsemble, RouterTimingParameters
+
+# Synchronization-prone parameters keep runs fast and certain.
+FAST = RouterTimingParameters(n_nodes=5, tp=20.0, tc=0.3, tr=0.1)
+
+
+class TestEnsembleResult:
+    def test_mean_and_completion(self):
+        result = EnsembleResult(times=(10.0, 20.0, 30.0), censored=1, horizon=100.0)
+        assert result.runs == 4
+        assert result.completion_rate == pytest.approx(0.75)
+        assert result.mean == pytest.approx(20.0)
+
+    def test_censoring_aware_lower_bound(self):
+        result = EnsembleResult(times=(10.0, 20.0), censored=2, horizon=100.0)
+        assert result.mean_lower_bound == pytest.approx((10 + 20 + 200) / 4)
+        assert result.mean_lower_bound > result.mean
+
+    def test_empty_times_are_nan(self):
+        result = EnsembleResult(times=(), censored=3, horizon=50.0)
+        assert math.isnan(result.mean)
+        assert result.completion_rate == 0.0
+        assert result.mean_lower_bound == pytest.approx(50.0)
+
+    def test_half_width_needs_two_samples(self):
+        assert math.isnan(EnsembleResult((5.0,), 0, 10.0).half_width())
+        assert EnsembleResult((5.0, 7.0), 0, 10.0).half_width() > 0.0
+
+
+class TestFirstPassageEnsemble:
+    def test_upward_ensemble_synchronizes(self):
+        ensemble = FirstPassageEnsemble(
+            params=FAST, horizon=20000.0, seeds=(1, 2, 3), direction="up"
+        ).run()
+        terminal = ensemble.terminal_result()
+        assert terminal.completion_rate == 1.0
+        assert terminal.mean > 0.0
+
+    def test_curve_is_monotone_in_size(self):
+        ensemble = FirstPassageEnsemble(
+            params=FAST, horizon=20000.0, seeds=(1, 2, 3), direction="up"
+        ).run()
+        means = [r.mean for _s, r in ensemble.curve() if r.times]
+        assert all(a <= b + 1e-9 for a, b in zip(means, means[1:]))
+
+    def test_downward_ensemble_with_strong_jitter(self):
+        strong = FAST.with_tr(2.0)
+        ensemble = FirstPassageEnsemble(
+            params=strong, horizon=50000.0, seeds=(1, 2), direction="down"
+        ).run()
+        terminal = ensemble.terminal_result()
+        assert terminal.completion_rate == 1.0
+
+    def test_censoring_recorded(self):
+        # Tr large: synchronization will not happen in a tiny horizon.
+        calm = FAST.with_tr(5.0)
+        ensemble = FirstPassageEnsemble(
+            params=calm, horizon=100.0, seeds=(1, 2), direction="up"
+        ).run()
+        terminal = ensemble.terminal_result()
+        assert terminal.censored == 2
+        assert terminal.completion_rate == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FirstPassageEnsemble(params=FAST, horizon=0.0)
+        with pytest.raises(ValueError):
+            FirstPassageEnsemble(params=FAST, horizon=1.0, seeds=())
+        with pytest.raises(ValueError):
+            FirstPassageEnsemble(params=FAST, horizon=1.0, direction="sideways")
+        ensemble = FirstPassageEnsemble(params=FAST, horizon=1000.0, seeds=(1,))
+        with pytest.raises(RuntimeError):
+            ensemble.result_for(2)
+        ensemble.run()
+        with pytest.raises(ValueError):
+            ensemble.result_for(0)

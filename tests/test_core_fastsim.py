@@ -1,0 +1,110 @@
+"""Tests for the cascade-rule implementation, including exact
+equivalence with the discrete-event implementation.
+
+Two entirely different programs — an event queue with busy-period
+bookkeeping versus a heap of expiries with the cascade rule — must
+produce the *same floating-point trajectory* from the same seed.  Any
+divergence in either implementation's handling of the model semantics
+shows up here immediately.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CascadeModel,
+    ModelConfig,
+    PeriodicMessagesModel,
+    RouterTimingParameters,
+)
+
+
+def run_both(params, seed, horizon, phases="unsynchronized"):
+    des = PeriodicMessagesModel(
+        ModelConfig.from_parameters(params, seed=seed, keep_cluster_history=True),
+        initial_phases=phases,
+    )
+    des.run(until=horizon)
+    cascade = CascadeModel(params, seed=seed, initial_phases=phases,
+                           keep_cluster_history=True)
+    cascade.run(until=horizon)
+    return des.tracker, cascade.tracker
+
+
+class TestExactEquivalence:
+    def test_paper_parameters_bit_for_bit(self):
+        params = RouterTimingParameters(n_nodes=20, tp=121.0, tc=0.11, tr=0.1)
+        des, cascade = run_both(params, seed=1, horizon=6e4)
+        assert des.total_resets == cascade.total_resets
+        assert des.round_times == cascade.round_times
+        assert des.round_largest == cascade.round_largest
+        assert des.synchronization_time == cascade.synchronization_time
+        assert [(g.time, g.size) for g in des.groups] == [
+            (g.time, g.size) for g in cascade.groups
+        ]
+
+    def test_synchronized_start_bit_for_bit(self):
+        params = RouterTimingParameters(n_nodes=10, tp=20.0, tc=0.11, tr=0.3)
+        des, cascade = run_both(params, seed=7, horizon=5000.0,
+                                phases="synchronized")
+        assert des.round_times == cascade.round_times
+        assert des.breakup_time == cascade.breakup_time
+
+    @given(
+        n=st.integers(2, 10),
+        tc=st.floats(0.01, 0.5),
+        tr=st.floats(0.0, 2.0),
+        seed=st.integers(1, 10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_configurations_bit_for_bit(self, n, tc, tr, seed):
+        params = RouterTimingParameters(n_nodes=n, tp=20.0, tc=tc, tr=tr)
+        des, cascade = run_both(params, seed=seed, horizon=30 * 20.0)
+        assert des.total_resets == cascade.total_resets
+        assert des.round_times == cascade.round_times
+        assert des.round_largest == cascade.round_largest
+
+    def test_explicit_phases_bit_for_bit(self):
+        params = RouterTimingParameters(n_nodes=3, tp=20.0, tc=0.2, tr=0.1)
+        phases = [0.0, 0.05, 7.0]
+        des, cascade = run_both(params, seed=3, horizon=500.0, phases=phases)
+        assert des.round_times == cascade.round_times
+
+
+class TestCascadeSpecifics:
+    def test_resumable_across_horizons(self):
+        params = RouterTimingParameters(n_nodes=8, tp=20.0, tc=0.11, tr=0.3)
+        one_shot = CascadeModel(params, seed=5)
+        one_shot.run(until=4000.0)
+        stepped = CascadeModel(params, seed=5)
+        for horizon in (1000.0, 2500.0, 4000.0):
+            stepped.run(until=horizon)
+        assert one_shot.tracker.total_resets == stepped.tracker.total_resets
+        assert one_shot.tracker.round_times == stepped.tracker.round_times
+
+    def test_stop_on_full_sync(self):
+        params = RouterTimingParameters(n_nodes=6, tp=20.0, tc=0.3, tr=0.1)
+        model = CascadeModel(params, seed=2)
+        end = model.run(until=50000.0, stop_on_full_sync=True)
+        assert model.synchronization_time is not None
+        assert end == pytest.approx(model.tracker.round_times[-1], abs=1.0)
+
+    def test_stop_on_full_unsync(self):
+        params = RouterTimingParameters(n_nodes=6, tp=20.0, tc=0.11, tr=1.5)
+        model = CascadeModel(params, seed=2, initial_phases="synchronized")
+        model.run(until=1e5, stop_on_full_unsync=True)
+        assert model.breakup_time is not None
+
+    def test_phase_validation(self):
+        params = RouterTimingParameters(n_nodes=3)
+        with pytest.raises(ValueError):
+            CascadeModel(params, initial_phases=[0.0])
+        with pytest.raises(ValueError):
+            CascadeModel(params, initial_phases=[0.0, -1.0, 2.0])
+
+    def test_cascade_counter(self):
+        params = RouterTimingParameters(n_nodes=4, tp=20.0, tc=0.11, tr=0.1)
+        model = CascadeModel(params, seed=1)
+        model.run(until=100.0)
+        assert model.total_cascades >= 4  # at least one round happened

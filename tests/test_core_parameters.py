@@ -1,0 +1,52 @@
+"""Tests for the canonical parameter objects."""
+
+import pytest
+
+from repro.core import PAPER_N, PAPER_TC, PAPER_TP, RouterTimingParameters
+
+
+def test_paper_defaults():
+    params = RouterTimingParameters()
+    assert params.n_nodes == PAPER_N == 20
+    assert params.tp == PAPER_TP == 121.0
+    assert params.tc == PAPER_TC == 0.11
+
+
+def test_round_length_is_tp_plus_tc():
+    params = RouterTimingParameters(tp=121.0, tc=0.11)
+    assert params.round_length == pytest.approx(121.11)
+
+
+def test_tr_over_tc():
+    params = RouterTimingParameters(tc=0.11, tr=0.22)
+    assert params.tr_over_tc == pytest.approx(2.0)
+
+
+def test_tr_over_tc_undefined_for_zero_tc():
+    params = RouterTimingParameters(tc=0.0, tr=0.0)
+    with pytest.raises(ZeroDivisionError):
+        params.tr_over_tc
+
+
+def test_with_tr_and_with_nodes_copy():
+    base = RouterTimingParameters()
+    changed = base.with_tr(0.5).with_nodes(30)
+    assert changed.tr == 0.5
+    assert changed.n_nodes == 30
+    assert base.tr != 0.5 or base.tr == 0.1  # original untouched
+    assert base.n_nodes == 20
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"n_nodes": 0},
+        {"tp": 0.0},
+        {"tc": -1.0},
+        {"tr": -0.1},
+        {"tp": 1.0, "tr": 2.0},
+    ],
+)
+def test_invalid_parameters_rejected(kwargs):
+    with pytest.raises(ValueError):
+        RouterTimingParameters(**kwargs)

@@ -1,0 +1,140 @@
+"""Property-based tests on Periodic Messages model invariants.
+
+Hypothesis drives the model across the parameter space and checks the
+structural facts the analysis relies on, independent of any specific
+scenario.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ModelConfig, PeriodicMessagesModel, UniformJitterTimer
+
+TP = 20.0  # short rounds keep every generated run fast
+
+
+def run_model(n, tc, tr, seed, rounds=25, phases="unsynchronized"):
+    config = ModelConfig(
+        n_nodes=n,
+        tc=tc,
+        timer=UniformJitterTimer(TP, tr),
+        seed=seed,
+        record_journal=True,
+        record_transmissions=True,
+    )
+    model = PeriodicMessagesModel(config, initial_phases=phases)
+    model.run(until=rounds * (TP + tc))
+    return model
+
+
+model_params = {
+    "n": st.integers(2, 8),
+    "tc": st.floats(0.01, 0.5),
+    "tr": st.floats(0.0, 2.0),
+    "seed": st.integers(1, 10_000),
+}
+
+
+@given(**model_params)
+@settings(max_examples=25, deadline=None)
+def test_per_router_event_times_are_monotone(n, tc, tr, seed):
+    model = run_model(n, tc, tr, seed)
+    per_router: dict[int, list[float]] = {}
+    for time, _kind, node in model.journal:
+        per_router.setdefault(node, []).append(time)
+    for times in per_router.values():
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+
+@given(**model_params)
+@settings(max_examples=25, deadline=None)
+def test_resets_follow_expirations_by_at_least_tc(n, tc, tr, seed):
+    model = run_model(n, tc, tr, seed)
+    last_expire: dict[int, float] = {}
+    for time, kind, node in model.journal:
+        if kind == "expire":
+            last_expire[node] = time
+        else:  # reset
+            assert node in last_expire
+            # The busy period includes at least the router's own message.
+            assert time >= last_expire[node] + tc - 1e-9
+
+
+@given(**model_params)
+@settings(max_examples=25, deadline=None)
+def test_every_router_keeps_transmitting(n, tc, tr, seed):
+    model = run_model(n, tc, tr, seed)
+    senders = {node for _t, node in model.transmissions}
+    assert senders == set(range(n))
+    # No router can transmit more often than once per minimum interval.
+    horizon = model.sim.now
+    max_sends = horizon / (TP - tr + tc) + 2 if TP - tr + tc > 0 else None
+    for router in model.routers:
+        if max_sends is not None:
+            assert router.messages_sent <= max_sends
+
+
+@given(**model_params)
+@settings(max_examples=25, deadline=None)
+def test_message_conservation(n, tc, tr, seed):
+    model = run_model(n, tc, tr, seed)
+    total_sent = sum(r.messages_sent for r in model.routers)
+    total_processed = sum(r.messages_processed for r in model.routers)
+    # Every transmission is heard by the other n-1 routers (the
+    # fast-path skip still counts the arrival).
+    assert total_processed == (n - 1) * total_sent
+
+
+@given(**model_params)
+@settings(max_examples=25, deadline=None)
+def test_tracker_counts_are_consistent(n, tc, tr, seed):
+    model = run_model(n, tc, tr, seed)
+    tracker = model.tracker
+    resets_in_journal = sum(1 for _t, kind, _n in model.journal if kind == "reset")
+    assert tracker.total_resets == resets_in_journal
+    assert sum(g.size for g in tracker.groups) == tracker.total_resets
+    assert all(1 <= g.size <= n for g in tracker.groups)
+    assert all(1 <= size <= n for size in tracker.round_largest)
+    # Round series emits one sample per n resets.
+    assert len(tracker.round_largest) == tracker.total_resets // n
+
+
+@given(**model_params)
+@settings(max_examples=25, deadline=None)
+def test_offsets_lie_within_the_round(n, tc, tr, seed):
+    model = run_model(n, tc, tr, seed)
+    period = TP + tc
+    for _t, _node, offset in model.time_offsets():
+        assert 0.0 <= offset < period
+
+
+@given(
+    n=st.integers(2, 6),
+    tc=st.floats(0.05, 0.4),
+    seed=st.integers(1, 10_000),
+)
+@settings(max_examples=15, deadline=None)
+def test_synchronized_start_with_subcritical_jitter_stays_locked(n, tc, seed):
+    # Tr < Tc/2: the paper proves a cluster can never shed its head.
+    tr = 0.4 * tc
+    model = run_model(n, tc, tr, seed, rounds=30, phases="synchronized")
+    assert model.tracker.breakup_time is None
+    assert model.tracker.round_largest[-1] == n
+
+
+@given(
+    n=st.integers(2, 6),
+    seed=st.integers(1, 10_000),
+)
+@settings(max_examples=15, deadline=None)
+def test_first_passage_records_are_ordered(n, seed):
+    model = run_model(n, 0.3, 0.2, seed, rounds=40)
+    tracker = model.tracker
+    # Reaching size k+1 can never precede reaching size k.
+    times = [tracker.first_time_at_least.get(k) for k in range(1, n + 1)]
+    reached = [t for t in times if t is not None]
+    assert reached == sorted(reached)
+    # And the prefix property: if size k was reached, so was k-1.
+    for k in range(1, n):
+        if times[k] is not None:
+            assert times[k - 1] is not None

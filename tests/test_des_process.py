@@ -1,0 +1,198 @@
+"""Tests for the generator-process layer."""
+
+import pytest
+
+from repro.des import Signal, Simulator, all_of, spawn
+
+
+class TestBasicProcess:
+    def test_delays_advance_the_clock(self):
+        sim = Simulator()
+        trace = []
+
+        def worker():
+            trace.append(("start", sim.now))
+            yield 5.0
+            trace.append(("mid", sim.now))
+            yield 2.5
+            trace.append(("end", sim.now))
+
+        spawn(sim, worker())
+        sim.run()
+        assert trace == [("start", 0.0), ("mid", 5.0), ("end", 7.5)]
+
+    def test_start_delay(self):
+        sim = Simulator()
+        seen = []
+
+        def worker():
+            seen.append(sim.now)
+            return
+            yield  # pragma: no cover
+
+        spawn(sim, worker(), start_delay=3.0)
+        sim.run()
+        assert seen == [3.0]
+
+    def test_return_value_captured(self):
+        sim = Simulator()
+
+        def worker():
+            yield 1.0
+            return 42
+
+        process = spawn(sim, worker())
+        sim.run()
+        assert process.finished
+        assert process.result == 42
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+
+        def worker():
+            yield -1.0
+
+        spawn(sim, worker())
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_bad_yield_type_rejected(self):
+        sim = Simulator()
+
+        def worker():
+            yield "soon"
+
+        spawn(sim, worker())
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_process_exception_propagates_and_marks_failed(self):
+        sim = Simulator()
+
+        def worker():
+            yield 1.0
+            raise RuntimeError("boom")
+
+        process = spawn(sim, worker())
+        with pytest.raises(RuntimeError):
+            sim.run()
+        assert process.finished
+        assert isinstance(process.failed, RuntimeError)
+
+
+class TestSignals:
+    def test_wait_and_fire_passes_value(self):
+        sim = Simulator()
+        ready = Signal("ready")
+        got = []
+
+        def waiter():
+            value = yield ready
+            got.append((sim.now, value))
+
+        spawn(sim, waiter())
+        sim.schedule(4.0, ready.fire, "payload")
+        sim.run()
+        assert got == [(4.0, "payload")]
+
+    def test_fire_wakes_all_waiters(self):
+        sim = Simulator()
+        ready = Signal()
+        woken = []
+
+        def waiter(k):
+            yield ready
+            woken.append(k)
+
+        for k in range(3):
+            spawn(sim, waiter(k))
+        sim.schedule(1.0, ready.fire)
+        sim.run()
+        assert sorted(woken) == [0, 1, 2]
+
+    def test_signal_is_reusable(self):
+        sim = Simulator()
+        tick = Signal()
+        times = []
+
+        def waiter():
+            yield tick
+            times.append(sim.now)
+            yield tick
+            times.append(sim.now)
+
+        spawn(sim, waiter())
+        sim.schedule(1.0, tick.fire)
+        sim.schedule(2.0, tick.fire)
+        sim.run()
+        assert times == [1.0, 2.0]
+
+    def test_fire_returns_waiter_count(self):
+        sim = Simulator()
+        ready = Signal()
+
+        def waiter():
+            yield ready
+
+        spawn(sim, waiter())
+        spawn(sim, waiter())
+        sim.run(until=0.0)  # let both reach the yield
+        assert ready.waiting == 2
+        assert ready.fire() == 2
+        assert ready.waiting == 0
+
+
+class TestComposition:
+    def test_all_of_barrier(self):
+        sim = Simulator()
+        finished_at = []
+
+        def worker(duration):
+            yield duration
+
+        processes = [spawn(sim, worker(d)) for d in (1.0, 5.0, 3.0)]
+        barrier = all_of(sim, processes)
+        barrier.add_waiter(lambda _v: finished_at.append(sim.now))
+        sim.run()
+        assert finished_at == [5.0]
+
+    def test_all_of_empty_fires_immediately(self):
+        sim = Simulator()
+        barrier = all_of(sim, [])
+        assert barrier.fire_count == 1
+
+    def test_processes_interleave_with_callbacks(self):
+        sim = Simulator()
+        order = []
+
+        def worker():
+            order.append("proc@%.0f" % sim.now)
+            yield 2.0
+            order.append("proc@%.0f" % sim.now)
+
+        spawn(sim, worker())
+        sim.schedule(1.0, lambda: order.append("cb@1"))
+        sim.run()
+        assert order == ["proc@0", "cb@1", "proc@2"]
+
+    def test_producer_consumer(self):
+        sim = Simulator()
+        item_ready = Signal()
+        consumed = []
+
+        def producer():
+            for k in range(3):
+                yield 1.0
+                item_ready.fire(k)
+
+        def consumer():
+            while True:
+                item = yield item_ready
+                consumed.append((sim.now, item))
+                if item == 2:
+                    return
+
+        spawn(sim, producer())
+        spawn(sim, consumer())
+        sim.run()
+        assert consumed == [(1.0, 0), (2.0, 1), (3.0, 2)]

@@ -1,0 +1,118 @@
+"""Tests for statistics collectors."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import Counter, Histogram, Tally, TimeWeighted
+
+
+class TestTally:
+    def test_mean_and_stddev(self):
+        tally = Tally()
+        tally.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert tally.mean == pytest.approx(5.0)
+        assert tally.stddev == pytest.approx(math.sqrt(32 / 7))
+
+    def test_extremes(self):
+        tally = Tally()
+        tally.extend([3.0, -1.0, 7.5])
+        assert tally.minimum == -1.0
+        assert tally.maximum == 7.5
+
+    def test_empty_is_safe(self):
+        tally = Tally()
+        assert tally.mean == 0.0
+        assert tally.variance == 0.0
+
+    def test_single_observation_has_zero_variance(self):
+        tally = Tally()
+        tally.record(42.0)
+        assert tally.variance == 0.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=100))
+    @settings(max_examples=50)
+    def test_matches_direct_computation(self, values):
+        tally = Tally()
+        tally.extend(values)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert tally.mean == pytest.approx(mean, abs=1e-6)
+        assert tally.variance == pytest.approx(var, rel=1e-6, abs=1e-6)
+
+
+class TestTimeWeighted:
+    def test_time_average_of_step_signal(self):
+        tw = TimeWeighted(initial_value=0.0)
+        tw.update(1.0, 10.0)  # 0 over [0,1]
+        tw.update(3.0, 0.0)  # 10 over [1,3]
+        assert tw.mean(4.0) == pytest.approx(20.0 / 4.0)
+
+    def test_rejects_time_reversal(self):
+        tw = TimeWeighted()
+        tw.update(2.0, 1.0)
+        with pytest.raises(ValueError):
+            tw.update(1.0, 2.0)
+
+    def test_extremes_track_updates(self):
+        tw = TimeWeighted(initial_value=5.0)
+        tw.update(1.0, -2.0)
+        tw.update(2.0, 9.0)
+        assert tw.minimum == -2.0
+        assert tw.maximum == 9.0
+
+    def test_mean_with_no_elapsed_time(self):
+        tw = TimeWeighted(initial_value=3.0)
+        assert tw.mean() == 3.0
+
+
+class TestCounter:
+    def test_increment_and_rate(self):
+        counter = Counter("drops")
+        counter.increment()
+        counter.increment(4)
+        assert counter.count == 5
+        assert counter.rate(10.0) == pytest.approx(0.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().increment(-1)
+
+    def test_rate_with_zero_elapsed(self):
+        assert Counter().rate(0.0) == 0.0
+
+
+class TestHistogram:
+    def test_binning(self):
+        hist = Histogram(0.0, 10.0, 10)
+        for v in [0.5, 1.5, 1.6, 9.9]:
+            hist.record(v)
+        assert hist.counts[0] == 1
+        assert hist.counts[1] == 2
+        assert hist.counts[9] == 1
+
+    def test_under_and_overflow(self):
+        hist = Histogram(0.0, 1.0, 2)
+        hist.record(-5.0)
+        hist.record(1.0)  # boundary goes to overflow by convention
+        hist.record(2.0)
+        assert hist.underflow == 1
+        assert hist.overflow == 2
+
+    def test_fraction_in(self):
+        hist = Histogram(0.0, 10.0, 10)
+        for v in [1.5, 2.5, 3.5, 8.5]:
+            hist.record(v)
+        assert hist.fraction_in(1.0, 4.0) == pytest.approx(0.75)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            Histogram(1.0, 1.0, 4)
+
+    def test_bin_edges(self):
+        hist = Histogram(0.0, 1.0, 4)
+        assert hist.bin_edges() == pytest.approx([0.0, 0.25, 0.5, 0.75, 1.0])

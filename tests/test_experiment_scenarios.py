@@ -1,0 +1,54 @@
+"""Tests for the shared measurement-scenario builder."""
+
+import pytest
+
+from repro.experiments import build_transit_path
+from repro.protocols import IGRP, RIP
+
+
+class TestBuildTransitPath:
+    def test_topology_shape(self):
+        path = build_transit_path(IGRP, n_routers=3, synthetic_routes=10)
+        assert path.src.name == "src"
+        assert path.dst.name == "dst"
+        assert [r.name for r in path.routers] == ["core0", "core1", "core2"]
+        assert len(path.agents) == 3
+        # src -> core0 -> core1 -> core2 -> dst
+        assert path.network.path_between("src", "dst") == [
+            "src", "core0", "core1", "core2", "dst",
+        ]
+
+    def test_synchronized_start_aligns_first_updates(self):
+        path = build_transit_path(RIP, n_routers=4, synthetic_routes=5,
+                                  synchronized_start=True, start_time=7.0)
+        path.settle(40.0)
+        firsts = [agent.timer_reset_times[0] for agent in path.agents]
+        assert max(firsts) - min(firsts) < 1.0
+
+    def test_synchronized_start_disables_triggers(self):
+        path = build_transit_path(RIP, n_routers=2, synchronized_start=True)
+        assert all(not agent.spec.triggered_updates for agent in path.agents)
+
+    def test_unsynchronized_start_spreads_phases(self):
+        path = build_transit_path(RIP, n_routers=6, synthetic_routes=5,
+                                  synchronized_start=False, seed=4)
+        path.settle(40.0)
+        firsts = [agent.timer_reset_times[0] for agent in path.agents]
+        assert max(firsts) - min(firsts) > 2.0
+
+    def test_blocking_flag_propagates(self):
+        blocking = build_transit_path(IGRP, n_routers=2, blocking_updates=True)
+        open_path = build_transit_path(IGRP, n_routers=2, blocking_updates=False)
+        assert all(r.blocking_updates for r in blocking.routers)
+        assert not any(r.blocking_updates for r in open_path.routers)
+
+    def test_settle_advances_the_clock(self):
+        path = build_transit_path(RIP, n_routers=2, synthetic_routes=1)
+        path.settle(12.5)
+        assert path.network.sim.now == pytest.approx(12.5)
+        path.settle(10.0)
+        assert path.network.sim.now == pytest.approx(22.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_transit_path(RIP, n_routers=0)

@@ -1,0 +1,89 @@
+"""Tests for the experiments package: results, registry, CLI."""
+
+import pytest
+
+from repro.experiments import FigureResult, figure_ids, run_figure
+from repro.experiments.cli import build_parser, main
+
+
+class TestFigureResult:
+    def test_series_and_metrics_round_trip(self):
+        result = FigureResult(figure_id="figXX", title="test")
+        result.add_series("s", [(1, 2.0), (2, 3.0)])
+        result.metrics["m"] = 0.5
+        text = result.format_text()
+        assert "figXX" in text
+        assert "m: 0.5" in text
+        assert "series 's'" in text
+
+    def test_duplicate_series_rejected(self):
+        result = FigureResult(figure_id="figXX", title="test")
+        result.add_series("s", [])
+        with pytest.raises(ValueError):
+            result.add_series("s", [])
+
+    def test_format_thins_long_series(self):
+        result = FigureResult(figure_id="figXX", title="test")
+        result.add_series("s", [(i, i) for i in range(1000)])
+        text = result.format_text(max_points=10)
+        data_lines = [l for l in text.splitlines() if l.startswith("    ")]
+        assert len(data_lines) <= 12
+
+    def test_format_handles_special_floats(self):
+        result = FigureResult(figure_id="figXX", title="test")
+        result.metrics["nan"] = float("nan")
+        result.metrics["zero"] = 0.0
+        result.metrics["big"] = 1.23e9
+        text = result.format_text()
+        assert "nan" in text
+        assert "zero: 0" in text
+
+
+class TestRegistry:
+    def test_all_fifteen_figures_registered(self):
+        ids = figure_ids()
+        assert len(ids) == 15
+        assert ids[0] == "fig01"
+        assert ids[-1] == "fig15"
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError):
+            run_figure("fig99")
+
+    def test_fast_flag_adds_note(self):
+        result = run_figure("fig09", fast=True)
+        assert any("fast" in note for note in result.notes)
+
+    def test_overrides_take_precedence(self):
+        result = run_figure("fig15", fast=True, n_min=8, n_max=12)
+        ns = [n for n, _ in result.series["fraction_unsynchronized_by_n"]]
+        assert ns == list(range(8, 13))
+
+    def test_cheap_figures_run(self):
+        # The analytic figures are fast enough to run outright in tests.
+        for figure_id in ("fig09", "fig12", "fig13", "fig14", "fig15"):
+            result = run_figure(figure_id, fast=True)
+            assert result.figure_id == figure_id
+            assert result.series
+
+
+class TestCli:
+    def test_list_prints_ids(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out and "fig15" in out
+
+    def test_single_figure_runs(self, capsys):
+        assert main(["fig09", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Markov chain" in out
+
+    def test_unknown_target_errors(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig04"])
+        assert args.target == "fig04"
+        assert args.fast is False
+        assert args.max_points == 25

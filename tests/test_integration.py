@@ -1,0 +1,244 @@
+"""Cross-module integration tests.
+
+These exercise whole pipelines: the DES model against the Markov
+chain's qualitative predictions, the network substrate against the
+analysis tools, and protocol timer dynamics against the core model's
+regimes.  Parameters are chosen so everything completes in seconds.
+"""
+
+import pytest
+
+from repro.analysis import autocorrelation, dominant_lag, fill_losses
+from repro.core import (
+    ModelConfig,
+    PeriodicMessagesModel,
+    RouterTimingParameters,
+    time_to_break_up,
+)
+from repro.markov import breakup_probability, synchronization_times
+from repro.net import Network
+from repro.protocols import RIP, DistanceVectorAgent
+from repro.rng import RandomSource
+from repro.traffic import PingClient, PingResponder
+
+
+class TestModelVersusMarkov:
+    """The DES and the chain must agree on the regime boundaries."""
+
+    def test_no_breakup_when_chain_says_never(self):
+        # Tr < Tc/2: Equation 1 gives zero break-up probability; the
+        # DES must likewise never break a synchronized state.
+        params = RouterTimingParameters(n_nodes=8, tp=20.0, tc=0.3, tr=0.1)
+        assert breakup_probability(2, params.tc, params.tr) == 0.0
+        assert time_to_break_up(params, horizon=3000.0, seed=1) is None
+
+    def test_fast_breakup_when_chain_says_fast(self):
+        # At Tr = 10 Tc the chain predicts break-up within tens of
+        # rounds; the DES should deliver it within the same order.
+        params = RouterTimingParameters(n_nodes=8, tp=20.0, tc=0.11, tr=1.1)
+        times = synchronization_times(params)
+        predicted_rounds = times.rounds_to_break_up
+        assert predicted_rounds < 1000
+        measured = time_to_break_up(params, horizon=5e4, seed=2)
+        assert measured is not None
+        measured_rounds = measured / params.round_length
+        assert measured_rounds < 50 * max(predicted_rounds, 1.0)
+
+    def test_breakup_time_falls_with_tr_in_both(self):
+        params = RouterTimingParameters(n_nodes=10, tp=20.0, tc=0.11, tr=0.1)
+        analytic = []
+        simulated = []
+        for tr in (0.4, 1.2):
+            p = params.with_tr(tr)
+            analytic.append(synchronization_times(p).rounds_to_break_up)
+            measured = time_to_break_up(p, horizon=2e5, seed=3)
+            simulated.append(measured)
+        assert analytic[0] > analytic[1]
+        assert simulated[0] is None or simulated[1] < simulated[0]
+        assert simulated[1] is not None
+
+    def test_chain_simulation_matches_des_cluster_occupancy_direction(self):
+        # Simulate the chain itself and check it spends most time low
+        # at strong randomization, mirroring the DES.
+        params = RouterTimingParameters(n_nodes=10, tp=121.0, tc=0.11, tr=1.1)
+        chain = synchronization_times(params).chain
+        path = chain.simulate(RandomSource(seed=4), steps=5000, start=chain.n)
+        low = sum(1 for s in path if s <= 2)
+        assert low / len(path) > 0.8
+
+
+class TestProtocolTimersMatchCoreModel:
+    """DV agents on the packet substrate show the same regimes."""
+
+    def build_lan(self, jitter, n=4, synthetic_routes=100):
+        net = Network()
+        routers = [net.add_router(f"r{i}") for i in range(n)]
+        # Full mesh so every router hears every other (a LAN).
+        for i in range(n):
+            for j in range(i + 1, n):
+                net.connect(routers[i], routers[j], delay_s=0.0005)
+        spec = RIP.with_jitter(jitter)
+        agents = [
+            DistanceVectorAgent(r, spec, seed=50 + k,
+                                synthetic_routes=synthetic_routes, start_offset=1.0)
+            for k, r in enumerate(routers)
+        ]
+        return net, agents
+
+    def reset_spread(self, agents):
+        last = [agent.timer_reset_times[-1] for agent in agents]
+        return max(last) - min(last)
+
+    def test_synchronized_routers_stay_bunched_with_weak_jitter(self):
+        net, agents = self.build_lan(jitter=0.05)
+        net.run(until=40 * RIP.period)
+        assert self.reset_spread(agents) < 3.0
+
+    def test_strong_jitter_disperses_routers(self):
+        net, agents = self.build_lan(jitter=RIP.period / 2)
+        net.run(until=40 * RIP.period)
+        assert self.reset_spread(agents) > 3.0
+
+
+class TestMeasurementPipeline:
+    """Network substrate -> traffic -> analysis, end to end."""
+
+    def test_ping_autocorrelation_recovers_update_period(self):
+        net = Network()
+        src = net.add_host("src")
+        dst = net.add_host("dst")
+        router = net.add_router("r0", blocking_updates=True)
+        peer = net.add_router("r1")
+        net.connect(src, router, delay_s=0.002)
+        net.connect(router, dst, delay_s=0.002)
+        net.connect(router, peer, delay_s=0.002)
+        net.install_static_routes()
+        spec = RIP  # 30-second updates
+        DistanceVectorAgent(router, spec, synthetic_routes=800, start_offset=2.0)
+        DistanceVectorAgent(peer, spec, synthetic_routes=800, start_offset=2.0)
+        PingResponder(dst)
+        client = PingClient(src, "dst", count=300, interval=1.0, timeout=2.0)
+        net.run(until=320.0)
+        assert client.losses > 0
+        acf = autocorrelation(fill_losses(client.rtts), max_lag=100)
+        lag = dominant_lag(acf, min_lag=20, max_lag=100)
+        # 30-second period at 1-second pings, stretched by busy time.
+        assert 28 <= lag <= 36
+
+    def test_core_model_offsets_feed_coherence_analysis(self):
+        from repro.analysis import offsets_to_phases, order_parameter
+
+        params = RouterTimingParameters(n_nodes=10, tp=20.0, tc=0.3, tr=0.1)
+        config = ModelConfig.from_parameters(params, seed=5, record_transmissions=True)
+        model = PeriodicMessagesModel(config)
+        model.run(until=4000.0, stop_on_full_sync=True)
+        assert model.tracker.synchronization_time is not None
+        # The last N transmissions are in phase.
+        tail = [t for t, _ in model.transmissions[-10:]]
+        phases = offsets_to_phases(tail, params.round_length)
+        # Expiries still carry the +-Tr draw, so coherence is near but
+        # not exactly 1.
+        assert order_parameter(phases) > 0.9
+
+
+class TestDeterminism:
+    """Identical seeds reproduce identical runs across the stack."""
+
+    def test_core_model_deterministic(self):
+        params = RouterTimingParameters(n_nodes=8, tp=20.0, tc=0.11, tr=0.3)
+        results = []
+        for _ in range(2):
+            model = PeriodicMessagesModel(ModelConfig.from_parameters(params, seed=11))
+            model.run(until=2000.0)
+            results.append((model.tracker.total_resets,
+                            tuple(model.tracker.round_largest)))
+        assert results[0] == results[1]
+
+    def test_network_experiment_deterministic(self):
+        from repro.experiments.fig01 import run_client
+
+        a = run_client(count=120, seed=9)
+        b = run_client(count=120, seed=9)
+        assert a.rtts == b.rtts
+
+    def test_different_seeds_differ(self):
+        params = RouterTimingParameters(n_nodes=8, tp=20.0, tc=0.11, tr=0.3)
+        trackers = []
+        for seed in (1, 2):
+            model = PeriodicMessagesModel(ModelConfig.from_parameters(params, seed=seed))
+            model.run(until=2000.0)
+            trackers.append(tuple(model.tracker.round_largest))
+        assert trackers[0] != trackers[1]
+
+
+class TestTriggeredUpdateWaveOnSubstrate:
+    """Section 3: 'The first triggered update results in a wave of
+    triggered updates from neighboring routers' — verified with real
+    packets on a LAN."""
+
+    def build(self, triggered):
+        from repro.protocols import ProtocolSpec
+
+        spec = ProtocolSpec(
+            name="wave", period=120.0, jitter=0.0, per_route_cost=0.001,
+            triggered_updates=triggered, trigger_delay=0.1,
+        )
+        net = Network()
+        routers = [net.add_router(f"r{i}") for i in range(6)]
+        net.add_lan("core", stations=routers)
+        agents = [
+            DistanceVectorAgent(r, spec, seed=60 + i, synthetic_routes=50)
+            for i, r in enumerate(routers)
+        ]
+        net.run(until=500.0)
+        last = [a.timer_reset_times[-1] for a in agents]
+        return max(last) - min(last)
+
+    def test_startup_trigger_wave_synchronizes_the_lan(self):
+        # Bringing the routers up floods the LAN with triggered
+        # updates; afterwards every timer is within the trigger
+        # coalescing window.
+        assert self.build(triggered=True) < 2.0
+
+    def test_without_triggers_random_phases_persist(self):
+        # The same routers with triggered updates disabled keep their
+        # independent start phases (for the first few rounds at least).
+        assert self.build(triggered=False) > 10.0
+
+
+class TestVideoPhaseEffects:
+    """Section 1's video warning: aligned frame clocks overwhelm a
+    queue that the same load fits through when staggered."""
+
+    def run_sessions(self, staggered):
+        from repro.traffic import VBRVideoSession
+
+        net = Network()
+        agg = net.add_router("agg", blocking_updates=False)
+        egress = net.add_router("egress", blocking_updates=False)
+        net.connect(agg, egress, bandwidth_bps=6e6, delay_s=0.005,
+                    queue_packets=10)
+        n = 6
+        for k in range(n):
+            net.connect(net.add_host(f"cam{k}"), agg,
+                        bandwidth_bps=100e6, delay_s=0.001)
+            net.connect(egress, net.add_host(f"viewer{k}"),
+                        bandwidth_bps=100e6, delay_s=0.001)
+        net.install_static_routes()
+        sessions = []
+        for k in range(n):
+            phase = (k / n) / 30.0 if staggered else 0.0
+            sessions.append(VBRVideoSession(
+                net.host(f"cam{k}"), net.host(f"viewer{k}"),
+                fps=30, duration=5.0, seed=20 + k, start_time=phase,
+            ))
+        net.run(until=8.0)
+        rates = [s.frame_completion_rate() for s in sessions]
+        return sum(rates) / len(rates)
+
+    def test_staggered_phases_beat_aligned_phases(self):
+        aligned = self.run_sessions(staggered=False)
+        staggered = self.run_sessions(staggered=True)
+        assert staggered > aligned + 0.3
+        assert staggered > 0.7
+        assert aligned < 0.5

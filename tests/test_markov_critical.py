@@ -1,0 +1,71 @@
+"""Tests for the phase-boundary finders."""
+
+import pytest
+
+from repro.core import RouterTimingParameters
+from repro.markov import (
+    critical_n,
+    critical_tr,
+    fraction_unsynchronized_at,
+)
+
+PAPER = RouterTimingParameters(n_nodes=20, tp=121.0, tc=0.11, tr=0.1)
+
+
+class TestCriticalTr:
+    def test_matches_fig14_transition_center(self):
+        tr_star = critical_tr(PAPER)
+        assert 1.8 * PAPER.tc <= tr_star <= 2.3 * PAPER.tc
+
+    def test_crossing_property(self):
+        tr_star = critical_tr(PAPER)
+        below = fraction_unsynchronized_at(PAPER.with_tr(tr_star * 0.9))
+        above = fraction_unsynchronized_at(PAPER.with_tr(tr_star * 1.1))
+        assert below < 0.5 < above
+
+    def test_larger_networks_need_more_jitter(self):
+        small = critical_tr(PAPER.with_nodes(10))
+        large = critical_tr(PAPER.with_nodes(30))
+        assert large > small
+
+    def test_bracket_validation(self):
+        with pytest.raises(ValueError):
+            critical_tr(PAPER, tr_low=0.5, tr_high=0.1)
+        # A bracket entirely in the synchronized region cannot span.
+        with pytest.raises(ValueError):
+            critical_tr(PAPER, tr_low=0.06, tr_high=0.08)
+
+    def test_zero_tc_rejected(self):
+        with pytest.raises(ValueError):
+            critical_tr(RouterTimingParameters(n_nodes=20, tp=121.0, tc=0.0, tr=0.0))
+
+
+class TestCriticalN:
+    def test_matches_fig15_transition(self):
+        n_star = critical_n(PAPER.with_tr(0.3))
+        assert 23 <= n_star <= 27
+
+    def test_crossing_property(self):
+        params = PAPER.with_tr(0.3)
+        n_star = critical_n(params)
+        assert fraction_unsynchronized_at(params.with_nodes(n_star - 1)) >= 0.5
+        assert fraction_unsynchronized_at(params.with_nodes(n_star)) < 0.5
+
+    def test_more_jitter_raises_the_router_budget(self):
+        low_jitter = critical_n(PAPER.with_tr(0.25))
+        high_jitter = critical_n(PAPER.with_tr(0.30))
+        assert high_jitter > low_jitter
+
+    def test_already_synchronized_at_n_low(self):
+        # At Tr=0.12 the transition sits near N=12, so a bracket that
+        # starts above it returns its lower edge immediately.
+        assert critical_n(PAPER.with_tr(0.12), n_low=15) == 15
+
+    def test_no_transition_raises(self):
+        calm = PAPER.with_tr(5.0)  # enormous jitter
+        with pytest.raises(ValueError):
+            critical_n(calm, n_high=30)
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            critical_n(PAPER, n_low=5, n_high=5)

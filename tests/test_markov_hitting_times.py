@@ -1,0 +1,181 @@
+"""Tests for f(i), g(i), and the synchronization-time bundle."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RouterTimingParameters
+from repro.markov import (
+    BirthDeathChain,
+    build_chain,
+    conditional_step_rounds,
+    f_values,
+    f_values_paper_recursion,
+    g_values,
+    g_values_paper_recursion,
+    synchronization_times,
+)
+
+PAPER = RouterTimingParameters(n_nodes=20, tp=121.0, tc=0.11, tr=0.1)
+
+
+def paper_chain(tr=0.1, n=20, p12=1 / 19):
+    return build_chain(PAPER.with_tr(tr).with_nodes(n), p12=p12)
+
+
+class TestFValues:
+    def test_f_starts_at_zero_and_is_monotone(self):
+        f = f_values(paper_chain())
+        assert f[0] == 0.0
+        assert all(a <= b for a, b in zip(f, f[1:]))
+        assert len(f) == 20
+
+    def test_f2_override(self):
+        f = f_values(paper_chain(), f2=19.0)
+        assert f[1] == pytest.approx(19.0)
+
+    def test_f2_zero_gives_dotted_line_variant(self):
+        f_default = f_values(paper_chain(), f2=19.0)
+        f_zero = f_values(paper_chain(), f2=0.0)
+        assert f_zero[1] == 0.0
+        assert f_default[-1] - f_zero[-1] == pytest.approx(19.0)
+
+    def test_negative_f2_rejected(self):
+        with pytest.raises(ValueError):
+            f_values(paper_chain(), f2=-1.0)
+
+    def test_paper_recursion_matches_standard(self):
+        chain = paper_chain()
+        standard = f_values(chain, f2=19.0)
+        paper = f_values_paper_recursion(chain, f2=19.0)
+        for a, b in zip(standard, paper):
+            assert a == pytest.approx(b, rel=1e-9)
+
+    def test_f_matches_dense_hitting_times(self):
+        chain = paper_chain()
+        f = f_values(chain)
+        for target in (5, 10, 20):
+            dense = chain.hitting_times_dense(target)
+            assert f[target - 1] == pytest.approx(dense[0], rel=1e-8)
+
+
+class TestGValues:
+    def test_g_ends_at_zero_and_is_decreasing(self):
+        g = g_values(paper_chain(tr=0.3))
+        assert g[-1] == 0.0
+        assert all(a >= b for a, b in zip(g, g[1:]))
+
+    def test_g_independent_of_p12(self):
+        g_a = g_values(paper_chain(tr=0.3, p12=0.01))
+        g_b = g_values(paper_chain(tr=0.3, p12=0.9))
+        for a, b in zip(g_a, g_b):
+            assert a == pytest.approx(b)
+
+    def test_paper_recursion_matches_standard(self):
+        chain = paper_chain(tr=0.3)
+        standard = g_values(chain)
+        paper = g_values_paper_recursion(chain)
+        for a, b in zip(standard, paper):
+            assert a == pytest.approx(b, rel=1e-9)
+
+    def test_g_infinite_when_clusters_cannot_break(self):
+        # Tr <= Tc/2: breakup probability is zero everywhere.
+        g = g_values(paper_chain(tr=0.05))
+        assert math.isinf(g[0])
+
+    def test_g_matches_dense_hitting_times(self):
+        chain = paper_chain(tr=0.3)
+        g = g_values(chain)
+        dense = chain.hitting_times_dense(target=1)
+        assert g[-1] == 0.0
+        assert g[0] == 0.0 or True  # g[0] is time from N to 1? index check below
+        # g_values()[i-1] is expected rounds from N to state i.
+        assert g[0] == pytest.approx(dense[-1], rel=1e-8)
+
+
+class TestConditionalStepRounds:
+    def test_holding_time_is_reciprocal_of_exit_probability(self):
+        chain = BirthDeathChain(up=[0.3, 0.2, 0.0], down=[0.0, 0.1, 0.4])
+        t_down, t_up = conditional_step_rounds(chain, 2)
+        assert t_down == pytest.approx(1 / 0.3)
+        assert t_up == pytest.approx(1 / 0.3)
+
+    def test_absorbing_state_is_infinite(self):
+        chain = BirthDeathChain(up=[0.3, 0.0, 0.0], down=[0.0, 0.0, 0.4])
+        t_down, t_up = conditional_step_rounds(chain, 2)
+        assert math.isinf(t_down) and math.isinf(t_up)
+
+
+class TestSynchronizationTimes:
+    def test_fig10_anchor(self):
+        # With the paper's fitted f(2)=19 rounds, the analysis predicts
+        # synchronization in roughly half a million seconds — the
+        # x-axis of Figure 10 runs to 600,000 s.
+        times = synchronization_times(PAPER, f2=19.0)
+        assert 2e5 < times.seconds_to_synchronize < 1e6
+
+    def test_fig11_anchor(self):
+        # At Tr = 0.3 break-up takes a few hundred thousand seconds
+        # (Figure 11's axis runs to 300,000 s; the paper notes its
+        # analysis overestimates simulations by 2-3x).
+        times = synchronization_times(PAPER.with_tr(0.3), f2=19.0)
+        assert 1e5 < times.seconds_to_break_up < 2e6
+
+    def test_seconds_per_round(self):
+        times = synchronization_times(PAPER, f2=19.0)
+        assert times.seconds_per_round == pytest.approx(121.11)
+
+    def test_fraction_unsynchronized_limits(self):
+        low_random = synchronization_times(PAPER.with_tr(0.05), f2=19.0)
+        assert low_random.fraction_unsynchronized() == 0.0  # can never break up
+        high_random = synchronization_times(PAPER.with_tr(1.1), f2=19.0)
+        assert high_random.fraction_unsynchronized() > 0.99
+
+    def test_p12_and_f2_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            synchronization_times(PAPER, p12=0.05, f2=19.0)
+
+    def test_default_uses_diffusion_estimate(self):
+        times = synchronization_times(PAPER)
+        assert times.chain.p(1) > 0.0
+
+    @given(tr_mult=st.floats(0.6, 4.0))
+    @settings(max_examples=30, deadline=None)
+    def test_f_increases_and_g_decreases_with_tr(self, tr_mult):
+        # Monotonicity across the transition: more randomness makes
+        # synchronizing harder and breaking up easier.
+        a = synchronization_times(PAPER.with_tr(tr_mult * 0.11), f2=19.0)
+        b = synchronization_times(PAPER.with_tr((tr_mult + 0.2) * 0.11), f2=19.0)
+        assert b.rounds_to_synchronize >= a.rounds_to_synchronize * 0.999
+        assert b.rounds_to_break_up <= a.rounds_to_break_up * 1.001
+
+
+class TestPaperPrintedVariant:
+    """Fidelity check on the OCR-ambiguous t(j, j±1) expressions."""
+
+    def test_printed_form_is_conditional_times_exit_probability(self):
+        from repro.markov import (
+            conditional_step_rounds,
+            conditional_step_rounds_paper_printed,
+        )
+
+        chain = paper_chain(tr=0.3)
+        for j in range(2, chain.n):
+            t_down, t_up = conditional_step_rounds(chain, j)
+            pd, pu = conditional_step_rounds_paper_printed(chain, j)
+            p, q = chain.p(j), chain.q(j)
+            assert pd == pytest.approx(t_down * q / (p + q))
+            assert pu == pytest.approx(t_up * p / (p + q))
+
+    def test_only_the_conditional_form_reproduces_exact_hitting_times(self):
+        # Substituting the printed (joint-expectation) values into the
+        # paper's recursion would under-count waiting rounds; the
+        # conditional form matches the dense linear solve exactly,
+        # which is why the package uses it.
+        chain = paper_chain(tr=0.3)
+        g = g_values_paper_recursion(chain)
+        dense = chain.hitting_times_dense(target=1)
+        assert g[-1] == 0.0
+        assert g[0] == pytest.approx(dense[-1], rel=1e-9)

@@ -1,0 +1,161 @@
+"""Tests for the paper's transition probabilities (Equations 1-2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RouterTimingParameters
+from repro.markov import (
+    breakup_probability,
+    build_chain,
+    cluster_drift_per_round,
+    growth_probability,
+)
+from repro.rng import RandomSource
+
+TP, TC = 121.0, 0.11
+
+
+class TestBreakupProbability:
+    def test_equation_one_value(self):
+        # p(i, i-1) = (1 - Tc/(2 Tr))^i
+        assert breakup_probability(2, tc=0.11, tr=0.1) == pytest.approx((1 - 0.55) ** 2)
+        assert breakup_probability(5, tc=0.11, tr=0.3) == pytest.approx(
+            (1 - 0.11 / 0.6) ** 5
+        )
+
+    def test_lone_cluster_never_breaks(self):
+        assert breakup_probability(1, tc=0.11, tr=10.0) == 0.0
+
+    def test_zero_when_tr_at_most_half_tc(self):
+        # "if not, then a cluster never breaks up into smaller clusters"
+        assert breakup_probability(3, tc=0.2, tr=0.1) == 0.0
+        assert breakup_probability(3, tc=0.2, tr=0.05) == 0.0
+        assert breakup_probability(3, tc=0.2, tr=0.0) == 0.0
+
+    def test_decreases_with_cluster_size(self):
+        probs = [breakup_probability(i, tc=0.11, tr=0.3) for i in range(2, 10)]
+        assert all(a > b for a, b in zip(probs, probs[1:]))
+
+    def test_increases_with_tr(self):
+        probs = [breakup_probability(3, tc=0.11, tr=tr) for tr in (0.1, 0.3, 1.0, 5.0)]
+        assert all(a < b for a, b in zip(probs, probs[1:]))
+
+    def test_monte_carlo_agreement(self):
+        # Direct check of the order-statistics fact behind Equation 1:
+        # P(second smallest of i uniforms on [0, 2Tr] exceeds the
+        # smallest by more than Tc) = (1 - Tc/(2Tr))^i.
+        rng = RandomSource(seed=77)
+        i, tc, tr = 4, 0.11, 0.25
+        trials = 20000
+        hits = 0
+        for _ in range(trials):
+            draws = sorted(rng.uniform(0.0, 2 * tr) for _ in range(i))
+            if draws[1] - draws[0] > tc:
+                hits += 1
+        assert hits / trials == pytest.approx(breakup_probability(i, tc, tr), abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            breakup_probability(0, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            breakup_probability(2, -0.1, 0.1)
+
+
+class TestDrift:
+    def test_lone_cluster_has_no_drift(self):
+        assert cluster_drift_per_round(1, TC, 0.1) == 0.0
+
+    def test_paper_formula(self):
+        # (i-1) Tc - Tr (i-1)/(i+1)
+        assert cluster_drift_per_round(3, TC, 0.1) == pytest.approx(2 * TC - 0.1 * 2 / 4)
+
+    def test_drift_grows_with_cluster_size_when_tc_dominates(self):
+        drifts = [cluster_drift_per_round(i, TC, 0.05) for i in range(1, 8)]
+        assert all(a < b for a, b in zip(drifts, drifts[1:]))
+
+    def test_drift_negative_when_tr_dominates(self):
+        assert cluster_drift_per_round(2, tc=0.01, tr=0.3) < 0.0
+
+
+class TestGrowthProbability:
+    def test_equation_two_value(self):
+        i, n = 5, 20
+        tr = 0.1
+        drift = cluster_drift_per_round(i, TC, tr)
+        expected = 1 - math.exp(-((n - i + 1) / TP) * drift)
+        assert growth_probability(i, n, TP, TC, tr) == pytest.approx(expected)
+
+    def test_full_cluster_cannot_grow(self):
+        assert growth_probability(20, 20, TP, TC, 0.1) == 0.0
+
+    def test_zero_for_negative_drift(self):
+        assert growth_probability(2, 20, TP, tc=0.01, tr=0.3) == 0.0
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            growth_probability(0, 20, TP, TC, 0.1)
+        with pytest.raises(ValueError):
+            growth_probability(21, 20, TP, TC, 0.1)
+
+    @given(
+        i=st.integers(2, 19),
+        tr_mult=st.floats(0.0, 5.0),
+    )
+    @settings(max_examples=60)
+    def test_probability_in_unit_interval(self, i, tr_mult):
+        p = growth_probability(i, 20, TP, TC, tr_mult * TC)
+        assert 0.0 <= p <= 1.0
+
+
+class TestBuildChain:
+    def test_chain_has_n_states(self):
+        params = RouterTimingParameters(n_nodes=20, tp=TP, tc=TC, tr=0.1)
+        chain = build_chain(params, p12=1 / 19)
+        assert chain.n == 20
+        assert chain.p(1) == pytest.approx(1 / 19)
+        assert chain.q(1) == 0.0
+        assert chain.p(20) == 0.0
+
+    def test_interior_probabilities_match_equations(self):
+        params = RouterTimingParameters(n_nodes=10, tp=TP, tc=TC, tr=0.3)
+        chain = build_chain(params, p12=0.05)
+        for i in range(2, 10):
+            assert chain.p(i) == pytest.approx(growth_probability(i, 10, TP, TC, 0.3))
+            assert chain.q(i) == pytest.approx(breakup_probability(i, TC, 0.3))
+
+    def test_p12_validation(self):
+        params = RouterTimingParameters(n_nodes=5)
+        with pytest.raises(ValueError):
+            build_chain(params, p12=1.5)
+
+    def test_single_node_rejected(self):
+        params = RouterTimingParameters(n_nodes=1)
+        with pytest.raises(ValueError):
+            build_chain(params, p12=0.1)
+
+
+class TestExtremeParameterRenormalization:
+    def test_chain_builds_when_equations_overflow_the_simplex(self):
+        # N=30 routers at Tp=30 s with Tc=0.5 s: Equations 1-2 sum past
+        # one at mid sizes; build_chain renormalizes instead of failing.
+        params = RouterTimingParameters(n_nodes=30, tp=30.0, tc=0.5, tr=1.5)
+        chain = build_chain(params, p12=0.05)
+        for i in range(1, 31):
+            assert 0.0 <= chain.p(i) + chain.q(i) <= 1.0 + 1e-12
+
+    def test_renormalization_preserves_odds(self):
+        params = RouterTimingParameters(n_nodes=30, tp=30.0, tc=0.5, tr=1.5)
+        chain = build_chain(params, p12=0.05)
+        # Find a renormalized state and check the p/q ratio was kept.
+        for i in range(2, 30):
+            raw_p = growth_probability(i, 30, 30.0, 0.5, 1.5)
+            raw_q = breakup_probability(i, 0.5, 1.5)
+            if raw_p + raw_q > 1.0:
+                assert chain.p(i) + chain.q(i) == pytest.approx(1.0)
+                assert chain.p(i) / chain.q(i) == pytest.approx(raw_p / raw_q)
+                break
+        else:
+            pytest.fail("expected at least one renormalized state")

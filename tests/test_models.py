@@ -1,0 +1,187 @@
+"""Tests for the auxiliary synchronization models."""
+
+import pytest
+
+from repro.models import (
+    ClientServerConfig,
+    ClientServerModel,
+    ClockAlignmentConfig,
+    ExternalClockModel,
+    TcpWindowConfig,
+    TcpWindowModel,
+)
+
+
+class TestClientServer:
+    def test_unperturbed_population_stays_spread(self):
+        model = ClientServerModel(ClientServerConfig(n_clients=40, seed=3))
+        model.run(until=600.0)
+        assert model.phase_coherence() < 0.35
+
+    def test_recovery_synchronizes_clients(self):
+        model = ClientServerModel(ClientServerConfig(n_clients=40, seed=3))
+        model.fail_server_at(100.0)
+        model.recover_server_at(200.0)
+        model.run(until=600.0)
+        # All clients were answered at recovery and now poll in phase.
+        assert model.phase_coherence() > 0.9
+
+    def test_jittered_timers_recover_dispersion(self):
+        config = ClientServerConfig(n_clients=40, timer_jitter=15.0, seed=3)
+        model = ClientServerModel(config)
+        model.fail_server_at(100.0)
+        model.recover_server_at(200.0)
+        model.run(until=5000.0)
+        assert model.phase_coherence() < 0.5
+
+    def test_retries_occur_during_outage(self):
+        model = ClientServerModel(ClientServerConfig(n_clients=10, seed=1))
+        model.fail_server_at(50.0)
+        model.recover_server_at(120.0)
+        model.run(until=300.0)
+        assert model.retries > 0
+
+    def test_all_clients_keep_polling(self):
+        model = ClientServerModel(ClientServerConfig(n_clients=10, seed=2))
+        model.run(until=300.0)
+        seen = {client for _, client in model.checkins}
+        assert seen == set(range(10))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ClientServerConfig(n_clients=0)
+        with pytest.raises(ValueError):
+            ClientServerConfig(period=-1.0)
+        with pytest.raises(ValueError):
+            ClientServerConfig(timer_jitter=100.0, period=30.0)
+
+
+class TestExternalClock:
+    def test_aligned_tasks_are_extremely_peaked(self):
+        model = ExternalClockModel(ClockAlignmentConfig(aligned_fraction=1.0, seed=4))
+        assert model.peak_to_mean_ratio(bin_seconds=60.0) > 20.0
+
+    def test_randomized_phases_are_smooth(self):
+        model = ExternalClockModel(ClockAlignmentConfig(aligned_fraction=0.0, seed=4))
+        assert model.peak_to_mean_ratio(bin_seconds=60.0) < 5.0
+
+    def test_partial_alignment_is_intermediate(self):
+        peaked = ExternalClockModel(
+            ClockAlignmentConfig(aligned_fraction=1.0, seed=4)
+        ).peak_to_mean_ratio()
+        partial = ExternalClockModel(
+            ClockAlignmentConfig(aligned_fraction=0.5, seed=4)
+        ).peak_to_mean_ratio()
+        smooth = ExternalClockModel(
+            ClockAlignmentConfig(aligned_fraction=0.0, seed=4)
+        ).peak_to_mean_ratio()
+        assert smooth < partial < peaked
+
+    def test_event_count_matches_tasks_and_horizon(self):
+        config = ClockAlignmentConfig(
+            n_tasks=10, period=100.0, horizon=1000.0, aligned_fraction=1.0,
+            start_delay_spread=0.0, seed=1,
+        )
+        model = ExternalClockModel(config)
+        assert len(model.event_times) == 10 * 10
+
+    def test_histogram_covers_all_events(self):
+        model = ExternalClockModel(ClockAlignmentConfig(seed=2))
+        counts = model.load_histogram(bin_seconds=60.0)
+        assert sum(counts) == len(model.event_times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClockAlignmentConfig(n_tasks=0)
+        with pytest.raises(ValueError):
+            ClockAlignmentConfig(aligned_fraction=1.5)
+        model = ExternalClockModel(ClockAlignmentConfig())
+        with pytest.raises(ValueError):
+            model.load_histogram(bin_seconds=0.0)
+
+
+class TestTcpWindow:
+    def test_drop_tail_synchronizes_sawtooths(self):
+        model = TcpWindowModel(TcpWindowConfig(drop_policy="all", seed=5))
+        model.run(600)
+        assert model.synchronization_index() == 1.0
+
+    def test_random_drops_desynchronize(self):
+        model = TcpWindowModel(TcpWindowConfig(drop_policy="random", seed=5))
+        model.run(600)
+        assert model.synchronization_index() == 0.0
+
+    def test_random_drops_improve_utilization(self):
+        sync = TcpWindowModel(TcpWindowConfig(drop_policy="all", seed=5))
+        sync.run(600)
+        desync = TcpWindowModel(TcpWindowConfig(drop_policy="random", seed=5))
+        desync.run(600)
+        assert desync.mean_utilization() > sync.mean_utilization()
+
+    def test_windows_never_collapse_below_one(self):
+        model = TcpWindowModel(TcpWindowConfig(drop_policy="all", seed=6))
+        model.run(300)
+        assert all(w >= 1 for snapshot in model.window_history for w in snapshot)
+
+    def test_aggregate_respects_pipe_after_drop(self):
+        model = TcpWindowModel(TcpWindowConfig(drop_policy="all", seed=6))
+        model.run(300)
+        series = model.aggregate_window_series()
+        # Immediately after a full halving, aggregate is well below pipe.
+        assert min(series[50:]) < model.pipe_size * 0.75
+
+    def test_victim_weighting_prefers_big_windows(self):
+        config = TcpWindowConfig(n_connections=2, capacity=50, buffer=10,
+                                 drop_policy="random", seed=7)
+        model = TcpWindowModel(config)
+        model.windows = [40, 2]
+        victims = [model._pick_victim() for _ in range(300)]
+        assert victims.count(0) > victims.count(1) * 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TcpWindowConfig(n_connections=0)
+        with pytest.raises(ValueError):
+            TcpWindowConfig(drop_policy="tail")
+        with pytest.raises(ValueError):
+            TcpWindowConfig(n_connections=200, capacity=100)
+        model = TcpWindowModel(TcpWindowConfig())
+        with pytest.raises(ValueError):
+            model.run(-1)
+
+
+class TestTcpFractionPolicy:
+    def test_fraction_policy_is_intermediate(self):
+        from repro.models import TcpWindowConfig, TcpWindowModel
+
+        def sync_index(policy, **kwargs):
+            model = TcpWindowModel(
+                TcpWindowConfig(drop_policy=policy, seed=11, **kwargs)
+            )
+            model.run(600)
+            return model.synchronization_index()
+
+        full = sync_index("all")
+        partial = sync_index("fraction", fraction_hit=0.5)
+        none = sync_index("random")
+        assert none <= partial <= full
+        assert partial < 1.0
+
+    def test_fraction_one_behaves_like_drop_tail(self):
+        from repro.models import TcpWindowConfig, TcpWindowModel
+
+        model = TcpWindowModel(
+            TcpWindowConfig(drop_policy="fraction", fraction_hit=1.0, seed=3)
+        )
+        model.run(300)
+        assert model.synchronization_index() == 1.0
+
+    def test_fraction_validation(self):
+        import pytest
+
+        from repro.models import TcpWindowConfig
+
+        with pytest.raises(ValueError):
+            TcpWindowConfig(drop_policy="fraction", fraction_hit=0.0)
+        with pytest.raises(ValueError):
+            TcpWindowConfig(drop_policy="fraction", fraction_hit=1.5)

@@ -1,0 +1,159 @@
+"""Tests for the shared LAN segment."""
+
+import pytest
+
+from repro.net import Lan, Network, Packet, PacketKind
+
+
+def lan_with_hosts(n=3, **kwargs):
+    net = Network()
+    hosts = [net.add_host(f"h{i}") for i in range(n)]
+    lan = net.add_lan("ether", stations=hosts, **kwargs)
+    return net, hosts, lan
+
+
+class TestAttachment:
+    def test_attach_registers_both_sides(self):
+        net, hosts, lan = lan_with_hosts()
+        assert lan.stations == hosts
+        for host in hosts:
+            assert lan in host.lans
+            assert lan in host.channels
+
+    def test_double_attach_rejected(self):
+        net, hosts, lan = lan_with_hosts()
+        with pytest.raises(ValueError):
+            lan.attach(hosts[0])
+
+    def test_other_stations(self):
+        net, hosts, lan = lan_with_hosts()
+        assert lan.other_stations(hosts[0]) == hosts[1:]
+        outsider = Network().add_host("x")
+        with pytest.raises(ValueError):
+            lan.other_stations(outsider)
+
+    def test_neighbors_include_lan_stations(self):
+        net, hosts, lan = lan_with_hosts()
+        assert set(n.name for n in hosts[0].neighbors()) == {"h1", "h2"}
+
+    def test_invalid_parameters(self):
+        net = Network()
+        with pytest.raises(ValueError):
+            net.add_lan("l", bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            net.add_lan("l2", delay_s=-1)
+        with pytest.raises(ValueError):
+            net.add_lan("l3", queue_packets=0)
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_every_other_station(self):
+        net, hosts, lan = lan_with_hosts()
+        got = {h.name: [] for h in hosts}
+        for host in hosts:
+            host.register_handler(
+                PacketKind.DATA, lambda p, name=host.name: got[name].append(p)
+            )
+        hosts[0].send(Packet(src="h0", dst="*", link_dst=None))
+        net.run(until=1.0)
+        assert len(got["h1"]) == 1
+        assert len(got["h2"]) == 1
+        assert got["h0"] == []  # sender does not hear itself
+
+    def test_unicast_filtered_by_link_dst(self):
+        net, hosts, lan = lan_with_hosts()
+        got = {h.name: [] for h in hosts}
+        for host in hosts:
+            host.register_handler(
+                PacketKind.DATA, lambda p, name=host.name: got[name].append(p)
+            )
+        hosts[0].send(Packet(src="h0", dst="h1"))
+        net.run(until=1.0)
+        assert len(got["h1"]) == 1
+        assert got["h2"] == []  # filtered at the NIC
+
+    def test_medium_serializes(self):
+        net, hosts, lan = lan_with_hosts(bandwidth_bps=1e6, delay_s=0.0)
+        arrivals = []
+        hosts[2].register_handler(PacketKind.DATA, lambda p: arrivals.append(net.sim.now))
+        hosts[0].send(Packet(src="h0", dst="h2", size_bytes=1000))
+        hosts[1].send(Packet(src="h1", dst="h2", size_bytes=1000))
+        net.run(until=1.0)
+        # 8 ms per frame at 1 Mb/s; the second waits for the first.
+        assert arrivals == [pytest.approx(0.008), pytest.approx(0.016)]
+
+    def test_backlog_tail_drop(self):
+        net, hosts, lan = lan_with_hosts(bandwidth_bps=1e4, queue_packets=2)
+        sent = [hosts[0].send(Packet(src="h0", dst="h1", size_bytes=1000))
+                for _ in range(5)]
+        # One frame transmitting + two queued; the rest dropped.
+        assert sent == [True, True, True, False, False]
+        assert lan.stats.packets_dropped == 2
+
+    def test_down_segment_drops(self):
+        net, hosts, lan = lan_with_hosts()
+        lan.set_up(False)
+        assert hosts[0].send(Packet(src="h0", dst="h1")) is False
+        lan.set_up(True)
+        assert hosts[0].send(Packet(src="h0", dst="h1")) is True
+
+
+class TestLanRouting:
+    def build(self):
+        """host a -- r0 == LAN(r0 r1 r2) == r2 -- host b."""
+        net = Network()
+        a = net.add_host("a")
+        b = net.add_host("b")
+        routers = [net.add_router(f"r{i}") for i in range(3)]
+        net.connect(a, routers[0])
+        net.add_lan("core", stations=routers)
+        net.connect(routers[2], b)
+        net.install_static_routes()
+        return net, a, b, routers
+
+    def test_forwarding_across_a_lan(self):
+        net, a, b, routers = self.build()
+        got = []
+        b.register_handler(PacketKind.DATA, lambda p: got.append(p))
+        a.send(Packet(src="a", dst="b"))
+        net.run(until=1.0)
+        assert len(got) == 1
+        # One LAN hop: r0 hands the frame straight to r2.
+        assert got[0].hops == ["a", "r0", "r2"]
+
+    def test_intermediate_station_does_not_duplicate(self):
+        net, a, b, routers = self.build()
+        got = []
+        b.register_handler(PacketKind.DATA, lambda p: got.append(p))
+        a.send(Packet(src="a", dst="b"))
+        net.run(until=1.0)
+        # r1 heard the frame but filtered it; no duplicate deliveries.
+        assert len(got) == 1
+        assert routers[1].stats.forwarded == 0
+
+    def test_lan_host_gets_default_gateway(self):
+        net = Network()
+        h = net.add_host("h")
+        far = net.add_host("far")
+        r = net.add_router("r")
+        net.add_lan("access", stations=[h, r])
+        net.connect(r, far)
+        net.install_static_routes()
+        assert h.default_gateway == "r"
+        got = []
+        far.register_handler(PacketKind.DATA, lambda p: got.append(p))
+        h.send(Packet(src="h", dst="far"))
+        net.run(until=1.0)
+        assert len(got) == 1
+
+    def test_set_route_requires_next_hop_on_lan(self):
+        net, a, b, routers = self.build()
+        lan = net.lans[0]
+        with pytest.raises(ValueError):
+            routers[0].set_route("b", lan)  # ambiguous without next_hop
+        routers[0].set_route("b", lan, next_hop="r1")
+        assert routers[0].forwarding_table["b"] == (lan, "r1")
+
+    def test_path_between_crosses_lan(self):
+        net, a, b, routers = self.build()
+        assert net.path_between("a", "b") == ["a", "r0", "r2", "b"]

@@ -1,0 +1,63 @@
+"""Tests for the network monitor."""
+
+from repro.net import Network, NetworkMonitor, Packet, PacketKind
+
+
+def busy_path():
+    net = Network()
+    a = net.add_host("a")
+    b = net.add_host("b")
+    r = net.add_router("r", blocking_updates=True)
+    net.connect(a, r, queue_packets=2)
+    net.connect(r, b)
+    net.install_static_routes()
+    return net, a, b, r
+
+
+class TestNetworkMonitor:
+    def test_router_report_counts_forwarding(self):
+        net, a, b, r = busy_path()
+        monitor = NetworkMonitor(net)
+        b.register_handler(PacketKind.DATA, lambda p: None)
+        for i in range(3):
+            net.sim.schedule_at(0.1 * i, a.send, Packet(src="a", dst="b"))
+        net.run(until=2.0)
+        report = {row["router"]: row for row in monitor.router_report()}
+        assert report["r"]["forwarded"] == 3
+        assert report["r"]["busy_drops"] == 0
+
+    def test_busy_drops_aggregate(self):
+        net, a, b, r = busy_path()
+        monitor = NetworkMonitor(net)
+        r.occupy_for(10.0)
+        for i in range(4):
+            net.sim.schedule_at(0.1 * i, a.send, Packet(src="a", dst="b"))
+        net.run(until=2.0)
+        assert monitor.total_busy_drops() == 4
+
+    def test_drop_timeline_from_queue_overflow(self):
+        net, a, b, r = busy_path()
+        monitor = NetworkMonitor(net)
+        # Flood the 2-packet access queue instantaneously.
+        for _ in range(8):
+            a.send(Packet(src="a", dst="b", size_bytes=1000))
+        net.run(until=2.0)
+        times = monitor.drop_times(kind="data")
+        assert len(times) == 5  # 1 transmitting + 2 queued survive
+        assert all(t == 0.0 for t in times)
+
+    def test_link_report_includes_both_directions_and_lans(self):
+        net = Network()
+        h1, h2 = net.add_host("h1"), net.add_host("h2")
+        net.connect(h1, h2)
+        net.add_lan("seg", stations=[net.add_router("x"), net.add_router("y")])
+        monitor = NetworkMonitor(net)
+        names = [row["link"] for row in monitor.link_report()]
+        assert "h1->h2" in names and "h2->h1" in names
+        assert "lan:seg" in names
+
+    def test_format_table_renders(self):
+        net, a, b, r = busy_path()
+        monitor = NetworkMonitor(net)
+        text = monitor.format_table()
+        assert "routers:" in text and "links:" in text and "r" in text

@@ -1,0 +1,206 @@
+"""Tests for hosts, routers, and topology assembly."""
+
+import pytest
+
+from repro.net import Network, Packet, PacketKind
+
+
+def linear_network(n_routers=2, **router_kwargs):
+    """host a -- r0 -- r1 -- ... -- host b, with static routes."""
+    net = Network()
+    a = net.add_host("a")
+    b = net.add_host("b")
+    routers = [net.add_router(f"r{i}", **router_kwargs) for i in range(n_routers)]
+    net.connect(a, routers[0])
+    for r1, r2 in zip(routers, routers[1:]):
+        net.connect(r1, r2)
+    net.connect(routers[-1], b)
+    net.install_static_routes()
+    return net, a, b, routers
+
+
+class TestForwarding:
+    def test_end_to_end_delivery(self):
+        net, a, b, routers = linear_network()
+        got = []
+        b.register_handler(PacketKind.DATA, lambda p: got.append(p))
+        a.send(Packet(src="a", dst="b"))
+        net.run(until=1.0)
+        assert len(got) == 1
+        assert got[0].hops == ["a", "r0", "r1"]
+
+    def test_forwarding_counts(self):
+        net, a, b, routers = linear_network()
+        b.register_handler(PacketKind.DATA, lambda p: None)
+        for _ in range(3):
+            a.send(Packet(src="a", dst="b"))
+        net.run(until=1.0)
+        assert routers[0].stats.forwarded == 3
+        assert routers[1].stats.forwarded == 3
+
+    def test_no_route_drops(self):
+        net, a, b, routers = linear_network()
+        routers[0].clear_route("b")
+        a.send(Packet(src="a", dst="b"))
+        net.run(until=1.0)
+        assert routers[0].stats.dropped_no_route == 1
+
+    def test_ttl_exhaustion_drops(self):
+        net, a, b, routers = linear_network()
+        got = []
+        b.register_handler(PacketKind.DATA, lambda p: got.append(p))
+        # The host and r0 each spend one TTL unit; r1 sees ttl=1 and drops.
+        a.send(Packet(src="a", dst="b", ttl=3))
+        net.run(until=1.0)
+        assert got == []
+        assert routers[1].stats.dropped_ttl == 1
+
+    def test_router_sinks_data_addressed_to_it(self):
+        net, a, b, routers = linear_network()
+        a.send(Packet(src="a", dst="r0"))
+        net.run(until=1.0)
+        assert routers[0].stats.forwarded == 0
+
+
+class TestRoutingBusyBlocking:
+    def test_busy_router_drops_data(self):
+        net, a, b, routers = linear_network(blocking_updates=True)
+        got = []
+        b.register_handler(PacketKind.DATA, lambda p: got.append(p))
+        routers[0].occupy_for(0.5)
+        a.send(Packet(src="a", dst="b"))
+        net.run(until=1.0)
+        assert got == []
+        assert routers[0].stats.dropped_routing_busy == 1
+
+    def test_nonblocking_router_forwards_while_busy(self):
+        net, a, b, routers = linear_network(blocking_updates=False)
+        got = []
+        b.register_handler(PacketKind.DATA, lambda p: got.append(p))
+        routers[0].occupy_for(0.5)
+        a.send(Packet(src="a", dst="b"))
+        net.run(until=1.0)
+        assert len(got) == 1
+        assert routers[0].stats.dropped_routing_busy == 0
+
+    def test_busy_window_expires(self):
+        net, a, b, routers = linear_network(blocking_updates=True)
+        got = []
+        b.register_handler(PacketKind.DATA, lambda p: got.append(p))
+        routers[0].occupy_for(0.1)
+        net.sim.schedule(0.2, lambda: a.send(Packet(src="a", dst="b")))
+        net.run(until=1.0)
+        assert len(got) == 1
+
+    def test_busy_extends_cumulatively(self):
+        net, _, _, routers = linear_network()
+        router = routers[0]
+        router.occupy_for(0.1)
+        router.occupy_for(0.1)
+        assert router.update_busy_until == pytest.approx(0.2)
+
+    def test_partial_drop_probability(self):
+        net, a, b, routers = linear_network(
+            blocking_updates=True, busy_drop_probability=0.5
+        )
+        got = []
+        b.register_handler(PacketKind.DATA, lambda p: got.append(p))
+        routers[0].occupy_for(100.0)
+        # Space the sends out so the access link queue never overflows.
+        for i in range(400):
+            net.sim.schedule_at(0.01 * i, a.send, Packet(src="a", dst="b"))
+        net.run(until=50.0)
+        # Roughly half survive the busy first router.
+        assert 120 < len(got) < 280
+
+    def test_validation(self):
+        net = Network()
+        with pytest.raises(ValueError):
+            net.add_router("r", busy_drop_probability=1.5)
+        with pytest.raises(ValueError):
+            net.add_router("r2", forwarding_delay=-0.1)
+        router = net.add_router("r3")
+        with pytest.raises(ValueError):
+            router.occupy_for(-1.0)
+
+
+class TestNetworkAssembly:
+    def test_duplicate_names_rejected(self):
+        net = Network()
+        net.add_host("x")
+        with pytest.raises(ValueError):
+            net.add_router("x")
+
+    def test_self_link_rejected(self):
+        net = Network()
+        a = net.add_host("a")
+        with pytest.raises(ValueError):
+            net.connect(a, a)
+
+    def test_unknown_node_rejected(self):
+        net = Network()
+        net.add_host("a")
+        with pytest.raises(ValueError):
+            net.connect("a", "ghost")
+
+    def test_typed_lookups(self):
+        net = Network()
+        net.add_host("h")
+        net.add_router("r")
+        assert net.host("h").name == "h"
+        assert net.router("r").name == "r"
+        with pytest.raises(TypeError):
+            net.host("r")
+        with pytest.raises(TypeError):
+            net.router("h")
+
+    def test_path_between(self):
+        net, a, b, routers = linear_network(n_routers=3)
+        assert net.path_between("a", "b") == ["a", "r0", "r1", "r2", "b"]
+
+    def test_path_between_no_path(self):
+        net = Network()
+        net.add_host("a")
+        net.add_host("b")
+        with pytest.raises(ValueError):
+            net.path_between("a", "b")
+
+    def test_static_routes_prefer_shortest(self):
+        # Diamond: r0 -> (r1 | r2 -> r3) -> r4; direct branch is shorter.
+        net = Network()
+        hosts = [net.add_host("src"), net.add_host("dst")]
+        r = [net.add_router(f"r{i}") for i in range(5)]
+        net.connect("src", "r0")
+        net.connect("r0", "r1")
+        net.connect("r1", "r4")
+        net.connect("r0", "r2")
+        net.connect("r2", "r3")
+        net.connect("r3", "r4")
+        net.connect("r4", "dst")
+        net.install_static_routes()
+        got = []
+        hosts[1].register_handler(PacketKind.DATA, lambda p: got.append(p))
+        hosts[0].send(Packet(src="src", dst="dst"))
+        net.run(until=1.0)
+        assert got[0].hops == ["src", "r0", "r1", "r4"]
+
+    def test_static_routes_avoid_down_links(self):
+        net = Network()
+        net.add_host("src")
+        net.add_host("dst")
+        for i in range(5):
+            net.add_router(f"r{i}")
+        net.connect("src", "r0")
+        direct = net.connect("r0", "r1")
+        net.connect("r1", "r4")
+        net.connect("r0", "r2")
+        net.connect("r2", "r3")
+        net.connect("r3", "r4")
+        net.connect("r4", "dst")
+        direct.set_up(False)
+        net.install_static_routes()
+        got = []
+        net.host("dst").register_handler(PacketKind.DATA, lambda p: got.append(p))
+        net.host("src").send(Packet(src="src", dst="dst"))
+        net.run(until=1.0)
+        assert got[0].hops == ["src", "r0", "r2", "r3", "r4"]

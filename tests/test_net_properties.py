@@ -1,0 +1,129 @@
+"""Property-based tests on the network substrate.
+
+Random tree topologies (guaranteed connected, loop-free) exercise
+static routing, forwarding, and delivery invariants that no hand-built
+scenario pins down.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Network, Packet, PacketKind
+
+
+def build_random_tree(parent_choices, with_lan_at=None):
+    """A tree of routers: node k+1 attaches to routers[parent_choices[k]].
+
+    Two hosts hang off the first and last routers.  Optionally one
+    router is also placed on a LAN with a stub router (exercising the
+    mixed-channel BFS).
+    """
+    net = Network()
+    routers = [net.add_router("r0")]
+    for index, parent in enumerate(parent_choices, start=1):
+        router = net.add_router(f"r{index}")
+        net.connect(router, routers[parent % len(routers)], delay_s=0.001)
+        routers.append(router)
+    src = net.add_host("src")
+    dst = net.add_host("dst")
+    net.connect(src, routers[0], delay_s=0.001)
+    net.connect(dst, routers[-1], delay_s=0.001)
+    if with_lan_at is not None:
+        stub = net.add_router("lan-stub")
+        net.add_lan("side", stations=[routers[with_lan_at % len(routers)], stub])
+    net.install_static_routes()
+    return net, src, dst, routers
+
+
+tree_strategy = st.lists(st.integers(0, 100), min_size=0, max_size=8)
+
+
+@given(parents=tree_strategy)
+@settings(max_examples=40, deadline=None)
+def test_delivery_follows_the_unique_tree_path(parents):
+    net, src, dst, routers = build_random_tree(parents)
+    got = []
+    dst.register_handler(PacketKind.DATA, lambda p: got.append(p))
+    src.send(Packet(src="src", dst="dst"))
+    net.run(until=5.0)
+    assert len(got) == 1
+    packet = got[0]
+    # The recorded hops equal the BFS path minus the destination.
+    expected = net.path_between("src", "dst")[:-1]
+    assert packet.hops == expected
+    # In a tree the path is simple: no repeated nodes.
+    assert len(set(packet.hops)) == len(packet.hops)
+
+
+@given(parents=tree_strategy)
+@settings(max_examples=40, deadline=None)
+def test_no_packet_is_both_delivered_and_counted_dropped(parents):
+    net, src, dst, routers = build_random_tree(parents)
+    got = []
+    dst.register_handler(PacketKind.DATA, lambda p: got.append(p))
+    for _ in range(5):
+        src.send(Packet(src="src", dst="dst"))
+    net.run(until=10.0)
+    drops = sum(
+        r.stats.dropped_routing_busy + r.stats.dropped_no_route + r.stats.dropped_ttl
+        for r in routers
+    )
+    assert len(got) + drops == 5
+    assert drops == 0  # clean static routes on an idle tree
+
+
+@given(parents=tree_strategy, lan_at=st.integers(0, 100))
+@settings(max_examples=30, deadline=None)
+def test_mixed_link_and_lan_routing_still_delivers(parents, lan_at):
+    net, src, dst, routers = build_random_tree(parents, with_lan_at=lan_at)
+    got = []
+    dst.register_handler(PacketKind.DATA, lambda p: got.append(p))
+    src.send(Packet(src="src", dst="dst"))
+    net.run(until=5.0)
+    assert len(got) == 1
+    # And the LAN stub is reachable from every router's table.
+    for router in routers:
+        assert "lan-stub" in router.forwarding_table
+
+
+@given(parents=tree_strategy)
+@settings(max_examples=30, deadline=None)
+def test_bidirectional_delivery(parents):
+    net, src, dst, routers = build_random_tree(parents)
+    got_fwd, got_rev = [], []
+    dst.register_handler(PacketKind.DATA, lambda p: got_fwd.append(p))
+    src.register_handler(PacketKind.DATA, lambda p: got_rev.append(p))
+    src.send(Packet(src="src", dst="dst"))
+    dst.send(Packet(src="dst", dst="src"))
+    net.run(until=5.0)
+    assert len(got_fwd) == 1
+    assert len(got_rev) == 1
+
+
+@given(
+    parents=tree_strategy,
+    cut_index=st.integers(0, 100),
+)
+@settings(max_examples=30, deadline=None)
+def test_failed_edge_partitions_a_tree(parents, cut_index):
+    net, src, dst, routers = build_random_tree(parents)
+    if len(routers) < 2:
+        return
+    # Cut one router-router edge: a tree always partitions.
+    router_links = [
+        link for link in net.links
+        if link.a.name.startswith("r") and link.b.name.startswith("r")
+    ]
+    if not router_links:
+        return
+    victim = router_links[cut_index % len(router_links)]
+    victim.set_up(False)
+    net.install_static_routes()
+    side_a, side_b = victim.a, victim.b
+    # No route can exist between the two sides any more.
+    try:
+        net.path_between(side_a.name, side_b.name)
+        found = True
+    except ValueError:
+        found = False
+    assert not found

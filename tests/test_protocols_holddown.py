@@ -1,0 +1,97 @@
+"""Tests for hold-down behaviour (IGRP-style loop damping)."""
+
+import pytest
+
+from repro.net import Network
+from repro.protocols import IGRP, DistanceVectorAgent, ProtocolSpec
+
+
+def diamond(spec):
+    """r0 connected to r3 via two disjoint paths: r1 (short) and r2.
+
+    r0 -- r1 -- r3
+    r0 -- r2 -- r3
+    """
+    net = Network()
+    routers = [net.add_router(f"r{i}") for i in range(4)]
+    net.connect(routers[0], routers[1], delay_s=0.001)
+    net.connect(routers[1], routers[3], delay_s=0.001)
+    net.connect(routers[0], routers[2], delay_s=0.001)
+    net.connect(routers[2], routers[3], delay_s=0.001)
+    agents = [
+        DistanceVectorAgent(r, spec, seed=40 + i) for i, r in enumerate(routers)
+    ]
+    return net, routers, agents
+
+
+def fail_active_path(net, routers, agents):
+    """Fail the last link of whichever path r0 currently uses to r3."""
+    via = agents[0].table["r3"].via_neighbor
+    midpoint = routers[1] if via == "r1" else routers[2]
+    link = next(
+        l for l in midpoint.links if l.other_end(midpoint) is routers[3]
+    )
+    link.set_up(False)
+    return link, midpoint.name
+
+
+class TestHoldDown:
+    def test_holddown_blocks_alternatives_then_admits_them(self):
+        spec = ProtocolSpec(
+            name="hd", period=10.0, infinity=16, holddown_periods=4.0,
+            triggered_updates=True,
+        )
+        net, routers, agents = diamond(spec)
+        net.run(until=100.0)
+        r0 = agents[0]
+        assert r0.reachable("r3")
+        # Fail the path r0 is actually using; the poisoning propagates.
+        _link, failed_via = fail_active_path(net, routers, agents)
+        net.run(until=float(net.sim.now) + 3.0)
+        entry = r0.table["r3"]
+        assert entry.metric >= spec.infinity
+        # During hold-down, the surviving alternative is refused even
+        # though it keeps being advertised.
+        hold_until = entry.holddown_until
+        assert hold_until > net.sim.now
+        net.run(until=hold_until - 1.0)
+        assert not r0.reachable("r3")
+        # After hold-down expires the alternative is accepted.
+        net.run(until=hold_until + 3 * spec.period)
+        assert r0.reachable("r3")
+        surviving = "r2" if failed_via == "r1" else "r1"
+        assert r0.table["r3"].via_neighbor == surviving
+
+    def test_zero_holddown_accepts_alternative_immediately(self):
+        spec = ProtocolSpec(
+            name="nohd", period=10.0, infinity=16, holddown_periods=0.0,
+            triggered_updates=True,
+        )
+        net, routers, agents = diamond(spec)
+        net.run(until=100.0)
+        fail_active_path(net, routers, agents)
+        # Within a few periods the alternative is in use.
+        net.run(until=float(net.sim.now) + 3 * spec.period)
+        assert agents[0].reachable("r3")
+
+    def test_igrp_preset_has_holddown(self):
+        assert IGRP.holddown_periods == 3.0
+
+    def test_negative_holddown_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolSpec(name="x", period=30.0, holddown_periods=-1.0)
+
+    def test_current_next_hop_can_still_update_during_holddown(self):
+        # News from the original next hop is always believed, so a
+        # genuine recovery is not delayed by hold-down.
+        spec = ProtocolSpec(
+            name="hd2", period=10.0, infinity=16, holddown_periods=6.0,
+            triggered_updates=True,
+        )
+        net, routers, agents = diamond(spec)
+        net.run(until=100.0)
+        link, _via = fail_active_path(net, routers, agents)
+        net.run(until=float(net.sim.now) + 5.0)
+        link.set_up(True)
+        net.run(until=float(net.sim.now) + 4 * spec.period)
+        assert agents[0].reachable("r3")

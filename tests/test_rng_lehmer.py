@@ -1,0 +1,124 @@
+"""Tests for the minimal-standard Lehmer generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import (
+    MODULUS,
+    CartaGenerator,
+    LehmerGenerator,
+    SchrageGenerator,
+    minimal_standard_check,
+)
+
+ALL_IMPLEMENTATIONS = [LehmerGenerator, SchrageGenerator, CartaGenerator]
+
+
+def test_park_miller_acceptance_value():
+    """Seed 1 must yield 1043618065 as the 10,000th value (Park & Miller)."""
+    assert minimal_standard_check()
+
+
+@pytest.mark.parametrize("cls", ALL_IMPLEMENTATIONS)
+def test_outputs_in_range(cls):
+    gen = cls(12345)
+    for _ in range(1000):
+        value = gen.next_int()
+        assert 1 <= value <= MODULUS - 1
+
+
+@pytest.mark.parametrize("cls", ALL_IMPLEMENTATIONS)
+def test_random_in_open_unit_interval(cls):
+    gen = cls(999)
+    for _ in range(1000):
+        u = gen.random()
+        assert 0.0 < u < 1.0
+
+
+@given(seed=st.integers(min_value=1, max_value=MODULUS - 1))
+@settings(max_examples=50)
+def test_implementations_agree(seed):
+    """All three algorithms compute the identical stream."""
+    gens = [cls(seed) for cls in ALL_IMPLEMENTATIONS]
+    for _ in range(200):
+        values = {gen.next_int() for gen in gens}
+        assert len(values) == 1
+
+
+@pytest.mark.parametrize("cls", ALL_IMPLEMENTATIONS)
+def test_zero_seed_is_folded_not_fatal(cls):
+    gen = cls(0)
+    assert gen.state == 1
+    assert gen.next_int() != 0
+
+
+@pytest.mark.parametrize("cls", ALL_IMPLEMENTATIONS)
+def test_seed_folding_is_modular(cls):
+    assert cls(MODULUS + 5).state == cls(5).state
+
+
+def test_fork_produces_different_stream():
+    parent = LehmerGenerator(42)
+    child = parent.fork()
+    parent_values = [parent.next_int() for _ in range(50)]
+    child_values = [child.next_int() for _ in range(50)]
+    assert parent_values != child_values
+
+
+def test_same_seed_reproduces():
+    a = CartaGenerator(777)
+    b = CartaGenerator(777)
+    assert [a.next_int() for _ in range(100)] == [b.next_int() for _ in range(100)]
+
+
+def test_mean_is_roughly_half():
+    """Crude uniformity check on a long stream."""
+    gen = CartaGenerator(31337)
+    n = 20000
+    mean = sum(gen.random() for _ in range(n)) / n
+    assert abs(mean - 0.5) < 0.01
+
+
+def test_full_period_not_trivially_short():
+    """The generator must not cycle within a modest horizon."""
+    gen = CartaGenerator(1)
+    seen_first = gen.next_int()
+    for _ in range(100_000):
+        assert gen.next_int() != seen_first or False
+        if gen.state == seen_first:
+            pytest.fail("generator cycled suspiciously early")
+
+
+class TestJumpAhead:
+    def test_jump_equals_sequential_steps(self):
+        a = LehmerGenerator(4242)
+        b = LehmerGenerator(4242)
+        for _ in range(137):
+            a.next_int()
+        b.jump(137)
+        assert a.state == b.state
+        assert a.next_int() == b.next_int()
+
+    def test_jump_zero_is_identity(self):
+        gen = CartaGenerator(99)
+        before = gen.state
+        gen.jump(0)
+        assert gen.state == before
+
+    def test_jump_composes(self):
+        a = SchrageGenerator(7)
+        b = SchrageGenerator(7)
+        a.jump(1000)
+        a.jump(234)
+        b.jump(1234)
+        assert a.state == b.state
+
+    def test_huge_jump_is_fast_and_valid(self):
+        gen = LehmerGenerator(1)
+        state = gen.jump(10**15)
+        assert 1 <= state <= MODULUS - 1
+
+    def test_negative_jump_rejected(self):
+        with pytest.raises(ValueError):
+            LehmerGenerator(1).jump(-1)
