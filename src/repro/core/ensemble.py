@@ -14,7 +14,6 @@ import math
 from dataclasses import dataclass, field
 from typing import Literal, Sequence
 
-from .model import ModelConfig, PeriodicMessagesModel
 from .parameters import RouterTimingParameters
 
 __all__ = ["EnsembleResult", "FirstPassageEnsemble"]
@@ -95,41 +94,57 @@ class FirstPassageEnsemble:
         cluster size (Figure 10); ``"down"`` — start synchronized,
         record times for the per-round largest cluster to fall to each
         size (Figure 11).
+    engine:
+        ``"cascade"`` (default, ~8x faster; bit-for-bit equivalent to
+        the DES for the pure periodic model) or ``"des"`` — the escape
+        hatch for configurations the cascade rule cannot express.
+    jobs:
+        Worker processes for the runs; ``1`` executes in-process.
+    cache:
+        Optional :class:`~repro.parallel.ResultCache`; completed seeds
+        are never recomputed.
     """
 
     params: RouterTimingParameters
     horizon: float
     seeds: Sequence[int] = tuple(range(1, 21))
     direction: Literal["up", "down"] = "up"
+    engine: str = "cascade"
+    jobs: int = 1
+    cache: object | None = None
     _passages: list[dict[int, float]] = field(default_factory=list, init=False)
 
     def __post_init__(self) -> None:
+        from ..parallel.job import validate_engine
+
         if self.horizon <= 0:
             raise ValueError("horizon must be positive")
         if not self.seeds:
             raise ValueError("need at least one seed")
         if self.direction not in ("up", "down"):
             raise ValueError(f"unknown direction {self.direction!r}")
+        validate_engine(self.engine)
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
 
     def run(self) -> "FirstPassageEnsemble":
         """Execute every run (idempotent: re-running clears old data)."""
-        self._passages = []
-        for seed in self.seeds:
-            config = ModelConfig.from_parameters(
-                self.params, seed=seed, keep_cluster_history=False
+        from ..parallel import ParallelRunner, SimulationJob
+
+        specs = [
+            SimulationJob.from_params(
+                self.params,
+                seed=seed,
+                horizon=self.horizon,
+                direction=self.direction,
+                engine=self.engine,
             )
-            phases = "unsynchronized" if self.direction == "up" else "synchronized"
-            model = PeriodicMessagesModel(config, initial_phases=phases)
-            model.run(
-                until=self.horizon,
-                stop_on_full_sync=(self.direction == "up"),
-                stop_on_full_unsync=(self.direction == "down"),
-            )
-            tracker = model.tracker
-            if self.direction == "up":
-                self._passages.append(dict(tracker.first_time_at_least))
-            else:
-                self._passages.append(dict(tracker.first_time_at_most))
+            for seed in self.seeds
+        ]
+        runner = ParallelRunner(jobs=self.jobs, cache=self.cache)
+        self._passages = [
+            dict(result.first_passages) for result in runner.run(specs)
+        ]
         return self
 
     def result_for(self, size: int) -> EnsembleResult:

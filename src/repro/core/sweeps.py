@@ -5,6 +5,13 @@ random component ``Tr``, over the node count ``N``, or over seeds —
 and extract the quantities the paper's evaluation reports: time to
 synchronize, time to break up, and the location of the abrupt
 transition between the two regimes.
+
+All sweep helpers execute through the parallel layer
+(:mod:`repro.parallel`): pass ``jobs=4`` to fan the grid out over four
+worker processes, and/or a :class:`~repro.parallel.ResultCache` so
+repeated sweeps and bisection probes never recompute a completed
+simulation.  Results are independent of ``jobs`` — each (params, seed)
+point derives its own RNG streams.
 """
 
 from __future__ import annotations
@@ -50,6 +57,12 @@ class SweepResult:
         return None if self.time is None else self.time / round_length
 
 
+def _validate_engine(engine: str) -> None:
+    from ..parallel.job import validate_engine
+
+    validate_engine(engine)
+
+
 def time_to_synchronize(
     params: RouterTimingParameters,
     horizon: float,
@@ -64,6 +77,7 @@ def time_to_synchronize(
     the pure periodic model (see tests/test_core_fastsim.py).  Config
     overrides (e.g. a notification delay) force the DES.
     """
+    _validate_engine(engine)
     if engine == "cascade" and not config_overrides:
         model = CascadeModel(params, seed=seed, initial_phases="unsynchronized")
         model.run(until=horizon, stop_on_full_sync=True)
@@ -87,6 +101,7 @@ def time_to_break_up(
 
     See :func:`time_to_synchronize` for the ``engine`` parameter.
     """
+    _validate_engine(engine)
     if engine == "cascade" and not config_overrides:
         model = CascadeModel(params, seed=seed, initial_phases="synchronized")
         model.run(until=horizon, stop_on_full_unsync=True)
@@ -99,12 +114,57 @@ def time_to_break_up(
     return des.tracker.breakup_time
 
 
+def _run_sweep(
+    points: list[tuple[float, RouterTimingParameters]],
+    horizon: float,
+    direction: str,
+    seeds: Sequence[int],
+    engine: str,
+    jobs: int,
+    cache,
+) -> list[SweepResult]:
+    """Execute a (parameter, seed) grid through the parallel layer."""
+    from ..parallel import ParallelRunner, SimulationJob
+
+    if direction not in ("synchronize", "break_up"):
+        raise ValueError(f"unknown direction {direction!r}")
+    _validate_engine(engine)
+    job_direction = "up" if direction == "synchronize" else "down"
+    grid = [
+        (value, seed, params)
+        for value, params in points
+        for seed in seeds
+    ]
+    specs = [
+        SimulationJob.from_params(
+            params, seed=seed, horizon=horizon,
+            direction=job_direction, engine=engine,
+        )
+        for _value, seed, params in grid
+    ]
+    runner = ParallelRunner(jobs=jobs, cache=cache)
+    return [
+        SweepResult(
+            parameter=value,
+            seed=seed,
+            time=result.terminal_time(spec),
+            horizon=horizon,
+        )
+        for (value, seed, _params), spec, result in zip(
+            grid, specs, runner.run(specs)
+        )
+    ]
+
+
 def sweep_tr(
     base: RouterTimingParameters,
     tr_values: Sequence[float],
     horizon: float,
     direction: str = "synchronize",
     seeds: Sequence[int] = (1,),
+    engine: str = "cascade",
+    jobs: int = 1,
+    cache=None,
 ) -> list[SweepResult]:
     """First-passage times across a range of random components.
 
@@ -112,15 +172,8 @@ def sweep_tr(
     / the '+' marks of Figure 12) or ``"break_up"`` (synchronized
     start, Figure 8 / the 'x' marks).
     """
-    if direction not in ("synchronize", "break_up"):
-        raise ValueError(f"unknown direction {direction!r}")
-    runner = time_to_synchronize if direction == "synchronize" else time_to_break_up
-    results = []
-    for tr in tr_values:
-        for seed in seeds:
-            time = runner(base.with_tr(tr), horizon, seed=seed)
-            results.append(SweepResult(parameter=tr, seed=seed, time=time, horizon=horizon))
-    return results
+    points = [(tr, base.with_tr(tr)) for tr in tr_values]
+    return _run_sweep(points, horizon, direction, seeds, engine, jobs, cache)
 
 
 def sweep_nodes(
@@ -129,17 +182,13 @@ def sweep_nodes(
     horizon: float,
     direction: str = "synchronize",
     seeds: Sequence[int] = (1,),
+    engine: str = "cascade",
+    jobs: int = 1,
+    cache=None,
 ) -> list[SweepResult]:
     """First-passage times across a range of network sizes (Figure 15's axis)."""
-    if direction not in ("synchronize", "break_up"):
-        raise ValueError(f"unknown direction {direction!r}")
-    runner = time_to_synchronize if direction == "synchronize" else time_to_break_up
-    results = []
-    for n in n_values:
-        for seed in seeds:
-            time = runner(base.with_nodes(n), horizon, seed=seed)
-            results.append(SweepResult(parameter=float(n), seed=seed, time=time, horizon=horizon))
-    return results
+    points = [(float(n), base.with_nodes(n)) for n in n_values]
+    return _run_sweep(points, horizon, direction, seeds, engine, jobs, cache)
 
 
 def find_transition_n(
@@ -148,6 +197,8 @@ def find_transition_n(
     n_low: int = 2,
     n_high: int = 40,
     seed: int = 1,
+    engine: str = "cascade",
+    cache=None,
 ) -> int:
     """Smallest N that synchronizes within the horizon (bisection).
 
@@ -157,10 +208,23 @@ def find_transition_n(
     the given timing parameters.  Assumes monotonicity in N (larger
     networks synchronize faster), which holds throughout the paper's
     parameter ranges.
+
+    Bisection is inherently sequential, so there is no ``jobs``
+    parameter — but with a ``cache`` every probe is remembered, so
+    repeated or overlapping searches converge almost for free.
     """
+    from ..parallel import ParallelRunner, SimulationJob
+
+    _validate_engine(engine)
+    runner = ParallelRunner(jobs=1, cache=cache)
 
     def synchronizes(n: int) -> bool:
-        return time_to_synchronize(base.with_nodes(n), horizon, seed=seed) is not None
+        spec = SimulationJob.from_params(
+            base.with_nodes(n), seed=seed, horizon=horizon,
+            direction="up", engine=engine,
+        )
+        (result,) = runner.run([spec])
+        return result.terminal_time(spec) is not None
 
     if not synchronizes(n_high):
         raise ValueError(f"no synchronization even at N={n_high} within horizon {horizon}")

@@ -5,8 +5,15 @@ Usage::
     repro-sync list
     repro-sync fig04 [--fast]
     repro-sync all --fast
+    repro-sync fig10 --jobs 4          # fan seed runs over 4 processes
+    repro-sync fig10 --no-cache        # force recomputation
+    repro-sync bench                   # parallel-layer perf snapshot
 
-(``python -m repro`` is equivalent.)
+(``python -m repro`` is equivalent.)  Simulation-backed figures cache
+completed runs under ``results/cache/`` keyed by job content, so
+re-running a figure is nearly free; ``--no-cache`` opts out and
+``--jobs`` sets the process-pool width (results are identical either
+way).
 """
 
 from __future__ import annotations
@@ -53,7 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        help="a figure id (fig01..fig15), 'all', or 'list'",
+        help="a figure id (fig01..fig15), 'all', 'list', or 'bench'",
     )
     parser.add_argument(
         "--fast",
@@ -71,20 +78,57 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render each series as an ASCII plot instead of a table",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for simulation fan-out (default: 1 for "
+            "figures, the CPU count for 'bench'); results do not "
+            "depend on this"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the on-disk result cache (results/cache/)",
+    )
     return parser
+
+
+def _run_bench(args) -> int:
+    """The 'bench' target: emit and print the parallel perf snapshot."""
+    from ..parallel import format_table, run_benchmark
+
+    output = "BENCH_parallel.json"
+    snapshot = run_benchmark(jobs=args.jobs, output=output)
+    print(format_table(snapshot))
+    print(f"snapshot written to {output}")
+    return 0 if snapshot["results_identical_across_configs"] else 1
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
     if args.target == "list":
         for figure_id in figure_ids():
             print(figure_id)
         return 0
+    if args.target == "bench":
+        return _run_bench(args)
+    cache = None
+    if not args.no_cache:
+        from ..parallel import ResultCache
+
+        cache = ResultCache()
     targets = figure_ids() if args.target == "all" else [args.target]
     try:
         for figure_id in targets:
-            result = run_figure(figure_id, fast=args.fast)
+            result = run_figure(figure_id, fast=args.fast, jobs=args.jobs, cache=cache)
             if args.plot:
                 print(_render_plots(result))
             else:

@@ -11,7 +11,7 @@ the horizon was not enough — itself the Figure 7 message at large Tr).
 
 from __future__ import annotations
 
-from ..core import RouterTimingParameters, time_to_synchronize
+from ..core import RouterTimingParameters, sweep_tr
 from .result import FigureResult
 
 __all__ = ["run", "PAPER_PARAMS"]
@@ -23,21 +23,29 @@ def run(
     tr_multiples: tuple[float, ...] = (0.6, 1.0, 1.4),
     horizon: float = 1e7,
     seeds: tuple[int, ...] = (1,),
+    jobs: int = 1,
+    cache=None,
 ) -> FigureResult:
-    """Reproduce Figure 7 (pass a smaller horizon for a fast run)."""
+    """Reproduce Figure 7 (pass a smaller horizon for a fast run).
+
+    The (Tr, seed) grid runs through the parallel layer; ``jobs`` and
+    ``cache`` change wall-clock only.
+    """
     tc = PAPER_PARAMS.tc
     result = FigureResult(
         figure_id="fig07",
         title="Simulations starting with unsynchronized updates, varying Tr",
     )
+    runs = sweep_tr(
+        PAPER_PARAMS, [m * tc for m in tr_multiples], horizon,
+        direction="synchronize", seeds=seeds, jobs=jobs, cache=cache,
+    )
     points = []
     for multiple in tr_multiples:
         params = PAPER_PARAMS.with_tr(multiple * tc)
-        times = []
-        for seed in seeds:
-            sync = time_to_synchronize(params, horizon=horizon, seed=seed)
-            times.append(sync)
-        finished = [t for t in times if t is not None]
+        finished = [
+            r.time for r in runs if r.parameter == multiple * tc and r.occurred
+        ]
         mean = sum(finished) / len(finished) if finished else None
         points.append((multiple, mean))
         result.metrics[f"sync_time_tr_{multiple}tc"] = (

@@ -9,7 +9,7 @@ rounds (10 hours) at 2.8 Tc.
 
 from __future__ import annotations
 
-from ..core import RouterTimingParameters, time_to_break_up
+from ..core import RouterTimingParameters, sweep_tr
 from .result import FigureResult
 
 __all__ = ["run", "PAPER_PARAMS"]
@@ -21,21 +21,29 @@ def run(
     tr_multiples: tuple[float, ...] = (2.3, 2.5, 2.8),
     horizon: float = 1e7,
     seeds: tuple[int, ...] = (1,),
+    jobs: int = 1,
+    cache=None,
 ) -> FigureResult:
-    """Reproduce Figure 8 (pass a smaller horizon for a fast run)."""
+    """Reproduce Figure 8 (pass a smaller horizon for a fast run).
+
+    The (Tr, seed) grid runs through the parallel layer; ``jobs`` and
+    ``cache`` change wall-clock only.
+    """
     tc = PAPER_PARAMS.tc
     result = FigureResult(
         figure_id="fig08",
         title="Simulations starting with synchronized updates, varying Tr",
     )
+    runs = sweep_tr(
+        PAPER_PARAMS, [m * tc for m in tr_multiples], horizon,
+        direction="break_up", seeds=seeds, jobs=jobs, cache=cache,
+    )
     points = []
     for multiple in tr_multiples:
         params = PAPER_PARAMS.with_tr(multiple * tc)
-        times = []
-        for seed in seeds:
-            breakup = time_to_break_up(params, horizon=horizon, seed=seed)
-            times.append(breakup)
-        finished = [t for t in times if t is not None]
+        finished = [
+            r.time for r in runs if r.parameter == multiple * tc and r.occurred
+        ]
         mean = sum(finished) / len(finished) if finished else None
         points.append((multiple, mean))
         result.metrics[f"breakup_time_tr_{multiple}tc"] = (

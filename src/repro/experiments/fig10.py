@@ -9,7 +9,7 @@ the comparison here checks that same shape and gap.
 
 from __future__ import annotations
 
-from ..core import CascadeModel, RouterTimingParameters
+from ..core import CascadeModel, FirstPassageEnsemble, RouterTimingParameters
 from ..markov import synchronization_times
 from .result import FigureResult
 
@@ -33,8 +33,15 @@ def run(
     horizon: float = 7e5,
     seeds: tuple[int, ...] = tuple(range(1, 21)),
     f2: float = 19.0,
+    jobs: int = 1,
+    cache=None,
 ) -> FigureResult:
-    """Reproduce Figure 10 (paper scale: 20 seeds, ~600,000 s axis)."""
+    """Reproduce Figure 10 (paper scale: 20 seeds, ~600,000 s axis).
+
+    ``jobs`` fans the seeds out over worker processes; ``cache`` (a
+    :class:`~repro.parallel.ResultCache`) makes repeated runs free.
+    Neither changes the numbers.
+    """
     analysis = synchronization_times(PAPER_PARAMS, f2=f2)
     round_seconds = analysis.seconds_per_round
     result = FigureResult(
@@ -45,24 +52,24 @@ def run(
         "analysis_seconds_by_size",
         [(i + 1, f * round_seconds) for i, f in enumerate(analysis.f)],
     )
-    per_seed: list[dict[int, float]] = []
-    for seed in seeds:
-        per_seed.append(simulate_first_passage_up(PAPER_PARAMS, horizon, seed))
-    mean_points = []
-    n = PAPER_PARAMS.n_nodes
-    for size in range(1, n + 1):
-        reached = [fp[size] for fp in per_seed if size in fp]
-        if reached:
-            mean_points.append((size, sum(reached) / len(reached)))
+    ensemble = FirstPassageEnsemble(
+        params=PAPER_PARAMS, horizon=horizon, seeds=seeds, direction="up",
+        jobs=jobs, cache=cache,
+    ).run()
+    mean_points = [
+        (size, aggregate.mean)
+        for size, aggregate in ensemble.curve()
+        if aggregate.times
+    ]
     result.add_series("simulation_mean_seconds_by_size", mean_points)
     result.metrics["analysis_f_n_seconds"] = analysis.seconds_to_synchronize
     result.metrics["seeds"] = len(seeds)
-    synced = [fp.get(n) for fp in per_seed if n in fp]
-    result.metrics["runs_synchronized"] = len(synced)
-    if synced:
-        result.metrics["simulation_mean_sync_seconds"] = sum(synced) / len(synced)
+    terminal = ensemble.terminal_result()
+    result.metrics["runs_synchronized"] = len(terminal.times)
+    if terminal.times:
+        result.metrics["simulation_mean_sync_seconds"] = terminal.mean
         result.metrics["analysis_over_simulation_ratio"] = (
-            analysis.seconds_to_synchronize / (sum(synced) / len(synced))
+            analysis.seconds_to_synchronize / terminal.mean
         )
     result.notes.append(
         "paper anchor: analysis exceeds the simulation average by 2-3x but "

@@ -7,7 +7,7 @@ falls to each size i; the solid line is ``(Tp + Tc) * g(i)``.
 
 from __future__ import annotations
 
-from ..core import CascadeModel, RouterTimingParameters
+from ..core import CascadeModel, FirstPassageEnsemble, RouterTimingParameters
 from ..markov import synchronization_times
 from .result import FigureResult
 
@@ -30,8 +30,14 @@ def simulate_first_passage_down(
 def run(
     horizon: float = 7e5,
     seeds: tuple[int, ...] = tuple(range(1, 21)),
+    jobs: int = 1,
+    cache=None,
 ) -> FigureResult:
-    """Reproduce Figure 11 (paper scale: 20 seeds, ~300,000 s axis)."""
+    """Reproduce Figure 11 (paper scale: 20 seeds, ~300,000 s axis).
+
+    ``jobs``/``cache`` parallelize and memoize the seed runs without
+    changing the numbers (see :mod:`repro.parallel`).
+    """
     analysis = synchronization_times(PAPER_PARAMS, f2=19.0)
     round_seconds = analysis.seconds_per_round
     result = FigureResult(
@@ -42,21 +48,24 @@ def run(
         "analysis_seconds_by_size",
         [(i + 1, g * round_seconds) for i, g in enumerate(analysis.g)],
     )
-    per_seed = [simulate_first_passage_down(PAPER_PARAMS, horizon, s) for s in seeds]
-    mean_points = []
-    for size in range(1, PAPER_PARAMS.n_nodes + 1):
-        reached = [fp[size] for fp in per_seed if size in fp]
-        if reached:
-            mean_points.append((size, sum(reached) / len(reached)))
+    ensemble = FirstPassageEnsemble(
+        params=PAPER_PARAMS, horizon=horizon, seeds=seeds, direction="down",
+        jobs=jobs, cache=cache,
+    ).run()
+    mean_points = [
+        (size, aggregate.mean)
+        for size, aggregate in ensemble.curve()
+        if aggregate.times
+    ]
     result.add_series("simulation_mean_seconds_by_size", mean_points)
     result.metrics["analysis_g_1_seconds"] = analysis.seconds_to_break_up
-    broke = [fp.get(1) for fp in per_seed if 1 in fp]
+    terminal = ensemble.terminal_result()
     result.metrics["seeds"] = len(seeds)
-    result.metrics["runs_broken_up"] = len(broke)
-    if broke:
-        result.metrics["simulation_mean_breakup_seconds"] = sum(broke) / len(broke)
+    result.metrics["runs_broken_up"] = len(terminal.times)
+    if terminal.times:
+        result.metrics["simulation_mean_breakup_seconds"] = terminal.mean
         result.metrics["analysis_over_simulation_ratio"] = (
-            analysis.seconds_to_break_up / (sum(broke) / len(broke))
+            analysis.seconds_to_break_up / terminal.mean
         )
     result.notes.append(
         "paper anchor: the Markov-chain prediction is 2-3x the simulation "

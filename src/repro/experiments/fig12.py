@@ -12,11 +12,7 @@ from __future__ import annotations
 
 import math
 
-from ..core import (
-    RouterTimingParameters,
-    time_to_break_up,
-    time_to_synchronize,
-)
+from ..core import RouterTimingParameters, sweep_tr
 from ..markov import synchronization_times
 from .result import FigureResult
 
@@ -32,8 +28,14 @@ def run(
     sim_checks: bool = True,
     sim_horizon: float = 2e6,
     seeds: tuple[int, ...] = (1, 2),
+    jobs: int = 1,
+    cache=None,
 ) -> FigureResult:
-    """Reproduce Figure 12."""
+    """Reproduce Figure 12.
+
+    The simulation spot checks run through the parallel layer:
+    ``jobs``/``cache`` speed them up without changing the marks.
+    """
     tc = PAPER_PARAMS.tc
     f_curve = []
     g_curve = []
@@ -66,16 +68,16 @@ def run(
         f"{finite_g[-1][1]:.3g} .. {finite_g[0][1]:.3g}" if finite_g else "empty"
     )
     if sim_checks:
-        sync_mark = []
-        for seed in seeds:
-            t = time_to_synchronize(PAPER_PARAMS.with_tr(0.9 * tc), sim_horizon, seed=seed)
-            if t is not None:
-                sync_mark.append(t)
-        break_mark = []
-        for seed in seeds:
-            t = time_to_break_up(PAPER_PARAMS.with_tr(3.0 * tc), sim_horizon, seed=seed)
-            if t is not None:
-                break_mark.append(t)
+        sync_runs = sweep_tr(
+            PAPER_PARAMS, [0.9 * tc], sim_horizon, direction="synchronize",
+            seeds=seeds, jobs=jobs, cache=cache,
+        )
+        sync_mark = [r.time for r in sync_runs if r.occurred]
+        break_runs = sweep_tr(
+            PAPER_PARAMS, [3.0 * tc], sim_horizon, direction="break_up",
+            seeds=seeds, jobs=jobs, cache=cache,
+        )
+        break_mark = [r.time for r in break_runs if r.occurred]
         if sync_mark:
             result.add_series(
                 "simulation_sync_marks",

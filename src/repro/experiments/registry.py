@@ -29,7 +29,7 @@ from . import (
 )
 from .result import FigureResult
 
-__all__ = ["FIGURES", "FAST_KWARGS", "run_figure", "figure_ids"]
+__all__ = ["FIGURES", "FAST_KWARGS", "PARALLEL_FIGURES", "run_figure", "figure_ids"]
 
 FIGURES: dict[str, Callable[..., FigureResult]] = {
     "fig01": fig01.run,
@@ -71,12 +71,24 @@ FAST_KWARGS: dict[str, dict] = {
 }
 
 
+#: Figures whose drivers run simulations through the parallel layer
+#: and therefore accept ``jobs=``/``cache=`` (see repro.parallel); the
+#: rest are analytic or single-trajectory and ignore those settings.
+PARALLEL_FIGURES = frozenset({"fig07", "fig08", "fig10", "fig11", "fig12"})
+
+
 def figure_ids() -> list[str]:
     """All registered figure ids, in paper order."""
     return sorted(FIGURES)
 
 
-def run_figure(figure_id: str, fast: bool = False, **overrides) -> FigureResult:
+def run_figure(
+    figure_id: str,
+    fast: bool = False,
+    jobs: int | None = None,
+    cache=None,
+    **overrides,
+) -> FigureResult:
     """Run one figure's reproduction.
 
     Parameters
@@ -85,6 +97,12 @@ def run_figure(figure_id: str, fast: bool = False, **overrides) -> FigureResult:
         "fig01" .. "fig15".
     fast:
         Apply the registry's reduced-scale arguments.
+    jobs:
+        Worker processes for drivers in :data:`PARALLEL_FIGURES`
+        (silently ignored elsewhere — the CLI passes it for every
+        target).
+    cache:
+        Optional :class:`~repro.parallel.ResultCache`, same scoping.
     overrides:
         Explicit keyword arguments for the driver (take precedence
         over the fast defaults).
@@ -92,6 +110,11 @@ def run_figure(figure_id: str, fast: bool = False, **overrides) -> FigureResult:
     if figure_id not in FIGURES:
         raise ValueError(f"unknown figure {figure_id!r}; known: {figure_ids()}")
     kwargs = dict(FAST_KWARGS.get(figure_id, {})) if fast else {}
+    if figure_id in PARALLEL_FIGURES:
+        if jobs is not None:
+            kwargs["jobs"] = jobs
+        if cache is not None:
+            kwargs["cache"] = cache
     kwargs.update(overrides)
     result = FIGURES[figure_id](**kwargs)
     if fast:

@@ -1,0 +1,48 @@
+"""Parallel execution layer for simulation fan-out.
+
+Every headline quantity in the paper is an embarrassingly parallel
+aggregate: Figures 10/11 average twenty independent seeds, Figures
+12-15 sweep ``Tr``/``N`` grids, and the transition finder bisects over
+``N``.  This package turns each of those unit simulations into a
+:class:`SimulationJob` — a hashable, serializable spec of (parameters,
+seed, horizon, direction, engine) — and executes batches of them
+through a :class:`ParallelRunner` that fans out over a process pool,
+falls back to in-process execution when ``jobs=1`` (or when the
+platform cannot spawn workers), and consults a content-addressed
+on-disk :class:`ResultCache` so repeated figure runs and bisection
+probes never recompute a completed simulation.
+
+Determinism guarantee: a job's result depends only on the job spec.
+Each worker derives the same per-router RNG streams the serial path
+does, and the runner restores submission order after the gather, so
+``jobs=4`` is byte-identical to ``jobs=1`` (asserted in
+``tests/test_parallel_runner.py``).
+"""
+
+from .bench import format_table, run_benchmark
+from .cache import ResultCache
+from .job import (
+    ENGINES,
+    MODEL_VERSION,
+    JobResult,
+    SimulationJob,
+    run_job,
+    run_jobs,
+    validate_engine,
+)
+from .runner import ParallelRunner, RunnerStats
+
+__all__ = [
+    "ENGINES",
+    "MODEL_VERSION",
+    "JobResult",
+    "ParallelRunner",
+    "ResultCache",
+    "RunnerStats",
+    "SimulationJob",
+    "format_table",
+    "run_benchmark",
+    "run_job",
+    "run_jobs",
+    "validate_engine",
+]

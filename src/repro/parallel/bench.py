@@ -1,0 +1,164 @@
+"""The parallel-layer performance snapshot (``python -m repro bench``).
+
+Runs one fixed workload — the 20-seed Figure 10 first-passage ensemble
+(N=20, Tp=121 s, Tc=0.11 s, Tr=0.1 s) — through four configurations:
+
+* ``des_jobs1``      — the seed implementation's path: DES engine, serial.
+* ``cascade_jobs1``  — the cascade engine, serial (the new default).
+* ``cascade_jobsN``  — the cascade engine over the process pool.
+* ``cascade_warm``   — the pooled run repeated against a warm cache.
+
+All four must produce identical first-passage times (checked here, on
+every bench run), so the table is a pure wall-clock comparison.  The
+snapshot is written as JSON — ``BENCH_parallel.json`` at the repo root
+by convention — so perf regressions are diffable across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Sequence
+
+from .cache import ResultCache
+from .job import MODEL_VERSION, SimulationJob
+from .runner import ParallelRunner
+
+__all__ = ["BENCH_PARAMS", "format_table", "run_benchmark"]
+
+#: The Figure 10 parameter point (see experiments/fig10.py).
+BENCH_PARAMS = {"n_nodes": 20, "tp": 121.0, "tc": 0.11, "tr": 0.1}
+
+#: Default horizon: long enough that most of the 20 seeds reach full
+#: synchronization (mean sync time is ~2e5 s at Tr = 0.1), short
+#: enough that the DES baseline finishes in seconds.
+DEFAULT_HORIZON = 2e5
+
+
+def _specs(
+    horizon: float, seeds: Sequence[int], engine: str
+) -> list[SimulationJob]:
+    return [
+        SimulationJob(
+            seed=seed, horizon=horizon, direction="up", engine=engine, **BENCH_PARAMS
+        )
+        for seed in seeds
+    ]
+
+
+def _timed(runner: ParallelRunner, specs: list[SimulationJob]):
+    start = time.perf_counter()
+    results = runner.run(specs)
+    return time.perf_counter() - start, results
+
+
+def run_benchmark(
+    jobs: int | None = None,
+    horizon: float = DEFAULT_HORIZON,
+    seeds: Sequence[int] = tuple(range(1, 21)),
+    cache_root: str | os.PathLike | None = None,
+    output: str | os.PathLike | None = None,
+) -> dict:
+    """Run the four configurations and return (optionally write) the snapshot.
+
+    Parameters
+    ----------
+    jobs:
+        Pool width for the parallel rows; defaults to the CPU count.
+    horizon, seeds:
+        The ensemble's run settings (defaults reproduce the canonical
+        snapshot: 20 seeds, 2e5 s).
+    cache_root:
+        Directory for the warm-cache row.  Defaults to a throwaway
+        subdirectory of ``results/cache/`` — pass an explicit path in
+        tests.
+    output:
+        If given, the snapshot JSON is written there.
+    """
+    jobs = jobs or os.cpu_count() or 1
+    cache_root = Path(cache_root) if cache_root is not None else (
+        Path("results") / "cache" / "bench"
+    )
+
+    timings: dict[str, float] = {}
+    timings["des_jobs1"], des_results = _timed(
+        ParallelRunner(jobs=1), _specs(horizon, seeds, "des")
+    )
+    timings["cascade_jobs1"], serial_results = _timed(
+        ParallelRunner(jobs=1), _specs(horizon, seeds, "cascade")
+    )
+    cache = ResultCache(cache_root)
+    cache.clear()
+    timings["cascade_jobsN"], pooled_results = _timed(
+        ParallelRunner(jobs=jobs, cache=cache), _specs(horizon, seeds, "cascade")
+    )
+    timings["cascade_warm"], warm_results = _timed(
+        ParallelRunner(jobs=jobs, cache=cache), _specs(horizon, seeds, "cascade")
+    )
+
+    identical = (
+        des_results == serial_results == pooled_results == warm_results
+    )
+    baseline = timings["des_jobs1"]
+    snapshot = {
+        "benchmark": "fig10_first_passage_ensemble",
+        "model_version": MODEL_VERSION,
+        "params": dict(BENCH_PARAMS),
+        "horizon_seconds": horizon,
+        "n_seeds": len(list(seeds)),
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "timings_seconds": {name: round(t, 4) for name, t in timings.items()},
+        "speedup_vs_seed": {
+            name: round(baseline / t, 2) if t > 0 else float("inf")
+            for name, t in timings.items()
+        },
+        "results_identical_across_configs": identical,
+        "runs_synchronized": sum(
+            1 for r in serial_results if BENCH_PARAMS["n_nodes"] in r.first_passages
+        ),
+    }
+    if output is not None:
+        Path(output).write_text(json.dumps(snapshot, indent=2) + "\n")
+    return snapshot
+
+
+def format_table(snapshot: dict) -> str:
+    """Render a snapshot as the CLI's speedup table."""
+    rows = [
+        (
+            "configuration",
+            "wall-clock (s)",
+            "speedup vs seed (DES, serial)",
+        )
+    ]
+    labels = {
+        "des_jobs1": "des engine, jobs=1 (seed impl.)",
+        "cascade_jobs1": "cascade engine, jobs=1",
+        "cascade_jobsN": f"cascade engine, jobs={snapshot['jobs']}",
+        "cascade_warm": f"cascade, jobs={snapshot['jobs']}, warm cache",
+    }
+    for name, seconds in snapshot["timings_seconds"].items():
+        rows.append(
+            (
+                labels.get(name, name),
+                f"{seconds:.3f}",
+                f"{snapshot['speedup_vs_seed'][name]:.2f}x",
+            )
+        )
+    widths = [max(len(row[col]) for row in rows) for col in range(3)]
+    lines = [
+        f"fig10 ensemble: {snapshot['n_seeds']} seeds, horizon "
+        f"{snapshot['horizon_seconds']:g} s, {snapshot['cpu_count']} CPU(s)"
+    ]
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[col]) for col, cell in enumerate(row)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    lines.append(
+        "results identical across configurations: "
+        + ("yes" if snapshot["results_identical_across_configs"] else "NO")
+    )
+    return "\n".join(lines)

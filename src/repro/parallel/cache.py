@@ -1,0 +1,104 @@
+"""Content-addressed on-disk cache of simulation results.
+
+One JSON file per completed :class:`~repro.parallel.job.SimulationJob`
+under ``results/cache/`` (or any directory you point it at), named by
+the job's :meth:`~repro.parallel.job.SimulationJob.cache_key` — a
+stable hash of the spec plus the model version tag.  Because the key
+covers everything that determines the outcome, a hit can be returned
+without any staleness check, and bumping
+:data:`~repro.parallel.job.MODEL_VERSION` invalidates every old entry
+by construction (their keys simply stop being looked up).
+
+Entries also embed the spec and version they were computed from, so a
+file that was hand-edited, truncated, or produced by a different model
+version is detected and treated as a miss rather than trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from .job import MODEL_VERSION, JobResult, SimulationJob
+
+__all__ = ["DEFAULT_CACHE_DIR", "ResultCache"]
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = Path("results") / "cache"
+
+
+class ResultCache:
+    """Get/put simulation results keyed by job content hash.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on first ``put``).  Defaults
+        to ``results/cache/`` under the current working directory.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        self.root = Path(root) if root is not None else DEFAULT_CACHE_DIR
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, job: SimulationJob) -> Path:
+        """The file a job's result lives in (whether or not it exists)."""
+        return self.root / f"{job.cache_key()}.json"
+
+    def get(self, job: SimulationJob) -> JobResult | None:
+        """Return the cached result, or None on a miss.
+
+        Any defect — missing file, unparsable JSON, wrong model
+        version, spec mismatch — counts as a miss; the entry will be
+        overwritten by the next ``put``.
+        """
+        path = self.path_for(job)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("model_version") != MODEL_VERSION:
+                raise ValueError("model version mismatch")
+            if payload.get("job") != job.to_dict():
+                raise ValueError("job spec mismatch")
+            result = JobResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, job: SimulationJob, result: JobResult) -> Path:
+        """Store a result (atomic: write to a temp file, then rename)."""
+        path = self.path_for(job)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "model_version": MODEL_VERSION,
+            "job": job.to_dict(),
+            "result": result.to_dict(),
+        }
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultCache(root={str(self.root)!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

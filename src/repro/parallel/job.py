@@ -1,0 +1,237 @@
+"""Simulation job specs and the pure function that executes them.
+
+A :class:`SimulationJob` captures everything that determines a
+first-passage simulation's outcome — the (N, Tp, Tc, Tr) tuple, the
+seed, the horizon, the direction, and which engine runs it.  Because
+the spec is frozen, hashable, and serializes to a canonical dict, it
+doubles as the key of the on-disk result cache and as the unit of work
+shipped to pool workers.
+
+:func:`run_job` is deliberately a module-level pure function:
+``ProcessPoolExecutor`` can pickle it, and running the same job twice
+— in this process, in a worker, or in a different session reading the
+cache — yields the same :class:`JobResult` bit for bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.fastsim import CascadeModel
+from ..core.model import ModelConfig, PeriodicMessagesModel
+from ..core.parameters import RouterTimingParameters
+
+__all__ = [
+    "ENGINES",
+    "MODEL_VERSION",
+    "JobResult",
+    "SimulationJob",
+    "run_job",
+    "run_jobs",
+    "validate_engine",
+]
+
+#: Bump whenever a change alters simulation trajectories (RNG streams,
+#: model semantics, tracker behaviour).  The tag is folded into every
+#: cache key, so stale entries from older model versions simply miss.
+MODEL_VERSION = "fj93-model-1"
+
+#: Known simulation engines.  ``cascade`` is the fast rule-based
+#: implementation (bit-for-bit equivalent to the DES for the pure
+#: periodic model, see tests/test_core_fastsim.py); ``des`` is the
+#: event-driven reference implementation.
+ENGINES = ("cascade", "des")
+
+_DIRECTIONS = ("up", "down")
+
+
+def validate_engine(engine: str) -> str:
+    """Return ``engine`` if known, else raise a descriptive ValueError."""
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; known engines: {', '.join(ENGINES)}"
+        )
+    return engine
+
+
+@dataclass(frozen=True)
+class SimulationJob:
+    """Spec of one first-passage simulation.
+
+    Attributes
+    ----------
+    n_nodes, tp, tc, tr:
+        The model's timing parameters (flattened so the spec is a
+        single frozen dataclass).
+    seed:
+        Master RNG seed; per-router streams derive from it.
+    horizon:
+        Simulation horizon in seconds.
+    direction:
+        ``"up"`` — unsynchronized start, record first times each
+        cluster size is reached (Figure 10); ``"down"`` — synchronized
+        start, record first times the per-round largest cluster falls
+        to each size (Figure 11).
+    engine:
+        ``"cascade"`` or ``"des"``.
+    """
+
+    n_nodes: int
+    tp: float
+    tc: float
+    tr: float
+    seed: int
+    horizon: float
+    direction: str = "up"
+    engine: str = "cascade"
+
+    def __post_init__(self) -> None:
+        # Delegate parameter validation to the canonical dataclass.
+        RouterTimingParameters(self.n_nodes, self.tp, self.tc, self.tr)
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if self.direction not in _DIRECTIONS:
+            raise ValueError(
+                f"unknown direction {self.direction!r}; known: {', '.join(_DIRECTIONS)}"
+            )
+        validate_engine(self.engine)
+
+    @classmethod
+    def from_params(
+        cls,
+        params: RouterTimingParameters,
+        seed: int,
+        horizon: float,
+        direction: str = "up",
+        engine: str = "cascade",
+    ) -> "SimulationJob":
+        """Build a job from a parameter tuple plus run settings."""
+        return cls(
+            n_nodes=params.n_nodes,
+            tp=params.tp,
+            tc=params.tc,
+            tr=params.tr,
+            seed=seed,
+            horizon=horizon,
+            direction=direction,
+            engine=engine,
+        )
+
+    @property
+    def params(self) -> RouterTimingParameters:
+        """The job's timing parameters as the canonical dataclass."""
+        return RouterTimingParameters(self.n_nodes, self.tp, self.tc, self.tr)
+
+    def to_dict(self) -> dict:
+        """Canonical plain-dict form (stable across sessions)."""
+        return {
+            "n_nodes": self.n_nodes,
+            "tp": self.tp,
+            "tc": self.tc,
+            "tr": self.tr,
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "direction": self.direction,
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationJob":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+    def cache_key(self) -> str:
+        """Content hash of the spec plus the model version tag.
+
+        ``json.dumps`` with sorted keys is a canonical encoding, and
+        Python's float repr round-trips exactly, so equal jobs hash
+        equal across processes and sessions.
+        """
+        payload = json.dumps(
+            {"job": self.to_dict(), "model_version": MODEL_VERSION},
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one job: the first-passage time per cluster size.
+
+    ``first_passages`` maps cluster size -> first time (seconds) that
+    size was reached (direction "up") or first time the per-round
+    largest cluster dropped to it (direction "down").  Sizes the run
+    never reached within the horizon are absent — censoring is
+    represented by absence, exactly as in the serial code paths.
+    """
+
+    first_passages: dict[int, float]
+
+    def terminal_time(self, job: SimulationJob) -> float | None:
+        """The job's headline quantity, or None if censored.
+
+        Full synchronization (size N) for direction "up"; full
+        break-up (size 1) for direction "down".
+        """
+        target = job.n_nodes if job.direction == "up" else 1
+        return self.first_passages.get(target)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (JSON object keys must be strings)."""
+        return {
+            "first_passages": {
+                str(size): time for size, time in sorted(self.first_passages.items())
+            }
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobResult":
+        """Inverse of :meth:`to_dict` (restores integer sizes)."""
+        return cls(
+            first_passages={
+                int(size): float(time)
+                for size, time in data["first_passages"].items()
+            }
+        )
+
+
+def run_job(job: SimulationJob) -> JobResult:
+    """Execute one job and return its first-passage record.
+
+    Pure: the result depends only on the job spec.  Both engines use
+    the same per-seed RNG stream derivation, so the choice of engine
+    does not change the trajectory for the pure periodic model.
+    """
+    up = job.direction == "up"
+    phases = "unsynchronized" if up else "synchronized"
+    if job.engine == "cascade":
+        model = CascadeModel(job.params, seed=job.seed, initial_phases=phases)
+        model.run(
+            until=job.horizon,
+            stop_on_full_sync=up,
+            stop_on_full_unsync=not up,
+        )
+        tracker = model.tracker
+    elif job.engine == "des":
+        config = ModelConfig.from_parameters(
+            job.params, seed=job.seed, keep_cluster_history=False
+        )
+        des = PeriodicMessagesModel(config, initial_phases=phases)
+        des.run(
+            until=job.horizon,
+            stop_on_full_sync=up,
+            stop_on_full_unsync=not up,
+        )
+        tracker = des.tracker
+    else:  # pragma: no cover - __post_init__ rejects unknown engines
+        raise ValueError(f"unknown engine {job.engine!r}")
+    mapping = tracker.first_time_at_least if up else tracker.first_time_at_most
+    return JobResult(first_passages=dict(mapping))
+
+
+def run_jobs(jobs: Sequence[SimulationJob]) -> list[JobResult]:
+    """Execute a chunk of jobs in order (the pool worker entry point)."""
+    return [run_job(job) for job in jobs]

@@ -1,0 +1,187 @@
+"""Fan jobs out over a process pool, deterministically.
+
+The runner's contract: ``run(specs)`` returns one result per spec, in
+spec order, and the values are byte-identical whatever the ``jobs``
+setting — each job derives its own RNG streams from its seed, workers
+share no state, and ordering is restored after the gather.  Parallelism
+can therefore never change science, only wall-clock.
+
+Scheduling is chunked: contiguous runs of pending jobs are grouped so
+that one pool round-trip amortizes pickling over several simulations.
+Failures degrade gracefully — a chunk that times out, a worker that
+dies, or a platform that cannot start processes at all (no ``fork``,
+sandboxed interpreters) all fall back to in-process execution of the
+affected jobs, optionally retried, so ``run()`` either returns complete
+results or raises the underlying error after the fallback also failed.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .cache import ResultCache
+from .job import JobResult, SimulationJob, run_job, run_jobs
+
+__all__ = ["ParallelRunner", "RunnerStats"]
+
+
+@dataclass
+class RunnerStats:
+    """Counters from the most recent :meth:`ParallelRunner.run` call."""
+
+    submitted: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    pooled: int = 0
+    fallback: int = 0
+    retried_chunks: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class ParallelRunner:
+    """Execute batches of :class:`SimulationJob` specs.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default) runs in-process with no
+        pool, no pickling, and no platform requirements.
+    cache:
+        Optional :class:`ResultCache`; hits skip execution entirely and
+        fresh results are stored back.
+    chunk_size:
+        Jobs per pool task.  Defaults to spreading the batch over
+        roughly four chunks per worker, so stragglers rebalance.
+    timeout:
+        Optional per-job seconds; a chunk gets ``timeout *
+        len(chunk)``.  Chunks that exceed it are re-run in process.
+    retries:
+        How many times a failed/timed-out chunk is re-attempted
+        in-process before the error propagates.
+    """
+
+    jobs: int = 1
+    cache: ResultCache | None = None
+    chunk_size: int | None = None
+    timeout: float | None = None
+    retries: int = 1
+    stats: RunnerStats = field(default_factory=RunnerStats, init=False)
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+
+    def run(self, specs: Sequence[SimulationJob]) -> list[JobResult]:
+        """Execute every spec; results come back in spec order."""
+        specs = list(specs)
+        self.stats = RunnerStats(submitted=len(specs))
+        results: list[JobResult | None] = [None] * len(specs)
+        pending: list[tuple[int, SimulationJob]] = []
+        for index, spec in enumerate(specs):
+            cached = self.cache.get(spec) if self.cache is not None else None
+            if cached is not None:
+                results[index] = cached
+                self.stats.cache_hits += 1
+            else:
+                pending.append((index, spec))
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                executed = self._run_pooled(pending)
+            else:
+                executed = self._run_serial(pending)
+            for index, result in executed.items():
+                results[index] = result
+                if self.cache is not None:
+                    self.cache.put(specs[index], result)
+            self.stats.executed = len(executed)
+        return results  # type: ignore[return-value]  # every slot is filled
+
+    # -- execution strategies -------------------------------------------------
+
+    def _run_serial(
+        self, pending: Sequence[tuple[int, SimulationJob]]
+    ) -> dict[int, JobResult]:
+        return {index: run_job(spec) for index, spec in pending}
+
+    def _chunks(
+        self, pending: Sequence[tuple[int, SimulationJob]]
+    ) -> list[list[tuple[int, SimulationJob]]]:
+        if self.chunk_size is not None:
+            size = self.chunk_size
+        else:
+            size = max(1, math.ceil(len(pending) / (self.jobs * 4)))
+        return [
+            list(pending[start : start + size])
+            for start in range(0, len(pending), size)
+        ]
+
+    def _run_pooled(
+        self, pending: Sequence[tuple[int, SimulationJob]]
+    ) -> dict[int, JobResult]:
+        chunks = self._chunks(pending)
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(chunks)))
+        except (OSError, ValueError, ImportError, NotImplementedError):
+            # No process support on this platform: stay in-process.
+            self.stats.fallback += len(pending)
+            return self._run_serial(pending)
+        executed: dict[int, JobResult] = {}
+        failed: list[list[tuple[int, SimulationJob]]] = []
+        try:
+            futures = [
+                (chunk, pool.submit(run_jobs, [spec for _index, spec in chunk]))
+                for chunk in chunks
+            ]
+            for chunk, future in futures:
+                chunk_timeout = (
+                    self.timeout * len(chunk) if self.timeout is not None else None
+                )
+                try:
+                    chunk_results = future.result(timeout=chunk_timeout)
+                except FutureTimeoutError:
+                    future.cancel()
+                    failed.append(chunk)
+                    continue
+                except (ValueError, TypeError):
+                    # A bad job spec fails identically everywhere;
+                    # surface it rather than retrying.
+                    raise
+                except Exception:
+                    # Worker died (BrokenProcessPool, pickling trouble,
+                    # OOM kill, ...): run this chunk in-process below.
+                    failed.append(chunk)
+                    continue
+                for (index, _spec), result in zip(chunk, chunk_results):
+                    executed[index] = result
+                    self.stats.pooled += 1
+        finally:
+            # Timed-out workers may still be running; don't block on them.
+            pool.shutdown(wait=not failed, cancel_futures=True)
+        for chunk in failed:
+            self.stats.retried_chunks += 1
+            remaining = dict(chunk)
+            last_error: BaseException | None = None
+            for _attempt in range(max(1, self.retries)):
+                try:
+                    executed.update(self._run_serial(list(remaining.items())))
+                    self.stats.fallback += len(remaining)
+                    remaining = {}
+                    break
+                except Exception as error:  # pragma: no cover - defensive
+                    last_error = error
+            if remaining and last_error is not None:  # pragma: no cover
+                raise last_error
+        return executed

@@ -67,6 +67,16 @@ class TestFirstPassageEnsemble:
         assert terminal.censored == 2
         assert terminal.completion_rate == 0.0
 
+    def test_cascade_default_matches_des_escape_hatch(self):
+        # The ensemble now defaults to the fast cascade engine; the
+        # "des" escape hatch must produce the identical aggregate
+        # (the engines are bit-for-bit equivalent for this model).
+        kwargs = dict(params=FAST, horizon=20000.0, seeds=(1, 2, 3), direction="up")
+        cascade = FirstPassageEnsemble(**kwargs).run()
+        des = FirstPassageEnsemble(**kwargs, engine="des").run()
+        for size in range(1, FAST.n_nodes + 1):
+            assert cascade.result_for(size) == des.result_for(size)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             FirstPassageEnsemble(params=FAST, horizon=0.0)
@@ -74,6 +84,10 @@ class TestFirstPassageEnsemble:
             FirstPassageEnsemble(params=FAST, horizon=1.0, seeds=())
         with pytest.raises(ValueError):
             FirstPassageEnsemble(params=FAST, horizon=1.0, direction="sideways")
+        with pytest.raises(ValueError, match="engine"):
+            FirstPassageEnsemble(params=FAST, horizon=1.0, engine="warp")
+        with pytest.raises(ValueError):
+            FirstPassageEnsemble(params=FAST, horizon=1.0, jobs=0)
         ensemble = FirstPassageEnsemble(params=FAST, horizon=1000.0, seeds=(1,))
         with pytest.raises(RuntimeError):
             ensemble.result_for(2)

@@ -71,6 +71,21 @@ class TestSweeps:
         with pytest.raises(ValueError):
             sweep_nodes(BASE, [2], horizon=10.0, direction="sideways")
 
+    def test_sweep_engine_validation(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            sweep_tr(BASE, [0.1], horizon=10.0, engine="warp")
+        with pytest.raises(ValueError, match="unknown engine"):
+            sweep_nodes(BASE, [2], horizon=10.0, engine="warp")
+        with pytest.raises(ValueError, match="unknown engine"):
+            time_to_synchronize(BASE, horizon=10.0, engine="warp")
+        with pytest.raises(ValueError, match="unknown engine"):
+            time_to_break_up(BASE, horizon=10.0, engine="warp")
+
+    def test_sweep_engines_agree(self):
+        cascade = sweep_tr(BASE, [0.1, 2.0], horizon=5000.0, seeds=(1,))
+        des = sweep_tr(BASE, [0.1, 2.0], horizon=5000.0, seeds=(1,), engine="des")
+        assert cascade == des
+
     def test_sweep_nodes_runs(self):
         results = sweep_nodes(BASE, [2, 6], horizon=2000.0)
         assert [int(r.parameter) for r in results] == [2, 6]
@@ -92,3 +107,20 @@ class TestTransitionFinder:
         calm = BASE.with_tr(8.0)  # enormous jitter: no synchronization
         with pytest.raises(ValueError):
             find_transition_n(calm, horizon=500.0, n_low=2, n_high=4, seed=1)
+
+    def test_bisection_probes_are_cached(self, tmp_path):
+        from repro.parallel import ResultCache
+
+        cache = ResultCache(tmp_path)
+        first = find_transition_n(
+            BASE, horizon=3000.0, n_low=2, n_high=12, seed=3, cache=cache
+        )
+        probes = len(cache)
+        assert probes > 0
+        hits_before = cache.hits
+        again = find_transition_n(
+            BASE, horizon=3000.0, n_low=2, n_high=12, seed=3, cache=cache
+        )
+        assert again == first
+        assert len(cache) == probes  # nothing recomputed
+        assert cache.hits > hits_before

@@ -66,6 +66,22 @@ class TestRegistry:
             assert result.figure_id == figure_id
             assert result.series
 
+    def test_jobs_ignored_for_non_parallel_figures(self):
+        # fig09 is analytic; jobs/cache must not reach its driver.
+        result = run_figure("fig09", fast=True, jobs=4)
+        assert result.figure_id == "fig09"
+
+    def test_jobs_and_cache_reach_parallel_figures(self, tmp_path):
+        from repro.parallel import ResultCache
+
+        cache = ResultCache(tmp_path)
+        result = run_figure(
+            "fig10", fast=True, jobs=2, cache=cache,
+            horizon=2e4, seeds=(1, 2),
+        )
+        assert result.figure_id == "fig10"
+        assert len(cache) == 2  # one entry per seed
+
 
 class TestCli:
     def test_list_prints_ids(self, capsys):
@@ -87,3 +103,34 @@ class TestCli:
         assert args.target == "fig04"
         assert args.fast is False
         assert args.max_points == 25
+        assert args.jobs is None
+        assert args.no_cache is False
+
+    def test_parser_parallel_flags(self):
+        args = build_parser().parse_args(["fig10", "--jobs", "4", "--no-cache"])
+        assert args.jobs == 4
+        assert args.no_cache is True
+
+    def test_invalid_jobs_errors(self, capsys):
+        assert main(["fig09", "--jobs", "0"]) == 2
+        assert "jobs" in capsys.readouterr().err
+
+    def test_bench_target_prints_table(self, capsys, monkeypatch, tmp_path):
+        import repro.parallel as parallel
+
+        real_run_benchmark = parallel.run_benchmark
+
+        def tiny_bench(jobs=None, output=None, **kwargs):
+            return real_run_benchmark(
+                jobs=jobs or 1,
+                horizon=2e4,
+                seeds=(1, 2),
+                cache_root=tmp_path / "cache",
+                output=tmp_path / "BENCH_parallel.json",
+            )
+
+        monkeypatch.setattr(parallel, "run_benchmark", tiny_bench)
+        assert main(["bench"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert (tmp_path / "BENCH_parallel.json").exists()

@@ -1,0 +1,105 @@
+"""Tests for the content-addressed on-disk result cache."""
+
+import json
+
+import pytest
+
+from repro.core import RouterTimingParameters
+from repro.parallel import JobResult, ResultCache, SimulationJob
+from repro.parallel import cache as cache_module
+
+FAST = RouterTimingParameters(n_nodes=5, tp=20.0, tc=0.3, tr=0.1)
+
+
+@pytest.fixture
+def job():
+    return SimulationJob.from_params(FAST, seed=1, horizon=1000.0)
+
+
+@pytest.fixture
+def result():
+    return JobResult(first_passages={1: 0.25, 2: 31.5, 5: 812.0625})
+
+
+class TestHitMiss:
+    def test_empty_cache_misses(self, tmp_path, job):
+        cache = ResultCache(tmp_path)
+        assert cache.get(job) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        assert len(cache) == 0
+
+    def test_put_then_get_hits_exactly(self, tmp_path, job, result):
+        cache = ResultCache(tmp_path)
+        cache.put(job, result)
+        assert len(cache) == 1
+        restored = cache.get(job)
+        assert restored == result
+        assert (cache.hits, cache.misses) == (1, 0)
+        # Floats survive the JSON round trip bit for bit.
+        assert restored.first_passages[5] == 812.0625
+
+    def test_different_job_misses(self, tmp_path, job, result):
+        cache = ResultCache(tmp_path)
+        cache.put(job, result)
+        other = SimulationJob.from_params(FAST, seed=2, horizon=1000.0)
+        assert cache.get(other) is None
+
+    def test_persistence_across_instances(self, tmp_path, job, result):
+        ResultCache(tmp_path).put(job, result)
+        assert ResultCache(tmp_path).get(job) == result
+
+
+class TestInvalidation:
+    def test_model_version_bump_invalidates(self, tmp_path, job, result, monkeypatch):
+        cache = ResultCache(tmp_path)
+        path = cache.put(job, result)
+        # A new model version changes every cache key, so entries
+        # computed under the old version are never looked up again.
+        monkeypatch.setattr(cache_module, "MODEL_VERSION", "fj93-model-TEST")
+        monkeypatch.setattr("repro.parallel.job.MODEL_VERSION", "fj93-model-TEST")
+        assert cache.path_for(job) != path
+        assert cache.get(job) is None
+
+    def test_stale_version_in_file_is_rejected(self, tmp_path, job, result):
+        # Even if a file lands on the right path (hand-copied, renamed),
+        # a model_version mismatch inside it is treated as a miss.
+        cache = ResultCache(tmp_path)
+        path = cache.put(job, result)
+        payload = json.loads(path.read_text())
+        payload["model_version"] = "something-older"
+        path.write_text(json.dumps(payload))
+        assert cache.get(job) is None
+
+    def test_corrupt_file_is_a_miss(self, tmp_path, job, result):
+        cache = ResultCache(tmp_path)
+        cache.put(job, result)
+        cache.path_for(job).write_text("{not json")
+        assert cache.get(job) is None
+
+    def test_spec_mismatch_is_a_miss(self, tmp_path, job, result):
+        cache = ResultCache(tmp_path)
+        path = cache.put(job, result)
+        payload = json.loads(path.read_text())
+        payload["job"]["seed"] = 999  # tampered entry
+        path.write_text(json.dumps(payload))
+        assert cache.get(job) is None
+
+
+class TestMaintenance:
+    def test_clear_removes_everything(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        for seed in (1, 2, 3):
+            cache.put(
+                SimulationJob.from_params(FAST, seed=seed, horizon=1000.0), result
+            )
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_clear_on_missing_directory(self, tmp_path):
+        assert ResultCache(tmp_path / "nowhere").clear() == 0
+
+    def test_put_is_atomic_no_tmp_left_behind(self, tmp_path, job, result):
+        cache = ResultCache(tmp_path)
+        cache.put(job, result)
+        assert not list(tmp_path.glob("*.tmp"))
