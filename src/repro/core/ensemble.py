@@ -103,6 +103,20 @@ class FirstPassageEnsemble:
     cache:
         Optional :class:`~repro.parallel.ResultCache`; completed seeds
         are never recomputed.
+    checkpoint:
+        Resume support: ``True`` journals completed seeds under
+        ``results/checkpoints/`` (content-addressed run id) so a
+        killed ensemble resumes where it stopped; also accepts an
+        explicit path or :class:`~repro.parallel.CheckpointJournal`.
+        The journal is deleted once the ensemble completes cleanly.
+    on_error:
+        ``"raise"`` (default) surfaces the first seed failure after
+        completed seeds are committed; ``"censor"`` degrades failed
+        seeds to censored observations so partial results are
+        harvestable (inspect :attr:`report` for which).
+    timeout, retries:
+        Per-seed deadline (seconds) and retry budget, passed to the
+        :class:`~repro.parallel.ParallelRunner`.
     """
 
     params: RouterTimingParameters
@@ -112,6 +126,11 @@ class FirstPassageEnsemble:
     engine: str = "cascade"
     jobs: int = 1
     cache: object | None = None
+    checkpoint: object | None = None
+    on_error: Literal["raise", "censor"] = "raise"
+    timeout: float | None = None
+    retries: int = 1
+    report: object | None = field(default=None, init=False)
     _passages: list[dict[int, float]] = field(default_factory=list, init=False)
 
     def __post_init__(self) -> None:
@@ -129,7 +148,7 @@ class FirstPassageEnsemble:
 
     def run(self) -> "FirstPassageEnsemble":
         """Execute every run (idempotent: re-running clears old data)."""
-        from ..parallel import ParallelRunner, SimulationJob
+        from ..parallel import ParallelRunner, SimulationJob, resolve_checkpoint
 
         specs = [
             SimulationJob.from_params(
@@ -141,10 +160,30 @@ class FirstPassageEnsemble:
             )
             for seed in self.seeds
         ]
-        runner = ParallelRunner(jobs=self.jobs, cache=self.cache)
-        self._passages = [
-            dict(result.first_passages) for result in runner.run(specs)
-        ]
+        journal = resolve_checkpoint(self.checkpoint, specs)
+        runner = ParallelRunner(
+            jobs=self.jobs,
+            cache=self.cache,
+            checkpoint=journal,
+            on_error=self.on_error,
+            timeout=self.timeout,
+            retries=self.retries,
+        )
+        try:
+            self._passages = [
+                dict(result.first_passages) for result in runner.run(specs)
+            ]
+        finally:
+            self.report = runner.report
+            if journal is not None:
+                # A clean, complete batch needs no resume marker; any
+                # censored/failed seed keeps the journal for a retry.
+                if runner.report.fully_accounted(len(specs)) and (
+                    runner.report.incomplete == 0
+                ):
+                    journal.complete()
+                else:
+                    journal.close()
         return self
 
     def result_for(self, size: int) -> EnsembleResult:

@@ -122,9 +122,11 @@ def _run_sweep(
     engine: str,
     jobs: int,
     cache,
+    checkpoint=None,
+    on_error: str = "raise",
 ) -> list[SweepResult]:
     """Execute a (parameter, seed) grid through the parallel layer."""
-    from ..parallel import ParallelRunner, SimulationJob
+    from ..parallel import ParallelRunner, SimulationJob, resolve_checkpoint
 
     if direction not in ("synchronize", "break_up"):
         raise ValueError(f"unknown direction {direction!r}")
@@ -142,7 +144,20 @@ def _run_sweep(
         )
         for _value, seed, params in grid
     ]
-    runner = ParallelRunner(jobs=jobs, cache=cache)
+    journal = resolve_checkpoint(checkpoint, specs)
+    runner = ParallelRunner(
+        jobs=jobs, cache=cache, checkpoint=journal, on_error=on_error
+    )
+    try:
+        results = runner.run(specs)
+    finally:
+        if journal is not None:
+            if runner.report.fully_accounted(len(specs)) and (
+                runner.report.incomplete == 0
+            ):
+                journal.complete()  # clean finish: no resume marker to keep
+            else:
+                journal.close()
     return [
         SweepResult(
             parameter=value,
@@ -150,9 +165,7 @@ def _run_sweep(
             time=result.terminal_time(spec),
             horizon=horizon,
         )
-        for (value, seed, _params), spec, result in zip(
-            grid, specs, runner.run(specs)
-        )
+        for (value, seed, _params), spec, result in zip(grid, specs, results)
     ]
 
 
@@ -165,15 +178,25 @@ def sweep_tr(
     engine: str = "cascade",
     jobs: int = 1,
     cache=None,
+    checkpoint=None,
+    on_error: str = "raise",
 ) -> list[SweepResult]:
     """First-passage times across a range of random components.
 
     ``direction`` is ``"synchronize"`` (unsynchronized start, Figure 7
     / the '+' marks of Figure 12) or ``"break_up"`` (synchronized
     start, Figure 8 / the 'x' marks).
+
+    ``checkpoint=True`` journals completed grid points under
+    ``results/checkpoints/`` so an interrupted sweep resumes without
+    re-simulating; ``on_error="censor"`` harvests partial grids
+    (failed points read as censored) instead of aborting.
     """
     points = [(tr, base.with_tr(tr)) for tr in tr_values]
-    return _run_sweep(points, horizon, direction, seeds, engine, jobs, cache)
+    return _run_sweep(
+        points, horizon, direction, seeds, engine, jobs, cache,
+        checkpoint=checkpoint, on_error=on_error,
+    )
 
 
 def sweep_nodes(
@@ -185,10 +208,18 @@ def sweep_nodes(
     engine: str = "cascade",
     jobs: int = 1,
     cache=None,
+    checkpoint=None,
+    on_error: str = "raise",
 ) -> list[SweepResult]:
-    """First-passage times across a range of network sizes (Figure 15's axis)."""
+    """First-passage times across a range of network sizes (Figure 15's axis).
+
+    See :func:`sweep_tr` for ``checkpoint``/``on_error``.
+    """
     points = [(float(n), base.with_nodes(n)) for n in n_values]
-    return _run_sweep(points, horizon, direction, seeds, engine, jobs, cache)
+    return _run_sweep(
+        points, horizon, direction, seeds, engine, jobs, cache,
+        checkpoint=checkpoint, on_error=on_error,
+    )
 
 
 def find_transition_n(
@@ -199,6 +230,7 @@ def find_transition_n(
     seed: int = 1,
     engine: str = "cascade",
     cache=None,
+    checkpoint=None,
 ) -> int:
     """Smallest N that synchronizes within the horizon (bisection).
 
@@ -212,11 +244,39 @@ def find_transition_n(
     Bisection is inherently sequential, so there is no ``jobs``
     parameter — but with a ``cache`` every probe is remembered, so
     repeated or overlapping searches converge almost for free.
+    ``checkpoint=True`` journals the probes too (the run id derives
+    from the search descriptor, since the probe set is adaptive), so
+    a killed search replays its completed probes instantly.
     """
-    from ..parallel import ParallelRunner, SimulationJob
+    import json as _json
+
+    from ..parallel import (
+        MODEL_VERSION,
+        CheckpointJournal,
+        ParallelRunner,
+        SimulationJob,
+        resolve_checkpoint,
+    )
 
     _validate_engine(engine)
-    runner = ParallelRunner(jobs=1, cache=cache)
+    if checkpoint is True:
+        descriptor = _json.dumps(
+            {
+                "fn": "find_transition_n",
+                "base": [base.n_nodes, base.tp, base.tc, base.tr],
+                "horizon": horizon,
+                "n_low": n_low,
+                "n_high": n_high,
+                "seed": seed,
+                "engine": engine,
+                "model_version": MODEL_VERSION,
+            },
+            sort_keys=True,
+        )
+        journal = CheckpointJournal.for_key(descriptor)
+    else:
+        journal = resolve_checkpoint(checkpoint, [])
+    runner = ParallelRunner(jobs=1, cache=cache, checkpoint=journal)
 
     def synchronizes(n: int) -> bool:
         spec = SimulationJob.from_params(
@@ -226,10 +286,17 @@ def find_transition_n(
         (result,) = runner.run([spec])
         return result.terminal_time(spec) is not None
 
+    def finish(answer: int) -> int:
+        if journal is not None:
+            journal.complete()  # search done: drop the resume marker
+        return answer
+
     if not synchronizes(n_high):
+        if journal is not None:
+            journal.close()  # keep probes: a wider re-search resumes them
         raise ValueError(f"no synchronization even at N={n_high} within horizon {horizon}")
     if synchronizes(n_low):
-        return n_low
+        return finish(n_low)
     lo, hi = n_low, n_high  # invariant: lo does not synchronize, hi does
     while hi - lo > 1:
         mid = (lo + hi) // 2
@@ -237,4 +304,4 @@ def find_transition_n(
             hi = mid
         else:
             lo = mid
-    return hi
+    return finish(hi)

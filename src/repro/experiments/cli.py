@@ -7,13 +7,20 @@ Usage::
     repro-sync all --fast
     repro-sync fig10 --jobs 4          # fan seed runs over 4 processes
     repro-sync fig10 --no-cache        # force recomputation
+    repro-sync fig10 --resume          # journal + resume interrupted runs
     repro-sync bench                   # parallel-layer perf snapshot
+    repro-sync cache verify            # audit results/cache/ entries
+    repro-sync cache repair            # quarantine corrupt, sweep stale tmp
+    repro-sync cache clear             # drop every cached result
 
 (``python -m repro`` is equivalent.)  Simulation-backed figures cache
 completed runs under ``results/cache/`` keyed by job content, so
 re-running a figure is nearly free; ``--no-cache`` opts out and
 ``--jobs`` sets the process-pool width (results are identical either
-way).
+way).  ``--resume`` additionally journals every completed simulation
+to ``results/checkpoints/<run-id>.jsonl`` as it finishes, so a run
+killed mid-way (Ctrl-C, OOM, power loss) restarts from where it
+stopped — pass it from the start on long runs.
 """
 
 from __future__ import annotations
@@ -60,7 +67,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        help="a figure id (fig01..fig15), 'all', 'list', or 'bench'",
+        help="a figure id (fig01..fig15), 'all', 'list', 'bench', or 'cache'",
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        default=None,
+        help="for the 'cache' target: verify (default) | repair | clear",
     )
     parser.add_argument(
         "--fast",
@@ -94,7 +107,63 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not read or write the on-disk result cache (results/cache/)",
     )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "journal completed simulations under results/checkpoints/ and "
+            "resume any interrupted run of the same figure; pass it from "
+            "the start on long runs (results do not depend on this)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-root",
+        default=None,
+        metavar="DIR",
+        help="cache directory for the 'cache' target (default results/cache)",
+    )
     return parser
+
+
+def _run_cache(args) -> int:
+    """The 'cache' target: verify / repair / clear the result cache."""
+    from ..parallel import ResultCache
+
+    cache = ResultCache(args.cache_root)
+    action = args.action or "verify"
+    if action == "verify":
+        report = cache.verify()
+        print(
+            f"cache {cache.root}: {report['entries']} entries, "
+            f"{report['valid']} valid, {len(report['corrupt'])} corrupt, "
+            f"{len(report['stale_tmp'])} stale tmp, "
+            f"{report['quarantined']} quarantined"
+        )
+        for name, why in report["corrupt"].items():
+            print(f"  corrupt: {name}: {why}")
+        for name in report["stale_tmp"]:
+            print(f"  stale tmp: {name}")
+        if report["corrupt"] or report["stale_tmp"]:
+            print("run 'cache repair' to quarantine/sweep")
+            return 1
+        return 0
+    if action == "repair":
+        done = cache.repair()
+        print(
+            f"cache {cache.root}: quarantined {len(done['quarantined'])} "
+            f"corrupt entr{'y' if len(done['quarantined']) == 1 else 'ies'}, "
+            f"removed {len(done['removed_tmp'])} stale tmp file(s)"
+        )
+        return 0
+    if action == "clear":
+        removed = cache.clear()
+        print(f"cache {cache.root}: removed {removed} entries")
+        return 0
+    print(
+        f"error: unknown cache action {action!r} (use verify, repair, or clear)",
+        file=sys.stderr,
+    )
+    return 2
 
 
 def _run_bench(args) -> int:
@@ -114,6 +183,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.jobs is not None and args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.target == "cache":
+        return _run_cache(args)
+    if args.action is not None:
+        print(
+            "error: an action argument is only valid with the 'cache' target",
+            file=sys.stderr,
+        )
+        return 2
     if args.target == "list":
         for figure_id in figure_ids():
             print(figure_id)
@@ -125,10 +202,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         from ..parallel import ResultCache
 
         cache = ResultCache()
+    checkpoint = True if args.resume else None
     targets = figure_ids() if args.target == "all" else [args.target]
     try:
         for figure_id in targets:
-            result = run_figure(figure_id, fast=args.fast, jobs=args.jobs, cache=cache)
+            result = run_figure(
+                figure_id,
+                fast=args.fast,
+                jobs=args.jobs,
+                cache=cache,
+                checkpoint=checkpoint,
+            )
             if args.plot:
                 print(_render_plots(result))
             else:

@@ -25,11 +25,13 @@ def run(
     seeds: tuple[int, ...] = (1,),
     jobs: int = 1,
     cache=None,
+    checkpoint=None,
 ) -> FigureResult:
     """Reproduce Figure 7 (pass a smaller horizon for a fast run).
 
-    The (Tr, seed) grid runs through the parallel layer; ``jobs`` and
-    ``cache`` change wall-clock only.
+    The (Tr, seed) grid runs through the parallel layer; ``jobs``,
+    ``cache``, and ``checkpoint`` (resume support) change wall-clock
+    only.
     """
     tc = PAPER_PARAMS.tc
     result = FigureResult(
@@ -39,6 +41,7 @@ def run(
     runs = sweep_tr(
         PAPER_PARAMS, [m * tc for m in tr_multiples], horizon,
         direction="synchronize", seeds=seeds, jobs=jobs, cache=cache,
+        checkpoint=checkpoint,
     )
     points = []
     for multiple in tr_multiples:

@@ -23,6 +23,7 @@ def run(
     seeds: tuple[int, ...] = (1,),
     jobs: int = 1,
     cache=None,
+    checkpoint=None,
 ) -> FigureResult:
     """Reproduce Figure 8 (pass a smaller horizon for a fast run).
 
@@ -36,7 +37,7 @@ def run(
     )
     runs = sweep_tr(
         PAPER_PARAMS, [m * tc for m in tr_multiples], horizon,
-        direction="break_up", seeds=seeds, jobs=jobs, cache=cache,
+        direction="break_up", seeds=seeds, jobs=jobs, cache=cache, checkpoint=checkpoint,
     )
     points = []
     for multiple in tr_multiples:

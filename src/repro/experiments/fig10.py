@@ -35,12 +35,14 @@ def run(
     f2: float = 19.0,
     jobs: int = 1,
     cache=None,
+    checkpoint=None,
 ) -> FigureResult:
     """Reproduce Figure 10 (paper scale: 20 seeds, ~600,000 s axis).
 
     ``jobs`` fans the seeds out over worker processes; ``cache`` (a
-    :class:`~repro.parallel.ResultCache`) makes repeated runs free.
-    Neither changes the numbers.
+    :class:`~repro.parallel.ResultCache`) makes repeated runs free;
+    ``checkpoint`` journals completed seeds so an interrupted run
+    resumes (CLI ``--resume``).  None of them changes the numbers.
     """
     analysis = synchronization_times(PAPER_PARAMS, f2=f2)
     round_seconds = analysis.seconds_per_round
@@ -54,7 +56,7 @@ def run(
     )
     ensemble = FirstPassageEnsemble(
         params=PAPER_PARAMS, horizon=horizon, seeds=seeds, direction="up",
-        jobs=jobs, cache=cache,
+        jobs=jobs, cache=cache, checkpoint=checkpoint,
     ).run()
     mean_points = [
         (size, aggregate.mean)

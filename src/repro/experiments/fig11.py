@@ -32,11 +32,13 @@ def run(
     seeds: tuple[int, ...] = tuple(range(1, 21)),
     jobs: int = 1,
     cache=None,
+    checkpoint=None,
 ) -> FigureResult:
     """Reproduce Figure 11 (paper scale: 20 seeds, ~300,000 s axis).
 
-    ``jobs``/``cache`` parallelize and memoize the seed runs without
-    changing the numbers (see :mod:`repro.parallel`).
+    ``jobs``/``cache``/``checkpoint`` parallelize, memoize, and make
+    resumable the seed runs without changing the numbers (see
+    :mod:`repro.parallel`).
     """
     analysis = synchronization_times(PAPER_PARAMS, f2=19.0)
     round_seconds = analysis.seconds_per_round
@@ -50,7 +52,7 @@ def run(
     )
     ensemble = FirstPassageEnsemble(
         params=PAPER_PARAMS, horizon=horizon, seeds=seeds, direction="down",
-        jobs=jobs, cache=cache,
+        jobs=jobs, cache=cache, checkpoint=checkpoint,
     ).run()
     mean_points = [
         (size, aggregate.mean)

@@ -30,6 +30,7 @@ def run(
     seeds: tuple[int, ...] = (1, 2),
     jobs: int = 1,
     cache=None,
+    checkpoint=None,
 ) -> FigureResult:
     """Reproduce Figure 12.
 
@@ -70,12 +71,12 @@ def run(
     if sim_checks:
         sync_runs = sweep_tr(
             PAPER_PARAMS, [0.9 * tc], sim_horizon, direction="synchronize",
-            seeds=seeds, jobs=jobs, cache=cache,
+            seeds=seeds, jobs=jobs, cache=cache, checkpoint=checkpoint,
         )
         sync_mark = [r.time for r in sync_runs if r.occurred]
         break_runs = sweep_tr(
             PAPER_PARAMS, [3.0 * tc], sim_horizon, direction="break_up",
-            seeds=seeds, jobs=jobs, cache=cache,
+            seeds=seeds, jobs=jobs, cache=cache, checkpoint=checkpoint,
         )
         break_mark = [r.time for r in break_runs if r.occurred]
         if sync_mark:

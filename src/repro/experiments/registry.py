@@ -87,6 +87,7 @@ def run_figure(
     fast: bool = False,
     jobs: int | None = None,
     cache=None,
+    checkpoint=None,
     **overrides,
 ) -> FigureResult:
     """Run one figure's reproduction.
@@ -103,6 +104,12 @@ def run_figure(
         target).
     cache:
         Optional :class:`~repro.parallel.ResultCache`, same scoping.
+    checkpoint:
+        Resume support for :data:`PARALLEL_FIGURES` (``True``, a
+        journal, or a journal path — see
+        :func:`repro.parallel.resolve_checkpoint`); an interrupted
+        figure run picks up where it stopped.  Same scoping as
+        ``jobs``/``cache``.
     overrides:
         Explicit keyword arguments for the driver (take precedence
         over the fast defaults).
@@ -115,6 +122,8 @@ def run_figure(
             kwargs["jobs"] = jobs
         if cache is not None:
             kwargs["cache"] = cache
+        if checkpoint is not None:
+            kwargs["checkpoint"] = checkpoint
     kwargs.update(overrides)
     result = FIGURES[figure_id](**kwargs)
     if fast:

@@ -12,15 +12,36 @@ platform cannot spawn workers), and consults a content-addressed
 on-disk :class:`ResultCache` so repeated figure runs and bisection
 probes never recompute a completed simulation.
 
+Resilience layer (practicing what the paper preaches): the runner
+retries lost work with deterministically-jittered exponential backoff
+instead of lockstep re-attempts, enforces per-job deadlines on every
+path (pool *and* in-process fallback), accounts for each submitted
+job exactly once in a :class:`RunReport`, journals completed jobs to
+a :class:`CheckpointJournal` so killed runs resume where they
+stopped, and treats the cache as self-repairing (best-effort writes,
+corrupt-entry quarantine).  :class:`FaultPlan` is the deterministic
+chaos harness the test suite drives through all of it.
+
 Determinism guarantee: a job's result depends only on the job spec.
 Each worker derives the same per-router RNG streams the serial path
 does, and the runner restores submission order after the gather, so
 ``jobs=4`` is byte-identical to ``jobs=1`` (asserted in
-``tests/test_parallel_runner.py``).
+``tests/test_parallel_runner.py``) — and injected faults, retries,
+fallbacks and resumes preserve that identity (asserted in
+``tests/test_parallel_faults.py``).
 """
 
 from .bench import format_table, run_benchmark
-from .cache import ResultCache
+from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .checkpoint import DEFAULT_CHECKPOINT_DIR, CheckpointJournal, resolve_checkpoint
+from .faults import (
+    FAULT_KINDS,
+    DeterministicInjectedError,
+    FaultPlan,
+    FaultRule,
+    InjectedFaultError,
+    TransientInjectedError,
+)
 from .job import (
     ENGINES,
     MODEL_VERSION,
@@ -30,17 +51,32 @@ from .job import (
     run_jobs,
     validate_engine,
 )
-from .runner import ParallelRunner, RunnerStats
+from .report import OUTCOMES, JobRecord, RunReport
+from .runner import JobTimeoutError, ParallelRunner, RunnerStats
 
 __all__ = [
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_CHECKPOINT_DIR",
     "ENGINES",
+    "FAULT_KINDS",
     "MODEL_VERSION",
+    "OUTCOMES",
+    "CheckpointJournal",
+    "DeterministicInjectedError",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFaultError",
+    "JobRecord",
     "JobResult",
+    "JobTimeoutError",
     "ParallelRunner",
     "ResultCache",
+    "RunReport",
     "RunnerStats",
     "SimulationJob",
+    "TransientInjectedError",
     "format_table",
+    "resolve_checkpoint",
     "run_benchmark",
     "run_job",
     "run_jobs",

@@ -91,11 +91,13 @@ def run_benchmark(
     )
     cache = ResultCache(cache_root)
     cache.clear()
+    pooled_runner = ParallelRunner(jobs=jobs, cache=cache)
     timings["cascade_jobsN"], pooled_results = _timed(
-        ParallelRunner(jobs=jobs, cache=cache), _specs(horizon, seeds, "cascade")
+        pooled_runner, _specs(horizon, seeds, "cascade")
     )
+    warm_runner = ParallelRunner(jobs=jobs, cache=cache)
     timings["cascade_warm"], warm_results = _timed(
-        ParallelRunner(jobs=jobs, cache=cache), _specs(horizon, seeds, "cascade")
+        warm_runner, _specs(horizon, seeds, "cascade")
     )
 
     identical = (
@@ -119,6 +121,12 @@ def run_benchmark(
         "runs_synchronized": sum(
             1 for r in serial_results if BENCH_PARAMS["n_nodes"] in r.first_passages
         ),
+        # Per-job outcome ledgers: the pooled row should be all ok (or
+        # retried, on a flaky box), the warm row all cache hits — a
+        # visible regression signal for the resilience layer.
+        "run_report_pooled": pooled_runner.report.counts(),
+        "run_report_warm": warm_runner.report.counts(),
+        "cache_write_errors": cache.write_errors,
     }
     if output is not None:
         Path(output).write_text(json.dumps(snapshot, indent=2) + "\n")

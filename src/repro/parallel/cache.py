@@ -12,20 +12,43 @@ by construction (their keys simply stop being looked up).
 Entries also embed the spec and version they were computed from, so a
 file that was hand-edited, truncated, or produced by a different model
 version is detected and treated as a miss rather than trusted.
+
+Robustness model (the cache is an accelerator, never a dependency):
+
+* **Writes are best-effort.**  A full or read-only disk makes ``put``
+  warn and count (`write_errors`) instead of killing an otherwise
+  healthy run; the result is still returned to the caller.
+* **Writes are collision-free.**  Temp files are unique per process
+  (pid + counter), so two runners sharing a cache directory can never
+  clobber each other's half-written entries; the final rename is
+  atomic either way.
+* **Corruption self-repairs.**  A defective entry found by ``get`` is
+  quarantined to ``<key>.json.corrupt`` (evidence preserved, path
+  freed for recomputation) rather than silently overwritten.
+* **Maintenance is explicit.**  ``verify()`` audits every entry,
+  ``repair()`` quarantines bad ones and sweeps stale temp files, and
+  both are exposed as ``python -m repro cache verify|repair|clear``.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import time
+import warnings
 from pathlib import Path
 
 from .job import MODEL_VERSION, JobResult, SimulationJob
 
-__all__ = ["DEFAULT_CACHE_DIR", "ResultCache"]
+__all__ = ["DEFAULT_CACHE_DIR", "STALE_TMP_AGE", "ResultCache"]
 
 #: Default cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = Path("results") / "cache"
+
+#: A ``*.tmp`` file older than this (seconds) is debris from a dead
+#: writer — no healthy put keeps one alive for more than moments.
+STALE_TMP_AGE = 3600.0
 
 
 class ResultCache:
@@ -36,59 +59,202 @@ class ResultCache:
     root:
         Cache directory (created lazily on first ``put``).  Defaults
         to ``results/cache/`` under the current working directory.
+    faults:
+        Optional :class:`~repro.parallel.faults.FaultPlan` driving
+        injected write errors / corruption (tests only).
     """
 
-    def __init__(self, root: str | os.PathLike | None = None) -> None:
+    def __init__(
+        self, root: str | os.PathLike | None = None, faults=None
+    ) -> None:
         self.root = Path(root) if root is not None else DEFAULT_CACHE_DIR
+        self.faults = faults
         self.hits = 0
         self.misses = 0
+        self.write_errors = 0
+        self.quarantined = 0
+        self._tmp_counter = itertools.count()
 
     def path_for(self, job: SimulationJob) -> Path:
         """The file a job's result lives in (whether or not it exists)."""
         return self.root / f"{job.cache_key()}.json"
 
+    # -- read side -----------------------------------------------------------
+
     def get(self, job: SimulationJob) -> JobResult | None:
         """Return the cached result, or None on a miss.
 
         Any defect — missing file, unparsable JSON, wrong model
-        version, spec mismatch — counts as a miss; the entry will be
-        overwritten by the next ``put``.
+        version, spec mismatch — counts as a miss.  Defective files
+        are quarantined to ``*.corrupt`` so the next ``put`` writes a
+        clean entry and the evidence survives for inspection.
         """
         path = self.path_for(job)
         try:
-            payload = json.loads(path.read_text())
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
             if payload.get("model_version") != MODEL_VERSION:
                 raise ValueError("model version mismatch")
             if payload.get("job") != job.to_dict():
                 raise ValueError("job spec mismatch")
             result = JobResult.from_dict(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return result
 
-    def put(self, job: SimulationJob, result: JobResult) -> Path:
-        """Store a result (atomic: write to a temp file, then rename)."""
+    def _quarantine(self, path: Path) -> Path | None:
+        """Move a defective entry aside; returns the new path or None."""
+        target = path.with_suffix(".json.corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:
+            # Racing reader already moved it, or the directory is
+            # read-only; either way the miss still stands.
+            return None
+        self.quarantined += 1
+        return target
+
+    # -- write side ----------------------------------------------------------
+
+    def put(self, job: SimulationJob, result: JobResult) -> Path | None:
+        """Store a result; atomic and best-effort.
+
+        Writes to a pid-unique temp file then renames, so concurrent
+        runners never interleave.  On ``OSError`` (disk full,
+        read-only mount) the failure is warned and counted in
+        ``write_errors`` but never propagated — losing a cache entry
+        must not lose the run.  Returns the entry path, or None when
+        the write failed.
+        """
         path = self.path_for(job)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.root / f"{path.stem}.{os.getpid()}.{next(self._tmp_counter)}.tmp"
         payload = {
             "model_version": MODEL_VERSION,
             "job": job.to_dict(),
             "result": result.to_dict(),
         }
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n")
-        os.replace(tmp, path)
+        try:
+            if self.faults is not None:
+                self.faults.on_cache_put(job)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n")
+            os.replace(tmp, path)
+        except OSError as error:
+            self.write_errors += 1
+            warnings.warn(
+                f"result cache write failed for {path.name} ({error}); "
+                "continuing without caching this entry",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                return None  # same unwritable disk; nothing more to do
+            return None
+        if self.faults is not None and self.faults.corrupts_entry(job):
+            # Injected torn write: chop the entry mid-JSON.
+            path.write_text(json.dumps(payload)[: len(str(payload)) // 3])
         return path
 
+    # -- maintenance ---------------------------------------------------------
+
+    def _entry_defect(self, path: Path) -> str | None:
+        """Why an on-disk entry is unusable, or None if it is sound."""
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return "unreadable or not JSON"
+        try:
+            if payload.get("model_version") != MODEL_VERSION:
+                return f"model version {payload.get('model_version')!r}"
+            job = SimulationJob.from_dict(payload["job"])
+            JobResult.from_dict(payload["result"])
+            if job.cache_key() != path.stem:
+                return "content does not match its key"
+        except (ValueError, KeyError, TypeError) as error:
+            return f"malformed entry ({error})"
+        return None
+
+    def _stale_tmps(self, max_age: float) -> list[Path]:
+        now = time.time()
+        stale = []
+        for tmp in self.root.glob("*.tmp"):
+            try:
+                if now - tmp.stat().st_mtime >= max_age:
+                    stale.append(tmp)
+            except OSError:
+                continue  # vanished mid-scan: a live writer renamed it
+        return sorted(stale)
+
+    def verify(self, max_tmp_age: float = STALE_TMP_AGE) -> dict:
+        """Audit every entry without changing anything.
+
+        Returns ``{"entries", "valid", "corrupt": {name: why},
+        "stale_tmp": [names], "quarantined"}`` — ``corrupt`` covers
+        unreadable files, version mismatches, and key/content drift.
+        """
+        report: dict = {
+            "entries": 0,
+            "valid": 0,
+            "corrupt": {},
+            "stale_tmp": [],
+            "quarantined": 0,
+        }
+        if not self.root.is_dir():
+            return report
+        for path in sorted(self.root.glob("*.json")):
+            report["entries"] += 1
+            defect = self._entry_defect(path)
+            if defect is None:
+                report["valid"] += 1
+            else:
+                report["corrupt"][path.name] = defect
+        report["stale_tmp"] = [p.name for p in self._stale_tmps(max_tmp_age)]
+        report["quarantined"] = sum(1 for _ in self.root.glob("*.corrupt"))
+        return report
+
+    def repair(self, max_tmp_age: float = STALE_TMP_AGE) -> dict:
+        """Quarantine defective entries and sweep stale temp files.
+
+        Returns ``{"quarantined": [names], "removed_tmp": [names]}``.
+        Safe to run concurrently with readers: quarantine uses the
+        same atomic rename ``get`` does.
+        """
+        done: dict = {"quarantined": [], "removed_tmp": []}
+        if not self.root.is_dir():
+            return done
+        for path in sorted(self.root.glob("*.json")):
+            if self._entry_defect(path) is not None:
+                if self._quarantine(path) is not None:
+                    done["quarantined"].append(path.name)
+        for tmp in self._stale_tmps(max_tmp_age):
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                continue  # read-only or vanished; report only what went
+            done["removed_tmp"].append(tmp.name)
+        return done
+
     def clear(self) -> int:
-        """Delete every cache entry; returns how many were removed."""
+        """Delete every cache entry (plus quarantine/temp debris);
+        returns how many *entries* were removed."""
         removed = 0
         if self.root.is_dir():
             for path in self.root.glob("*.json"):
                 path.unlink(missing_ok=True)
                 removed += 1
+            for debris in itertools.chain(
+                self.root.glob("*.corrupt"), self.root.glob("*.tmp")
+            ):
+                debris.unlink(missing_ok=True)
         return removed
 
     def __len__(self) -> int:
@@ -100,5 +266,6 @@ class ResultCache:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ResultCache(root={str(self.root)!r}, entries={len(self)}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"hits={self.hits}, misses={self.misses}, "
+            f"write_errors={self.write_errors}, quarantined={self.quarantined})"
         )

@@ -1,0 +1,198 @@
+"""Checkpoint journals: crash-safe resume for long runs.
+
+A :class:`CheckpointJournal` is an append-only JSONL file under
+``results/checkpoints/<run-id>.jsonl`` recording every completed job
+of a batch as ``{key, job, result, model_version}``.  A run killed
+mid-way (SIGINT, OOM, power loss) leaves a journal whose prefix is
+every job that finished; re-running the same batch against the same
+journal serves those jobs back without re-execution and continues
+exactly where the run stopped.  On a fully successful run the caller
+deletes the journal via :meth:`complete` — a leftover journal *means*
+an interrupted run.
+
+Safety properties:
+
+* **Content-addressed** — the run id derives from the job specs (or a
+  caller-supplied descriptor), and each entry is keyed by the job's
+  ``cache_key`` which folds in ``MODEL_VERSION``.  A journal can only
+  ever resume the exact batch that wrote it; anything else misses.
+* **Kill-tolerant** — a process death mid-append leaves at most one
+  torn final line, which :meth:`load` skips; every earlier entry is
+  intact because records are flushed and fsynced as they are written.
+* **Science-preserving** — entries store the same canonical
+  :class:`~repro.parallel.job.JobResult` serialization the cache
+  uses, so a resumed run is byte-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import IO, Sequence
+
+from .job import MODEL_VERSION, JobResult, SimulationJob
+
+__all__ = ["DEFAULT_CHECKPOINT_DIR", "CheckpointJournal", "resolve_checkpoint"]
+
+#: Default journal location, relative to the working directory.
+DEFAULT_CHECKPOINT_DIR = Path("results") / "checkpoints"
+
+
+class CheckpointJournal:
+    """Append-only completed-job journal for one batch of jobs.
+
+    Parameters
+    ----------
+    path:
+        The journal file.  Created lazily on the first :meth:`record`;
+        an existing file is loaded lazily on the first :meth:`lookup`.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._index: dict[str, JobResult] | None = None
+        self._handle: IO[str] | None = None
+        self.recorded = 0
+        self.skipped_lines = 0
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def for_specs(
+        cls,
+        specs: Sequence[SimulationJob],
+        root: str | os.PathLike | None = None,
+    ) -> "CheckpointJournal":
+        """Journal whose run id is the content hash of the batch.
+
+        The same batch (in any order) always maps to the same journal
+        file, so "resume" needs no bookkeeping beyond re-running the
+        same command.
+        """
+        digest = hashlib.sha256(
+            "\n".join(sorted(spec.cache_key() for spec in specs)).encode("ascii")
+        ).hexdigest()
+        return cls._at(digest[:16], root)
+
+    @classmethod
+    def for_key(
+        cls, descriptor: str, root: str | os.PathLike | None = None
+    ) -> "CheckpointJournal":
+        """Journal for an adaptive batch (e.g. bisection) whose job
+        set is unknown upfront; ``descriptor`` should canonically
+        encode everything that determines the run."""
+        digest = hashlib.sha256(descriptor.encode("utf-8")).hexdigest()
+        return cls._at(digest[:16], root)
+
+    @classmethod
+    def _at(cls, run_id: str, root: str | os.PathLike | None) -> "CheckpointJournal":
+        directory = Path(root) if root is not None else DEFAULT_CHECKPOINT_DIR
+        return cls(directory / f"{run_id}.jsonl")
+
+    @property
+    def run_id(self) -> str:
+        return self.path.stem
+
+    # -- read side -----------------------------------------------------------
+
+    def _load(self) -> dict[str, JobResult]:
+        if self._index is not None:
+            return self._index
+        index: dict[str, JobResult] = {}
+        try:
+            text = self.path.read_text()
+        except OSError:
+            text = ""
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                if entry.get("model_version") != MODEL_VERSION:
+                    raise ValueError("model version mismatch")
+                key = entry["key"]
+                result = JobResult.from_dict(entry["result"])
+            except (ValueError, KeyError, TypeError):
+                # Torn final line from a kill mid-append, or an entry
+                # from an older model version: unusable, skip it.
+                self.skipped_lines += 1
+                continue
+            index[key] = result
+        self._index = index
+        return index
+
+    def lookup(self, job: SimulationJob) -> JobResult | None:
+        """The journaled result for this job, or None."""
+        return self._load().get(job.cache_key())
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    def exists(self) -> bool:
+        return self.path.is_file()
+
+    # -- write side ----------------------------------------------------------
+
+    def record(self, job: SimulationJob, result: JobResult) -> None:
+        """Append one completed job (idempotent per key), durably."""
+        index = self._load()
+        key = job.cache_key()
+        if key in index:
+            return
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a")
+        entry = {
+            "key": key,
+            "model_version": MODEL_VERSION,
+            "job": job.to_dict(),
+            "result": result.to_dict(),
+        }
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        index[key] = result
+        self.recorded += 1
+
+    def close(self) -> None:
+        """Close the append handle (the journal file stays on disk)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def complete(self) -> None:
+        """The batch finished: delete the journal.
+
+        Only call on full success — a surviving journal is the marker
+        that a run was interrupted and is resumable.
+        """
+        self.close()
+        self.path.unlink(missing_ok=True)
+        self._index = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CheckpointJournal(path={str(self.path)!r}, "
+            f"entries={len(self)}, recorded={self.recorded})"
+        )
+
+
+def resolve_checkpoint(
+    checkpoint, specs: Sequence[SimulationJob]
+) -> CheckpointJournal | None:
+    """Normalize the user-facing ``checkpoint=`` argument.
+
+    ``None``/``False`` — no journaling.  ``True`` — derive the journal
+    from the batch content under :data:`DEFAULT_CHECKPOINT_DIR`.  A
+    path — journal at exactly that file.  A journal — use as given.
+    """
+    if checkpoint is None or checkpoint is False:
+        return None
+    if checkpoint is True:
+        return CheckpointJournal.for_specs(specs)
+    if isinstance(checkpoint, CheckpointJournal):
+        return checkpoint
+    return CheckpointJournal(checkpoint)

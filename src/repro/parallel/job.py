@@ -198,13 +198,24 @@ class JobResult:
         )
 
 
-def run_job(job: SimulationJob) -> JobResult:
+def run_job(
+    job: SimulationJob, faults=None, attempt: int = 0
+) -> JobResult:
     """Execute one job and return its first-passage record.
 
     Pure: the result depends only on the job spec.  Both engines use
     the same per-seed RNG stream derivation, so the choice of engine
     does not change the trajectory for the pure periodic model.
+
+    ``faults`` is an optional
+    :class:`~repro.parallel.faults.FaultPlan` consulted *before*
+    execution — the explicit chaos-injection hook (it can raise,
+    sleep, or kill a pool worker, but never alter a result);
+    ``attempt`` tells the plan which retry this is.  Both default to
+    the production no-op.
     """
+    if faults is not None:
+        faults.on_job(job, attempt)
     up = job.direction == "up"
     phases = "unsynchronized" if up else "synchronized"
     if job.engine == "cascade":
@@ -232,6 +243,13 @@ def run_job(job: SimulationJob) -> JobResult:
     return JobResult(first_passages=dict(mapping))
 
 
-def run_jobs(jobs: Sequence[SimulationJob]) -> list[JobResult]:
-    """Execute a chunk of jobs in order (the pool worker entry point)."""
-    return [run_job(job) for job in jobs]
+def run_jobs(
+    jobs: Sequence[SimulationJob], faults=None, attempt: int = 0
+) -> list[JobResult]:
+    """Execute a chunk of jobs in order (the pool worker entry point).
+
+    The fault plan (picklable, stateless) travels to the worker with
+    the chunk, so injected worker-side failures are as deterministic
+    as the simulations themselves.
+    """
+    return [run_job(job, faults, attempt) for job in jobs]

@@ -1,0 +1,95 @@
+"""Structured per-job accounting for a :class:`ParallelRunner` run.
+
+A :class:`RunReport` answers, for every submitted job, exactly one of:
+it was served from the checkpoint journal (``resumed``), served from
+the result cache (``cache_hit``), executed first try (``ok``),
+executed after at least one retry (``retried``), exhausted its
+deadline budget (``timed_out``), or exhausted its retry budget
+(``failed``).  The invariant — every submitted job accounted for
+exactly once — is what lets an ensemble trust that censoring under
+``on_error="censor"`` reflects real failures rather than silent data
+loss, and it is asserted throughout the fault-injection suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["OUTCOMES", "JobRecord", "RunReport"]
+
+#: Every outcome a job can end a run with.  ``ok``/``retried`` mean a
+#: fresh execution succeeded; ``cache_hit``/``resumed`` mean no
+#: execution was needed; ``timed_out``/``failed`` mean the job did not
+#: produce a result (censored or raised, per the runner's policy).
+OUTCOMES = ("ok", "retried", "cache_hit", "resumed", "timed_out", "failed")
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """How one job ended: outcome, attempts consumed, last error."""
+
+    index: int
+    key: str
+    outcome: str
+    attempts: int = 1
+    error: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.outcome not in OUTCOMES:
+            raise ValueError(
+                f"unknown outcome {self.outcome!r}; known: {', '.join(OUTCOMES)}"
+            )
+
+
+@dataclass
+class RunReport:
+    """Per-job outcome ledger of one ``ParallelRunner.run`` call."""
+
+    records: list[JobRecord] = field(default_factory=list)
+
+    def add(
+        self,
+        index: int,
+        key: str,
+        outcome: str,
+        attempts: int = 1,
+        error: str | None = None,
+    ) -> None:
+        self.records.append(JobRecord(index, key, outcome, attempts, error))
+
+    def count(self, outcome: str) -> int:
+        """Jobs that ended with the given outcome."""
+        if outcome not in OUTCOMES:
+            raise ValueError(f"unknown outcome {outcome!r}")
+        return sum(1 for record in self.records if record.outcome == outcome)
+
+    def counts(self) -> dict[str, int]:
+        """``{outcome: count}`` over every category (zeros included)."""
+        return {outcome: self.count(outcome) for outcome in OUTCOMES}
+
+    def records_for(self, outcome: str) -> list[JobRecord]:
+        return [record for record in self.records if record.outcome == outcome]
+
+    @property
+    def submitted(self) -> int:
+        return len(self.records)
+
+    @property
+    def incomplete(self) -> int:
+        """Jobs that produced no result (timed out or failed)."""
+        return self.count("timed_out") + self.count("failed")
+
+    @property
+    def executed_fresh(self) -> int:
+        """Jobs that actually ran to completion this call."""
+        return self.count("ok") + self.count("retried")
+
+    def fully_accounted(self, submitted: int) -> bool:
+        """Every index ``0..submitted-1`` appears exactly once."""
+        return sorted(record.index for record in self.records) == list(
+            range(submitted)
+        )
+
+    def summary(self) -> str:
+        """One line for logs: ``ok=18 retried=2 … failed=0``."""
+        return " ".join(f"{k}={v}" for k, v in self.counts().items())

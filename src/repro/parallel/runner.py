@@ -1,32 +1,85 @@
-"""Fan jobs out over a process pool, deterministically.
+"""Fan jobs out over a process pool, deterministically and resiliently.
 
 The runner's contract: ``run(specs)`` returns one result per spec, in
 spec order, and the values are byte-identical whatever the ``jobs``
 setting — each job derives its own RNG streams from its seed, workers
 share no state, and ordering is restored after the gather.  Parallelism
-can therefore never change science, only wall-clock.
+can therefore never change science, only wall-clock.  The same holds
+for every failure-handling path below: retries, fallbacks, resumes and
+injected faults replay the identical pure computation, so recovery can
+never change a number either — only whether it was obtained.
 
 Scheduling is chunked: contiguous runs of pending jobs are grouped so
 that one pool round-trip amortizes pickling over several simulations.
-Failures degrade gracefully — a chunk that times out, a worker that
-dies, or a platform that cannot start processes at all (no ``fork``,
-sandboxed interpreters) all fall back to in-process execution of the
-affected jobs, optionally retried, so ``run()`` either returns complete
-results or raises the underlying error after the fallback also failed.
+Chunks are gathered **as they complete** with a per-chunk deadline, so
+one slow chunk cannot head-of-line-block the harvest of the others.
+
+Failure policy (the part the paper would approve of):
+
+* A chunk whose worker dies (``BrokenProcessPool``, OOM kill) or that
+  exceeds its deadline is retried in-process — with the per-job
+  deadline still enforced (on a watchdog thread), so a genuinely hung
+  job surfaces as ``timed_out`` instead of hanging the sweep.
+* Retries back off exponentially with *deterministic jitter* derived
+  from the job key — the paper's own ``Tr`` lesson: simultaneous
+  failures must not retry in lockstep, and seeded jitter keeps the
+  schedule reproducible.
+* ``retries=0`` means what it says: no retry, the first failure is
+  final.  Deterministic errors (``ValueError``/``TypeError`` — a bad
+  spec fails identically everywhere) are never retried at all.
+* ``on_error="raise"`` (default) re-raises the first failure after
+  the gather — completed work is already committed to the cache and
+  checkpoint journal, so nothing is lost.  ``on_error="censor"``
+  returns an empty :class:`JobResult` for failed jobs instead, so
+  ensembles degrade to honest censoring rather than collapsing.
+
+Every submitted job lands in exactly one :class:`RunReport` category
+(ok / retried / cache_hit / resumed / timed_out / failed) — asserted
+by the fault-injection suite in ``tests/test_parallel_faults.py``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 from .cache import ResultCache
+from .checkpoint import CheckpointJournal
+from .faults import FaultPlan
 from .job import JobResult, SimulationJob, run_job, run_jobs
+from .report import RunReport
 
-__all__ = ["ParallelRunner", "RunnerStats"]
+__all__ = ["JobTimeoutError", "ParallelRunner", "RunnerStats"]
+
+#: Backoff sleeps never exceed this many seconds, whatever the attempt.
+BACKOFF_CAP = 30.0
+
+
+class JobTimeoutError(TimeoutError):
+    """A job exceeded its per-job deadline (pool chunk or in-process)."""
+
+
+def _jitter(key: str, attempt: int) -> float:
+    """Deterministic jitter factor in [0.5, 1.5) for backoff sleeps.
+
+    Seeded from the job key and attempt number, so two runners
+    retrying the same failed batch do not wake in lockstep (the
+    paper's ``Tr`` prescription applied to our own retry loop) yet
+    every rerun sleeps the same schedule.
+    """
+    digest = hashlib.sha256(f"{key}:{attempt}".encode("ascii")).digest()
+    return 0.5 + int.from_bytes(digest[:8], "big") / 2**64
 
 
 @dataclass
@@ -35,10 +88,14 @@ class RunnerStats:
 
     submitted: int = 0
     cache_hits: int = 0
+    resumed: int = 0
     executed: int = 0
     pooled: int = 0
     fallback: int = 0
     retried_chunks: int = 0
+    timed_out: int = 0
+    failed: int = 0
+    censored: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -55,16 +112,37 @@ class ParallelRunner:
         pool, no pickling, and no platform requirements.
     cache:
         Optional :class:`ResultCache`; hits skip execution entirely and
-        fresh results are stored back.
+        fresh results are stored back (best-effort: a full disk warns
+        and continues).
     chunk_size:
         Jobs per pool task.  Defaults to spreading the batch over
         roughly four chunks per worker, so stragglers rebalance.
     timeout:
-        Optional per-job seconds; a chunk gets ``timeout *
-        len(chunk)``.  Chunks that exceed it are re-run in process.
+        Optional per-job deadline in seconds.  A pool chunk gets
+        ``timeout * len(chunk)``; in-process (and fallback) execution
+        enforces ``timeout`` per job on a watchdog thread.
     retries:
-        How many times a failed/timed-out chunk is re-attempted
-        in-process before the error propagates.
+        Re-attempts after the first failure of a job (``0`` = the
+        first failure is final).  A chunk lost to a worker death or
+        deadline consumes one attempt for each of its jobs.
+        Deterministic ``ValueError``/``TypeError`` are never retried.
+    backoff_base:
+        First-retry backoff in seconds; attempt ``k`` sleeps
+        ``backoff_base * 2**(k-1)`` scaled by deterministic jitter in
+        [0.5, 1.5).  ``0`` disables sleeping (used by tests).
+    on_error:
+        ``"raise"`` — after gathering (and committing every completed
+        job), re-raise the first failure.  ``"censor"`` — failed jobs
+        yield an empty result (reads as censored downstream), the
+        report says which.
+    checkpoint:
+        Optional :class:`CheckpointJournal`; journaled jobs are served
+        without execution (outcome ``resumed``) and every completed
+        job is appended, so an interrupted run resumes where it died.
+    faults:
+        Optional :class:`~repro.parallel.faults.FaultPlan` — the
+        deterministic chaos hook, threaded through to workers and the
+        cache.  ``None`` in production.
     """
 
     jobs: int = 1
@@ -72,7 +150,12 @@ class ParallelRunner:
     chunk_size: int | None = None
     timeout: float | None = None
     retries: int = 1
+    backoff_base: float = 0.1
+    on_error: str = "raise"
+    checkpoint: CheckpointJournal | None = None
+    faults: FaultPlan | None = None
     stats: RunnerStats = field(default_factory=RunnerStats, init=False)
+    report: RunReport = field(default_factory=RunReport, init=False)
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -83,38 +166,158 @@ class ParallelRunner:
             raise ValueError("timeout must be positive")
         if self.retries < 0:
             raise ValueError("retries must be >= 0")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be >= 0")
+        if self.on_error not in ("raise", "censor"):
+            raise ValueError('on_error must be "raise" or "censor"')
 
     def run(self, specs: Sequence[SimulationJob]) -> list[JobResult]:
         """Execute every spec; results come back in spec order."""
         specs = list(specs)
         self.stats = RunnerStats(submitted=len(specs))
+        self.report = RunReport()
         results: list[JobResult | None] = [None] * len(specs)
+        failures: dict[int, BaseException] = {}
         pending: list[tuple[int, SimulationJob]] = []
+
         for index, spec in enumerate(specs):
+            key = spec.cache_key()
+            if self.checkpoint is not None:
+                journaled = self.checkpoint.lookup(spec)
+                if journaled is not None:
+                    results[index] = journaled
+                    self.stats.resumed += 1
+                    self.report.add(index, key, "resumed", attempts=0)
+                    continue
             cached = self.cache.get(spec) if self.cache is not None else None
             if cached is not None:
                 results[index] = cached
                 self.stats.cache_hits += 1
+                self.report.add(index, key, "cache_hit", attempts=0)
+                if self.checkpoint is not None:
+                    self.checkpoint.record(spec, cached)
+                continue
+            pending.append((index, spec))
+
+        def commit(index: int, spec: SimulationJob, result: JobResult, attempts: int):
+            # Commit immediately, not after the gather: if a later job
+            # fails and on_error="raise", this work is already durable.
+            results[index] = result
+            self.stats.executed += 1
+            outcome = "retried" if attempts > 1 else "ok"
+            self.report.add(index, spec.cache_key(), outcome, attempts=attempts)
+            if self.cache is not None:
+                self.cache.put(spec, result)
+            if self.checkpoint is not None:
+                self.checkpoint.record(spec, result)
+
+        def fail(
+            index: int,
+            spec: SimulationJob,
+            error: BaseException,
+            attempts: int,
+            timed_out: bool,
+        ):
+            failures[index] = error
+            if timed_out:
+                self.stats.timed_out += 1
             else:
-                pending.append((index, spec))
+                self.stats.failed += 1
+            self.report.add(
+                index,
+                spec.cache_key(),
+                "timed_out" if timed_out else "failed",
+                attempts=attempts,
+                error=repr(error),
+            )
+
         if pending:
             if self.jobs > 1 and len(pending) > 1:
-                executed = self._run_pooled(pending)
+                self._run_pooled(pending, commit, fail)
             else:
-                executed = self._run_serial(pending)
-            for index, result in executed.items():
-                results[index] = result
-                if self.cache is not None:
-                    self.cache.put(specs[index], result)
-            self.stats.executed = len(executed)
+                self._run_serial(pending, commit, fail, first_attempt=0)
+
+        if failures:
+            if self.on_error == "raise":
+                raise failures[min(failures)]
+            for index in failures:
+                # Censor: an empty first-passage record reads as "the
+                # event was not observed", exactly like a run that hit
+                # the horizon.  Never cached or journaled.
+                results[index] = JobResult(first_passages={})
+                self.stats.censored += 1
         return results  # type: ignore[return-value]  # every slot is filled
 
     # -- execution strategies -------------------------------------------------
 
     def _run_serial(
-        self, pending: Sequence[tuple[int, SimulationJob]]
-    ) -> dict[int, JobResult]:
-        return {index: run_job(spec) for index, spec in pending}
+        self,
+        pending: Sequence[tuple[int, SimulationJob]],
+        commit: Callable,
+        fail: Callable,
+        first_attempt: int,
+    ) -> None:
+        for index, spec in pending:
+            self._run_single(index, spec, commit, fail, first_attempt)
+
+    def _run_single(
+        self,
+        index: int,
+        spec: SimulationJob,
+        commit: Callable,
+        fail: Callable,
+        first_attempt: int = 0,
+    ) -> None:
+        """One job, in-process: deadline, retries, backoff, classification."""
+        total_attempts = 1 + self.retries
+        last_error: BaseException | None = None
+        timed_out = False
+        attempt = first_attempt
+        while attempt < total_attempts:
+            if attempt > 0:
+                self._sleep_backoff(spec, attempt)
+            try:
+                result = self._execute(spec, attempt)
+            except JobTimeoutError as error:
+                last_error, timed_out = error, True
+            except (ValueError, TypeError) as error:
+                # Deterministic: a bad spec fails identically on every
+                # attempt, so retrying only burns time.  Fail fast.
+                fail(index, spec, error, attempts=attempt + 1, timed_out=False)
+                return
+            except Exception as error:
+                last_error, timed_out = error, False
+            else:
+                commit(index, spec, result, attempts=attempt + 1)
+                return
+            attempt += 1
+        assert last_error is not None
+        fail(index, spec, last_error, attempts=total_attempts, timed_out=timed_out)
+
+    def _execute(self, spec: SimulationJob, attempt: int) -> JobResult:
+        """Run one job in-process, under the per-job deadline if set."""
+        if self.timeout is None:
+            return run_job(spec, faults=self.faults, attempt=attempt)
+        watchdog = ThreadPoolExecutor(max_workers=1)
+        future = watchdog.submit(run_job, spec, self.faults, attempt)
+        try:
+            return future.result(timeout=self.timeout)
+        except FutureTimeoutError:
+            future.cancel()
+            raise JobTimeoutError(
+                f"job {spec.cache_key()[:12]} exceeded the {self.timeout} s "
+                f"per-job deadline in-process (attempt {attempt})"
+            ) from None
+        finally:
+            # Don't block on a hung job; the daemon-less thread ends
+            # when the (finite) simulation or injected hang returns.
+            watchdog.shutdown(wait=False)
+
+    def _sleep_backoff(self, spec: SimulationJob, attempt: int) -> None:
+        if self.backoff_base <= 0:
+            return
+        delay = self.backoff_base * 2 ** (attempt - 1)
+        time.sleep(min(delay * _jitter(spec.cache_key(), attempt), BACKOFF_CAP))
 
     def _chunks(
         self, pending: Sequence[tuple[int, SimulationJob]]
@@ -129,59 +332,108 @@ class ParallelRunner:
         ]
 
     def _run_pooled(
-        self, pending: Sequence[tuple[int, SimulationJob]]
-    ) -> dict[int, JobResult]:
+        self,
+        pending: Sequence[tuple[int, SimulationJob]],
+        commit: Callable,
+        fail: Callable,
+    ) -> None:
         chunks = self._chunks(pending)
         try:
             pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(chunks)))
         except (OSError, ValueError, ImportError, NotImplementedError):
-            # No process support on this platform: stay in-process.
+            # No process support on this platform: stay in-process,
+            # with the full (untouched) retry budget.
             self.stats.fallback += len(pending)
-            return self._run_serial(pending)
-        executed: dict[int, JobResult] = {}
-        failed: list[list[tuple[int, SimulationJob]]] = []
+            self._run_serial(pending, commit, fail, first_attempt=0)
+            return
+
+        # (chunk, error, was_timeout) for every chunk lost in the pool.
+        lost: list[tuple[list[tuple[int, SimulationJob]], BaseException, bool]] = []
+        start = time.monotonic()
+        chunk_of: dict[Future, list[tuple[int, SimulationJob]]] = {}
+        # Per-chunk deadlines arm only once the chunk is actually
+        # running, so queue time behind other chunks is never charged
+        # against it; the batch deadline backstops a fully wedged pool.
+        armed: dict[Future, float] = {}
+        batch_deadline = (
+            start + self.timeout * len(pending) if self.timeout is not None else None
+        )
+
+        def _expire(future: Future, message: str) -> None:
+            future.cancel()
+            lost.append((chunk_of[future], JobTimeoutError(message), True))
+
         try:
-            futures = [
-                (chunk, pool.submit(run_jobs, [spec for _index, spec in chunk]))
-                for chunk in chunks
-            ]
-            for chunk, future in futures:
-                chunk_timeout = (
-                    self.timeout * len(chunk) if self.timeout is not None else None
+            for chunk in chunks:
+                future = pool.submit(
+                    run_jobs, [spec for _index, spec in chunk], self.faults, 0
                 )
-                try:
-                    chunk_results = future.result(timeout=chunk_timeout)
-                except FutureTimeoutError:
-                    future.cancel()
-                    failed.append(chunk)
-                    continue
-                except (ValueError, TypeError):
-                    # A bad job spec fails identically everywhere;
-                    # surface it rather than retrying.
-                    raise
-                except Exception:
-                    # Worker died (BrokenProcessPool, pickling trouble,
-                    # OOM kill, ...): run this chunk in-process below.
-                    failed.append(chunk)
-                    continue
-                for (index, _spec), result in zip(chunk, chunk_results):
-                    executed[index] = result
-                    self.stats.pooled += 1
+                chunk_of[future] = chunk
+            outstanding = set(chunk_of)
+            while outstanding:
+                now = time.monotonic()
+                if self.timeout is not None:
+                    for future in list(outstanding):
+                        if future not in armed and future.running():
+                            armed[future] = now + self.timeout * len(chunk_of[future])
+                    for future in list(outstanding):
+                        if future.done():
+                            continue
+                        if future in armed and now >= armed[future]:
+                            _expire(
+                                future,
+                                f"pool chunk of {len(chunk_of[future])} job(s) "
+                                f"exceeded its per-chunk deadline "
+                                f"({self.timeout:g} s/job)",
+                            )
+                            outstanding.discard(future)
+                        elif batch_deadline is not None and now >= batch_deadline:
+                            _expire(
+                                future,
+                                f"batch exceeded its overall deadline "
+                                f"({self.timeout:g} s/job over {len(pending)} jobs)",
+                            )
+                            outstanding.discard(future)
+                if not outstanding:
+                    break
+                deadlines = [armed[f] for f in outstanding if f in armed]
+                if batch_deadline is not None:
+                    deadlines.append(batch_deadline)
+                # Unarmed chunks poll at a coarse tick so arming isn't
+                # starved while nothing completes.
+                if self.timeout is not None and not deadlines:
+                    deadlines.append(now + min(self.timeout, 0.1))
+                wait_for = max(0.0, min(deadlines) - now) if deadlines else None
+                done, outstanding = wait(
+                    outstanding, timeout=wait_for, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    chunk = chunk_of[future]
+                    try:
+                        chunk_results = future.result()
+                    except Exception as error:
+                        # Worker died (BrokenProcessPool, OOM kill),
+                        # pickling trouble, or the job itself raised:
+                        # the in-process fallback re-runs and
+                        # re-classifies per job.
+                        lost.append((chunk, error, False))
+                        continue
+                    for (index, spec), result in zip(chunk, chunk_results):
+                        commit(index, spec, result, attempts=1)
+                        self.stats.pooled += 1
         finally:
             # Timed-out workers may still be running; don't block on them.
-            pool.shutdown(wait=not failed, cancel_futures=True)
-        for chunk in failed:
+            pool.shutdown(wait=not lost, cancel_futures=True)
+
+        for chunk, error, was_timeout in lost:
+            if self.retries == 0:
+                # No retry budget: the pool attempt was the only one.
+                for index, spec in chunk:
+                    fail(index, spec, error, attempts=1, timed_out=was_timeout)
+                continue
             self.stats.retried_chunks += 1
-            remaining = dict(chunk)
-            last_error: BaseException | None = None
-            for _attempt in range(max(1, self.retries)):
-                try:
-                    executed.update(self._run_serial(list(remaining.items())))
-                    self.stats.fallback += len(remaining)
-                    remaining = {}
-                    break
-                except Exception as error:  # pragma: no cover - defensive
-                    last_error = error
-            if remaining and last_error is not None:  # pragma: no cover
-                raise last_error
-        return executed
+            self.stats.fallback += len(chunk)
+            for index, spec in chunk:
+                # The pool attempt consumed attempt 0; the fallback
+                # starts at attempt 1 with the deadline still enforced.
+                self._run_single(index, spec, commit, fail, first_attempt=1)

@@ -1,0 +1,6 @@
+"""Developer tooling that ships with the repo (not used at runtime).
+
+``python -m repro.tools.lint_excepts`` — flag broad exception handlers
+that silently swallow errors, the failure mode that turned PR 1's
+"graceful degradation" into untestable dead code.
+"""

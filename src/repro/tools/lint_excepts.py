@@ -1,0 +1,140 @@
+"""Flag silent exception swallowing: ``except Exception: pass``.
+
+A resilient execution layer lives or dies by *visible* failure
+handling — every recovery path in ``repro.parallel`` retries, counts,
+warns, or re-raises.  This linter keeps it that way: it walks the
+AST of a source tree and reports every handler that is simultaneously
+
+* **broad** — a bare ``except:``, ``except Exception:``, or
+  ``except BaseException:`` (narrow handlers like ``except OSError``
+  are a legitimate idiom for best-effort filesystem work), and
+* **silent** — a body consisting only of ``pass``/``...`` (a handler
+  that logs, counts, returns a sentinel, or re-raises is fine).
+
+Escape hatch: a ``# lint: allow-swallow`` comment on the ``except``
+line (or the line above) suppresses the finding — making every
+deliberate swallow a visible, reviewable annotation.
+
+Usage::
+
+    python -m repro.tools.lint_excepts [paths...]   # default: src/repro
+
+Exit status 1 when findings exist, 0 otherwise; also invoked by the
+tier-1 test suite (``tests/test_tools_lint.py``) so a new silent
+swallow fails CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["ALLOW_COMMENT", "Finding", "main", "scan_file", "scan_tree"]
+
+ALLOW_COMMENT = "lint: allow-swallow"
+
+_BROAD_NAMES = ("Exception", "BaseException")
+
+
+class Finding:
+    """One flagged handler: file, line, and a human-readable reason."""
+
+    def __init__(self, path: Path, line: int, reason: str) -> None:
+        self.path = path
+        self.line = line
+        self.reason = reason
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.reason}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Finding({str(self)!r})"
+
+
+def _is_broad(handler: ast.ExceptHandler) -> str | None:
+    """The broad exception name, or None if the handler is narrow."""
+    if handler.type is None:
+        return "bare except"
+    if isinstance(handler.type, ast.Name) and handler.type.id in _BROAD_NAMES:
+        return f"except {handler.type.id}"
+    return None
+
+
+def _is_silent(body: Sequence[ast.stmt]) -> bool:
+    """True when the handler body does nothing at all."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        ):
+            continue
+        return False
+    return True
+
+
+def scan_file(path: Path) -> list[Finding]:
+    """All silent broad handlers in one file."""
+    try:
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError) as error:
+        return [Finding(path, 1, f"could not scan: {error}")]
+    lines = source.splitlines()
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        broad = _is_broad(node)
+        if broad is None or not _is_silent(node.body):
+            continue
+        window = lines[max(0, node.lineno - 2) : node.lineno]
+        if any(ALLOW_COMMENT in line for line in window):
+            continue
+        findings.append(
+            Finding(
+                path,
+                node.lineno,
+                f"{broad} with a pass-only body swallows errors silently "
+                f"(count, warn, or re-raise; or annotate '# {ALLOW_COMMENT}')",
+            )
+        )
+    return findings
+
+
+def scan_tree(paths: Iterable[Path]) -> list[Finding]:
+    """Recursively scan files and directories for silent swallows."""
+    findings: list[Finding] = []
+    for path in paths:
+        if path.is_dir():
+            for source in sorted(path.rglob("*.py")):
+                findings.extend(scan_file(source))
+        else:
+            findings.extend(scan_file(path))
+    return findings
+
+
+def default_target() -> Path:
+    """The package source tree this file lives in (``src/repro``)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns 1 when findings exist."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    targets = [Path(arg) for arg in argv] or [default_target()]
+    findings = scan_tree(targets)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} silent exception swallow(s) found")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

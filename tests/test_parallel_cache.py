@@ -1,11 +1,13 @@
 """Tests for the content-addressed on-disk result cache."""
 
 import json
+import os
+import time
 
 import pytest
 
 from repro.core import RouterTimingParameters
-from repro.parallel import JobResult, ResultCache, SimulationJob
+from repro.parallel import FaultPlan, JobResult, ResultCache, SimulationJob
 from repro.parallel import cache as cache_module
 
 FAST = RouterTimingParameters(n_nodes=5, tp=20.0, tc=0.3, tr=0.1)
@@ -103,3 +105,140 @@ class TestMaintenance:
         cache = ResultCache(tmp_path)
         cache.put(job, result)
         assert not list(tmp_path.glob("*.tmp"))
+
+    def test_tmp_names_are_pid_and_write_unique(
+        self, tmp_path, job, result, monkeypatch
+    ):
+        # Two writers sharing a cache dir must never collide on the
+        # same temp name (the PR-1 bug: a fixed '<key>.json.tmp').
+        seen = []
+        real_replace = os.replace
+
+        def spying_replace(src, dst):
+            seen.append(os.path.basename(src))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(cache_module.os, "replace", spying_replace)
+        cache = ResultCache(tmp_path)
+        cache.put(job, result)
+        cache.put(job, result)
+        assert len(seen) == 2 and seen[0] != seen[1]
+        assert all(f".{os.getpid()}." in name for name in seen)
+
+
+class TestBestEffortWrites:
+    def test_oserror_warns_and_counts_instead_of_raising(
+        self, tmp_path, job, result
+    ):
+        cache = ResultCache(
+            tmp_path, faults=FaultPlan.of(FaultPlan.cache_write_error())
+        )
+        with pytest.warns(RuntimeWarning, match="cache write failed"):
+            assert cache.put(job, result) is None
+        assert cache.write_errors == 1
+        assert len(cache) == 0
+
+    @pytest.mark.skipif(
+        hasattr(os, "geteuid") and os.geteuid() == 0,
+        reason="root ignores directory write permissions",
+    )
+    def test_readonly_directory_degrades_gracefully(self, tmp_path, job, result):
+        root = tmp_path / "ro"
+        root.mkdir()
+        os.chmod(root, 0o555)
+        try:
+            cache = ResultCache(root)
+            with pytest.warns(RuntimeWarning, match="cache write failed"):
+                assert cache.put(job, result) is None
+            assert cache.write_errors == 1
+        finally:
+            os.chmod(root, 0o755)
+
+
+class TestQuarantine:
+    def test_corrupt_entry_moved_aside_on_get(self, tmp_path, job, result):
+        cache = ResultCache(tmp_path)
+        path = cache.put(job, result)
+        path.write_text("{torn", encoding="ascii")
+        assert cache.get(job) is None
+        assert cache.quarantined == 1
+        assert not path.exists()
+        (corpse,) = tmp_path.glob("*.corrupt")
+        assert corpse.name == path.name + ".corrupt"
+        assert corpse.read_text() == "{torn"  # evidence preserved
+
+    def test_version_mismatch_also_quarantines(self, tmp_path, job, result):
+        cache = ResultCache(tmp_path)
+        path = cache.put(job, result)
+        payload = json.loads(path.read_text())
+        payload["model_version"] = "fj93-model-0"
+        path.write_text(json.dumps(payload))
+        assert cache.get(job) is None
+        assert cache.quarantined == 1
+
+    def test_quarantined_path_is_rewritable(self, tmp_path, job, result):
+        cache = ResultCache(tmp_path)
+        cache.put(job, result).write_text("junk")
+        assert cache.get(job) is None  # quarantines
+        cache.put(job, result)  # path is free again
+        assert cache.get(job) == result
+
+
+class TestVerifyRepair:
+    def seed_cache(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        jobs = [
+            SimulationJob.from_params(FAST, seed=seed, horizon=1000.0)
+            for seed in (1, 2, 3)
+        ]
+        paths = [cache.put(job, result) for job in jobs]
+        return cache, jobs, paths
+
+    def test_verify_reports_without_mutating(self, tmp_path, result):
+        cache, _jobs, paths = self.seed_cache(tmp_path, result)
+        paths[0].write_text("{torn")
+        stale = tmp_path / "dead-writer.12345.0.tmp"
+        stale.write_text("half")
+        os.utime(stale, (time.time() - 7200, time.time() - 7200))
+        fresh = tmp_path / "live-writer.999.0.tmp"
+        fresh.write_text("half")
+        report = cache.verify()
+        assert report["entries"] == 3
+        assert report["valid"] == 2
+        assert list(report["corrupt"]) == [paths[0].name]
+        assert report["stale_tmp"] == [stale.name]  # fresh tmp untouched
+        assert report["quarantined"] == 0
+        assert paths[0].exists()  # verify never mutates
+
+    def test_repair_quarantines_and_sweeps(self, tmp_path, result):
+        cache, jobs, paths = self.seed_cache(tmp_path, result)
+        paths[0].write_text("{torn")
+        stale = tmp_path / "dead-writer.12345.0.tmp"
+        stale.write_text("half")
+        os.utime(stale, (time.time() - 7200, time.time() - 7200))
+        done = cache.repair()
+        assert done["quarantined"] == [paths[0].name]
+        assert done["removed_tmp"] == [stale.name]
+        assert not stale.exists()
+        assert not paths[0].exists()
+        assert len(list(tmp_path.glob("*.corrupt"))) == 1
+        # The two healthy entries survived intact.
+        assert cache.get(jobs[1]) == result
+        after = cache.verify()
+        assert after["valid"] == 2 and not after["corrupt"]
+        assert after["quarantined"] == 1
+
+    def test_verify_on_missing_directory(self, tmp_path):
+        report = ResultCache(tmp_path / "nowhere").verify()
+        assert report == {
+            "entries": 0, "valid": 0, "corrupt": {},
+            "stale_tmp": [], "quarantined": 0,
+        }
+
+    def test_clear_removes_debris_too(self, tmp_path, job, result):
+        cache = ResultCache(tmp_path)
+        cache.put(job, result)
+        (tmp_path / "x.json.corrupt").write_text("junk")
+        (tmp_path / "y.0.0.tmp").write_text("junk")
+        assert cache.clear() == 1  # entries only in the count
+        assert not any(tmp_path.iterdir())

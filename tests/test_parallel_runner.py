@@ -136,6 +136,23 @@ class TestDegradation:
         (result,) = ParallelRunner(jobs=8).run(specs_for((1,)))
         assert result == ParallelRunner(jobs=1).run(specs_for((1,)))[0]
 
+    def test_fallback_enforces_deadline_too(self, monkeypatch):
+        # The PR-1 hole: the in-process fallback retried with no time
+        # limit, so one hung job wedged the whole run.  The fallback
+        # must now carry the same per-job deadline as the pool path.
+        def broken_pool(*args, **kwargs):
+            raise OSError("no process support here")
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", broken_pool)
+        specs = specs_for((1, 2, 3))
+        runner = ParallelRunner(jobs=4, timeout=30.0, backoff_base=0.0)
+        results = runner.run(specs)
+        assert runner.stats.fallback == 3
+        assert results == ParallelRunner(jobs=1).run(specs)
+        # Sanity that the deadline machinery was actually armed: the
+        # runner classifies jobs, and none were near the limit here.
+        assert runner.report.counts()["ok"] == 3
+
     def test_validation(self):
         with pytest.raises(ValueError):
             ParallelRunner(jobs=0)
@@ -145,9 +162,58 @@ class TestDegradation:
             ParallelRunner(jobs=2, timeout=0.0)
         with pytest.raises(ValueError):
             ParallelRunner(jobs=2, retries=-1)
+        with pytest.raises(ValueError):
+            ParallelRunner(backoff_base=-0.1)
+        with pytest.raises(ValueError):
+            ParallelRunner(on_error="explode")
 
     def test_empty_batch(self):
         assert ParallelRunner(jobs=4).run([]) == []
+
+
+class TestRunReport:
+    def test_happy_path_every_job_is_ok(self):
+        specs = specs_for(range(1, 6))
+        runner = ParallelRunner(jobs=1)
+        runner.run(specs)
+        counts = runner.report.counts()
+        assert counts["ok"] == 5
+        assert sum(counts.values()) == 5
+        assert runner.report.fully_accounted(5)
+        assert runner.report.incomplete == 0
+        assert runner.report.executed_fresh == 5
+        assert runner.report.summary().startswith("ok=5")
+
+    def test_pooled_run_accounts_identically(self):
+        specs = specs_for(range(1, 6))
+        runner = ParallelRunner(jobs=3, chunk_size=2)
+        runner.run(specs)
+        assert runner.report.counts()["ok"] == 5
+        assert runner.report.fully_accounted(5)
+
+    def test_cache_hits_and_fresh_runs_partition(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        ParallelRunner(jobs=1, cache=cache).run(specs_for((1, 2)))
+        runner = ParallelRunner(jobs=1, cache=cache)
+        runner.run(specs_for((1, 2, 3, 4)))
+        counts = runner.report.counts()
+        assert counts["cache_hit"] == 2 and counts["ok"] == 2
+        assert runner.report.fully_accounted(4)
+        records = runner.report.records_for("cache_hit")
+        assert sorted(r.index for r in records) == [0, 1]
+
+    def test_report_resets_between_runs(self):
+        runner = ParallelRunner(jobs=1)
+        runner.run(specs_for((1, 2)))
+        runner.run(specs_for((3,)))
+        assert runner.report.submitted == 1
+        assert runner.report.fully_accounted(1)
+
+    def test_outcome_names_are_validated(self):
+        from repro.parallel import JobRecord
+
+        with pytest.raises(ValueError):
+            JobRecord(index=0, key="k", outcome="exploded")
 
 
 class TestChunking:
