@@ -50,6 +50,12 @@ class ClusterTracker:
         immediate-notification model, where clustered resets are
         exactly simultaneous; runs with a positive notification delay
         pass a correspondingly larger value.
+    probe:
+        Optional :class:`~repro.obs.probes.SimulationProbe` notified
+        of every reset (``on_reset``) and every closed group
+        (``on_group``).  Purely observational — the tracker never
+        reads anything back from it — so an attached probe cannot
+        change a trajectory (``tests/test_obs_probes.py``).
     """
 
     def __init__(
@@ -57,6 +63,7 @@ class ClusterTracker:
         n_nodes: int,
         keep_history: bool = True,
         tolerance: float = RESET_TIME_TOLERANCE,
+        probe=None,
     ) -> None:
         if n_nodes < 1:
             raise ValueError("n_nodes must be positive")
@@ -65,6 +72,7 @@ class ClusterTracker:
         self.n_nodes = n_nodes
         self.keep_history = keep_history
         self.tolerance = tolerance
+        self.probe = probe
         self.groups: list[ClusterGroup] = []
         self.total_resets = 0
         # The currently-open group of simultaneous resets.
@@ -96,6 +104,8 @@ class ClusterTracker:
         if self._open_time is not None and time < self._open_time - self.tolerance:
             raise ValueError(f"resets out of order: {time} after {self._open_time}")
         self.total_resets += 1
+        if self.probe is not None:
+            self.probe.on_reset(time, node_id)
         if self._open_time is not None and abs(time - self._open_time) <= self.tolerance:
             self._open_size += 1
             self._window[-1][0] = self._open_size
@@ -121,6 +131,8 @@ class ClusterTracker:
             return
         if self.keep_history:
             self.groups.append(ClusterGroup(self._open_time, self._open_size))
+        if self.probe is not None:
+            self.probe.on_group(self._open_time, self._open_size)
         self._open_time = None
         self._open_size = 0
 

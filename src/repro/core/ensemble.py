@@ -148,6 +148,7 @@ class FirstPassageEnsemble:
 
     def run(self) -> "FirstPassageEnsemble":
         """Execute every run (idempotent: re-running clears old data)."""
+        from ..obs import obs
         from ..parallel import ParallelRunner, SimulationJob, resolve_checkpoint
 
         specs = [
@@ -170,9 +171,17 @@ class FirstPassageEnsemble:
             retries=self.retries,
         )
         try:
-            self._passages = [
-                dict(result.first_passages) for result in runner.run(specs)
-            ]
+            with obs().span(
+                "ensemble.run",
+                n_nodes=self.params.n_nodes,
+                seeds=len(list(self.seeds)),
+                direction=self.direction,
+                engine=self.engine,
+                jobs=self.jobs,
+            ):
+                self._passages = [
+                    dict(result.first_passages) for result in runner.run(specs)
+                ]
         finally:
             self.report = runner.report
             if journal is not None:

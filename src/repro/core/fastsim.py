@@ -48,6 +48,13 @@ class CascadeModel:
         "synchronized" (all zero), or explicit phases.
     keep_cluster_history:
         Forwarded to the tracker.
+    probe:
+        Optional :class:`~repro.obs.probes.SimulationProbe`.  Gets the
+        tracker's reset/group stream plus ``on_cascade`` with the
+        exact expiry times of every cascade (the source of per-node
+        busy time).  Observational only: the probe never touches the
+        RNG streams or the heap, so probed and unprobed runs are
+        byte-identical.
     """
 
     def __init__(
@@ -56,10 +63,12 @@ class CascadeModel:
         seed: int = 1,
         initial_phases: InitialPhases = "unsynchronized",
         keep_cluster_history: bool = False,
+        probe=None,
     ) -> None:
         self.params = params
+        self.probe = probe
         n = params.n_nodes
-        self.tracker = ClusterTracker(n, keep_history=keep_cluster_history)
+        self.tracker = ClusterTracker(n, keep_history=keep_cluster_history, probe=probe)
         master = RandomSource(seed=seed)
         self._rngs = [master.spawn(i) for i in range(n)]
         phase_rng = master.spawn(n + 1)
@@ -111,6 +120,8 @@ class CascadeModel:
             group = [node for _expiry, node in popped]
             self.total_cascades += 1
             self.now = window
+            if self.probe is not None:
+                self.probe.on_cascade(window, popped)
             for node in group:
                 tracker.record_reset(window, node)
             for node in group:

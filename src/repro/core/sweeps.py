@@ -126,6 +126,7 @@ def _run_sweep(
     on_error: str = "raise",
 ) -> list[SweepResult]:
     """Execute a (parameter, seed) grid through the parallel layer."""
+    from ..obs import obs
     from ..parallel import ParallelRunner, SimulationJob, resolve_checkpoint
 
     if direction not in ("synchronize", "break_up"):
@@ -149,7 +150,16 @@ def _run_sweep(
         jobs=jobs, cache=cache, checkpoint=journal, on_error=on_error
     )
     try:
-        results = runner.run(specs)
+        with obs().span(
+            "sweep.run",
+            direction=direction,
+            points=len(points),
+            seeds=len(list(seeds)),
+            grid=len(specs),
+            engine=engine,
+            jobs=jobs,
+        ):
+            results = runner.run(specs)
     finally:
         if journal is not None:
             if runner.report.fully_accounted(len(specs)) and (
@@ -279,12 +289,17 @@ def find_transition_n(
     runner = ParallelRunner(jobs=1, cache=cache, checkpoint=journal)
 
     def synchronizes(n: int) -> bool:
+        from ..obs import obs
+
         spec = SimulationJob.from_params(
             base.with_nodes(n), seed=seed, horizon=horizon,
             direction="up", engine=engine,
         )
-        (result,) = runner.run([spec])
-        return result.terminal_time(spec) is not None
+        with obs().span("transition.probe", n=n) as span:
+            (result,) = runner.run([spec])
+            synced = result.terminal_time(spec) is not None
+            span.set(synchronized=synced)
+        return synced
 
     def finish(answer: int) -> int:
         if journal is not None:

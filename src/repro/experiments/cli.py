@@ -9,9 +9,14 @@ Usage::
     repro-sync fig10 --no-cache        # force recomputation
     repro-sync fig10 --resume          # journal + resume interrupted runs
     repro-sync bench                   # parallel-layer perf snapshot
+    repro-sync bench --obs             # obs-overhead snapshot (BENCH_obs.json)
     repro-sync cache verify            # audit results/cache/ entries
     repro-sync cache repair            # quarantine corrupt, sweep stale tmp
     repro-sync cache clear             # drop every cached result
+    repro-sync fig10 --trace results/trace.jsonl   # record a trace
+    repro-sync obs summary results/trace.jsonl     # aggregate it
+    repro-sync obs export-trace results/trace.jsonl  # -> Perfetto JSON
+    repro-sync fig10 --profile         # merged cProfile top-N
 
 (``python -m repro`` is equivalent.)  Simulation-backed figures cache
 completed runs under ``results/cache/`` keyed by job content, so
@@ -21,6 +26,14 @@ way).  ``--resume`` additionally journals every completed simulation
 to ``results/checkpoints/<run-id>.jsonl`` as it finishes, so a run
 killed mid-way (Ctrl-C, OOM, power loss) restarts from where it
 stopped — pass it from the start on long runs.
+
+Observability (``repro.obs``) is strictly inert — every figure and
+table is byte-identical with it on or off.  ``--trace PATH`` records
+spans/events/metrics to a JSONL log (the ``obs`` target reads it);
+``--metrics`` prints the metric snapshot to stderr after the run;
+``--profile`` merges cProfile across every worker process;
+``--verbose``/``--quiet`` raise/lower which structured events reach
+the terminal.
 """
 
 from __future__ import annotations
@@ -67,13 +80,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        help="a figure id (fig01..fig15), 'all', 'list', 'bench', or 'cache'",
+        help=(
+            "a figure id (fig01..fig15), 'all', 'list', 'bench', 'cache', "
+            "or 'obs'"
+        ),
     )
     parser.add_argument(
         "action",
         nargs="?",
         default=None,
-        help="for the 'cache' target: verify (default) | repair | clear",
+        help=(
+            "for 'cache': verify (default) | repair | clear; "
+            "for 'obs': summary (default) | export-trace | top"
+        ),
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help=(
+            "for the 'obs' target: the JSONL trace log to read "
+            "(default results/trace.jsonl)"
+        ),
     )
     parser.add_argument(
         "--fast",
@@ -122,6 +150,57 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="cache directory for the 'cache' target (default results/cache)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record spans/events/metrics and write a JSONL trace log to "
+            "PATH after the run (read it back with the 'obs' target); "
+            "results do not depend on this"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect metrics and print the snapshot to stderr after the run",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "profile the run under cProfile (merged across worker "
+            "processes) and print the top functions to stderr"
+        ),
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print info-level structured events (resumes, retries) as they happen",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="silence warning-level events (errors still print)",
+    )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help=(
+            "for the 'bench' target: measure observability on/off overhead "
+            "and write BENCH_obs.json instead of the parallel benchmark"
+        ),
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="PATH",
+        help=(
+            "for 'obs export-trace': the Chrome/Perfetto JSON destination "
+            "(default: the trace path with a .chrome.json suffix)"
+        ),
+    )
     return parser
 
 
@@ -168,6 +247,15 @@ def _run_cache(args) -> int:
 
 def _run_bench(args) -> int:
     """The 'bench' target: emit and print the parallel perf snapshot."""
+    if args.obs:
+        from ..obs.bench import format_obs_table, run_obs_benchmark
+
+        output = "BENCH_obs.json"
+        snapshot = run_obs_benchmark(output=output)
+        print(format_obs_table(snapshot))
+        print(f"snapshot written to {output}")
+        ok = snapshot["within_budget"] and snapshot["results_identical_with_obs"]
+        return 0 if ok else 1
     from ..parallel import format_table, run_benchmark
 
     output = "BENCH_parallel.json"
@@ -177,20 +265,105 @@ def _run_bench(args) -> int:
     return 0 if snapshot["results_identical_across_configs"] else 1
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
-    if args.jobs is not None and args.jobs < 1:
-        print("error: --jobs must be >= 1", file=sys.stderr)
-        return 2
-    if args.target == "cache":
-        return _run_cache(args)
-    if args.action is not None:
+def _run_obs(args) -> int:
+    """The 'obs' target: read a JSONL trace log back."""
+    from ..obs.export import read_trace, summarize_trace, write_chrome_trace
+
+    action = args.action or "summary"
+    path = args.path or "results/trace.jsonl"
+    if action not in ("summary", "export-trace", "top"):
         print(
-            "error: an action argument is only valid with the 'cache' target",
+            f"error: unknown obs action {action!r} "
+            "(use summary, export-trace, or top)",
             file=sys.stderr,
         )
         return 2
+    try:
+        if action == "export-trace":
+            dest = write_chrome_trace(path, args.output)
+            print(
+                f"chrome trace written to {dest} "
+                "(open in chrome://tracing or https://ui.perfetto.dev)"
+            )
+            return 0
+        records = read_trace(path)
+    except OSError as error:
+        print(f"error: cannot read trace {path}: {error}", file=sys.stderr)
+        return 2
+    if action == "summary":
+        print(summarize_trace(records))
+        return 0
+    from ..obs.profile import format_top
+
+    print(format_top(records.get("profile", [])))
+    return 0
+
+
+def _configure_obs(args) -> bool:
+    """Turn the global obs runtime on per the flags; True if configured."""
+    wants = (
+        args.trace or args.metrics or args.profile or args.quiet or args.verbose
+    )
+    if not wants:
+        return False
+    from ..obs import ERROR, INFO, configure
+
+    console = INFO if args.verbose else (ERROR if args.quiet else None)
+    configure(
+        enabled=bool(args.trace or args.metrics),
+        profile=args.profile,
+        console_level=console,
+    )
+    return True
+
+
+def _finalize_obs(args) -> None:
+    """Write/print the collected observability artifacts, then reset.
+
+    Everything lands on stderr so stdout — the experiment's actual
+    output — stays byte-identical with observability off.
+    """
+    from ..obs import obs, reset
+
+    o = obs()
+    try:
+        if args.trace:
+            from ..obs.export import write_trace
+
+            path = write_trace(
+                args.trace,
+                spans=o.tracer.records,
+                events=o.events.events,
+                metrics=o.metrics.snapshot(),
+                profile=o.profile_rows,
+                meta={"trace_id": o.tracer.trace_id},
+            )
+            print(f"trace written to {path}", file=sys.stderr)
+        if args.metrics:
+            print("metrics:", file=sys.stderr)
+            for name, state in sorted(o.metrics.snapshot().items()):
+                if state.get("kind") == "histogram":
+                    print(
+                        f"  {name}: n={state['count']} "
+                        f"mean={state['mean']:.6f}s sum={state['sum']:.6f}s",
+                        file=sys.stderr,
+                    )
+                else:
+                    print(f"  {name}: {state.get('value', 0):g}", file=sys.stderr)
+        if args.profile:
+            from ..obs.profile import format_top
+
+            print(format_top(o.profile_rows), file=sys.stderr)
+    finally:
+        reset()
+
+
+def _dispatch(args) -> int:
+    """Route one parsed invocation to its target handler."""
+    if args.target == "cache":
+        return _run_cache(args)
+    if args.target == "obs":
+        return _run_obs(args)
     if args.target == "list":
         for figure_id in figure_ids():
             print(figure_id)
@@ -222,6 +395,44 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.quiet and args.verbose:
+        print("error: --quiet and --verbose are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.action is not None and args.target not in ("cache", "obs"):
+        print(
+            "error: an action argument is only valid with the "
+            "'cache' or 'obs' targets",
+            file=sys.stderr,
+        )
+        return 2
+    if args.path is not None and args.target != "obs":
+        print(
+            "error: a path argument is only valid with the 'obs' target",
+            file=sys.stderr,
+        )
+        return 2
+    if not _configure_obs(args):
+        return _dispatch(args)
+    try:
+        if args.profile:
+            from ..obs import obs
+            from ..obs.profile import profiled
+
+            # Profile the in-process side too (jobs=1 runs, cache and
+            # aggregation work); pool workers ship their own rows.
+            with profiled(obs().profile_rows):
+                return _dispatch(args)
+        return _dispatch(args)
+    finally:
+        _finalize_obs(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -44,6 +44,13 @@ def run(
     ``checkpoint`` journals completed seeds so an interrupted run
     resumes (CLI ``--resume``).  None of them changes the numbers.
     """
+    from ..obs import obs
+
+    with obs().span("figure.run", figure="fig10", seeds=len(seeds), jobs=jobs):
+        return _run(horizon, seeds, f2, jobs, cache, checkpoint)
+
+
+def _run(horizon, seeds, f2, jobs, cache, checkpoint) -> FigureResult:
     analysis = synchronization_times(PAPER_PARAMS, f2=f2)
     round_seconds = analysis.seconds_per_round
     result = FigureResult(

@@ -37,6 +37,21 @@ def run(
     The simulation spot checks run through the parallel layer:
     ``jobs``/``cache`` speed them up without changing the marks.
     """
+    from ..obs import obs
+
+    with obs().span(
+        "figure.run", figure="fig12", steps=steps, sim_checks=sim_checks, jobs=jobs
+    ):
+        return _run(
+            tr_over_tc_max, steps, f2, sim_checks, sim_horizon, seeds,
+            jobs, cache, checkpoint,
+        )
+
+
+def _run(
+    tr_over_tc_max, steps, f2, sim_checks, sim_horizon, seeds, jobs,
+    cache, checkpoint,
+) -> FigureResult:
     tc = PAPER_PARAMS.tc
     f_curve = []
     g_curve = []

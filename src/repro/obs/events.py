@@ -1,0 +1,150 @@
+"""The structured event log: what used to be prints and warnings.
+
+An :class:`Event` is a levelled, named, wall-clock-stamped record with
+free-form fields — ``cache.write_error`` with the path and errno, not
+an f-string lost to a terminal scrollback.  An :class:`EventLog`
+buffers every event (they ride along in the exported trace) and fans
+them out to *sinks*:
+
+* :class:`ConsoleSink` renders ``message`` for humans — info and
+  below to stdout, warnings and errors to stderr — filtered by the
+  CLI's ``--quiet``/``--verbose`` level.  At the default level its
+  output is byte-identical to the prints it replaced.
+* The JSONL trace file (written by :mod:`repro.obs.export`) gets the
+  full structured record, which is what makes chaos-suite output
+  machine-readable.
+
+Compatibility fallback: a *warning-or-worse* event emitted while no
+sink is installed is forwarded to :func:`warnings.warn`, so library
+users who never configured observability still see failures exactly
+as before (and ``pytest.warns`` assertions keep passing).
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+from collections import deque
+from dataclasses import dataclass, field
+
+from .clock import wall_time
+
+__all__ = [
+    "DEBUG",
+    "INFO",
+    "WARNING",
+    "ERROR",
+    "LEVEL_NAMES",
+    "ConsoleSink",
+    "Event",
+    "EventLog",
+]
+
+DEBUG = 10
+INFO = 20
+WARNING = 30
+ERROR = 40
+
+LEVEL_NAMES = {DEBUG: "debug", INFO: "info", WARNING: "warning", ERROR: "error"}
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured log record."""
+
+    ts: float  # wall-clock seconds since the epoch
+    level: int
+    name: str  # dotted event name, e.g. "cache.write_error"
+    message: str  # human rendering (what ConsoleSink prints)
+    fields: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "ts": self.ts,
+            "level": LEVEL_NAMES.get(self.level, str(self.level)),
+            "name": self.name,
+            "message": self.message,
+            "fields": dict(self.fields),
+        }
+
+
+class ConsoleSink:
+    """Render event messages to the terminal, filtered by level.
+
+    Info and debug go to ``stdout`` (they are the program's narrative
+    output); warnings and errors go to ``stderr``.  Streams default to
+    the *current* ``sys.stdout``/``sys.stderr`` at emit time so pytest
+    capture and shell redirection both behave.
+    """
+
+    def __init__(self, level: int = INFO, out=None, err=None) -> None:
+        self.level = level
+        self._out = out
+        self._err = err
+
+    def handle(self, event: Event) -> None:
+        if event.level < self.level:
+            return
+        if event.level >= WARNING:
+            stream = self._err if self._err is not None else sys.stderr
+        else:
+            stream = self._out if self._out is not None else sys.stdout
+        print(event.message, file=stream)
+
+
+class EventLog:
+    """Buffer events and fan them out to sinks.
+
+    The buffer is what the trace exporter reads; sinks are for live
+    consumption.  Both are optional — an EventLog with no sinks is the
+    library default and costs a dataclass append per event (plus the
+    warnings fallback for warning-level events).  The buffer is a ring
+    (newest ``maxlen`` kept) so an unconfigured long-lived process can
+    never leak memory through its own logging.
+    """
+
+    def __init__(self, maxlen: int = 65536) -> None:
+        self.sinks: list = []
+        self._events: deque[Event] = deque(maxlen=maxlen)
+
+    def add_sink(self, sink) -> None:
+        self.sinks.append(sink)
+
+    def emit(
+        self,
+        name: str,
+        message: str,
+        level: int = INFO,
+        **fields,
+    ) -> Event:
+        """Record one event and deliver it to every sink."""
+        event = Event(
+            ts=wall_time(), level=level, name=name, message=message, fields=fields
+        )
+        self._events.append(event)
+        if self.sinks:
+            for sink in self.sinks:
+                sink.handle(event)
+        elif level >= WARNING:
+            # Nobody is listening: degrade to the stdlib warning the
+            # pre-obs code emitted, so failures stay visible.
+            warnings.warn(message, RuntimeWarning, stacklevel=3)
+        return event
+
+    @property
+    def events(self) -> list[Event]:
+        return list(self._events)
+
+    def drain(self) -> list[Event]:
+        events = list(self._events)
+        self._events.clear()
+        return events
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventLog(events={len(self)}, sinks={len(self.sinks)})"

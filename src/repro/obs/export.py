@@ -1,0 +1,277 @@
+"""Trace files: JSONL on disk, Chrome ``trace_event`` JSON on demand.
+
+The canonical artifact is a **JSONL trace log** — one JSON object per
+line, each tagged with a ``type``:
+
+* ``meta``    — written first: trace id, wall-clock stamp, pid, argv.
+* ``span``    — a :class:`~repro.obs.spans.SpanRecord` body.
+* ``event``   — an :class:`~repro.obs.events.Event` body.
+* ``metric``  — one instrument's final snapshot (name + state).
+* ``profile`` — one aggregated cProfile row (see
+  :mod:`repro.obs.profile`).
+
+JSONL because it is append-friendly, greppable, and torn-tail-tolerant
+— the same reasoning as the checkpoint journal.  From it,
+:func:`to_chrome_trace` derives the JSON object format the Chrome /
+Perfetto UI accepts (``chrome://tracing`` or https://ui.perfetto.dev):
+spans become complete ("ph": "X") events with microsecond timestamps,
+log events become instants ("ph": "i"), and counters become counter
+tracks ("ph": "C").
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+from .clock import wall_time
+from .events import Event, LEVEL_NAMES
+from .spans import SpanRecord
+
+__all__ = [
+    "RECORD_TYPES",
+    "read_trace",
+    "summarize_trace",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_trace",
+]
+
+RECORD_TYPES = ("meta", "span", "event", "metric", "profile")
+
+
+def write_trace(
+    path: str | os.PathLike,
+    spans=(),
+    events=(),
+    metrics: dict | None = None,
+    profile=(),
+    meta: dict | None = None,
+) -> Path:
+    """Write one JSONL trace log; returns the path written.
+
+    ``metrics`` is a registry snapshot (``{name: state}``);
+    ``profile`` is a sequence of aggregated profile-row dicts.
+    """
+    path = Path(path)
+    lines = []
+    header = {
+        "type": "meta",
+        "ts": wall_time(),
+        "pid": os.getpid(),
+        "argv": list(sys.argv),
+    }
+    if meta:
+        header.update(meta)
+    lines.append(header)
+    for event in events:
+        body = event.to_dict() if isinstance(event, Event) else dict(event)
+        lines.append({"type": "event", **body})
+    for span in spans:
+        body = span.to_dict() if isinstance(span, SpanRecord) else dict(span)
+        lines.append({"type": "span", **body})
+    for name, state in sorted((metrics or {}).items()):
+        lines.append({"type": "metric", "name": name, **state})
+    for row in profile:
+        lines.append({"type": "profile", **dict(row)})
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for line in lines:
+            handle.write(json.dumps(line, sort_keys=True) + "\n")
+    return path
+
+
+def read_trace(path: str | os.PathLike) -> dict[str, list[dict]]:
+    """Parse a JSONL trace log into ``{type: [records]}``.
+
+    Unknown types are preserved under their own key; a torn final line
+    (killed writer) is skipped, mirroring the checkpoint loader.
+    """
+    records: dict[str, list[dict]] = {kind: [] for kind in RECORD_TYPES}
+    text = Path(path).read_text()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            body = json.loads(line)
+        except ValueError:
+            continue  # torn tail from a killed writer
+        kind = body.pop("type", None)
+        if not isinstance(kind, str):
+            continue
+        records.setdefault(kind, []).append(body)
+    return records
+
+
+# -- Chrome / Perfetto conversion --------------------------------------------
+
+#: Event levels rendered as instant-event scopes: warnings and errors
+#: get process scope (a tall marker), the rest thread scope.
+_INSTANT_SCOPE = {"warning": "p", "error": "p"}
+
+
+def to_chrome_trace(records: dict[str, list[dict]]) -> dict:
+    """Convert parsed trace records to the Chrome trace_event format.
+
+    Returns the JSON *object* flavour — ``{"traceEvents": [...]}`` —
+    which both ``chrome://tracing`` and Perfetto accept.  Timestamps
+    (``ts``) and durations (``dur``) are microseconds, per the format;
+    span times are monotonic-clock so cross-process rows align.
+    """
+    trace_events: list[dict] = []
+    pids = set()
+    for span in records.get("span", ()):
+        pid = int(span["pid"])
+        pids.add(pid)
+        trace_events.append(
+            {
+                "name": span["name"],
+                "cat": span["name"].split(".", 1)[0],
+                "ph": "X",
+                "ts": float(span["t0"]) * 1e6,
+                "dur": (float(span["t1"]) - float(span["t0"])) * 1e6,
+                "pid": pid,
+                "tid": int(span["tid"]),
+                "args": dict(span.get("attrs", {})),
+            }
+        )
+    # Events carry wall time; anchor them on the earliest span start
+    # so instants land inside the span timeline rather than at the
+    # epoch.  With no spans they form their own relative timeline.
+    spans = records.get("span", ())
+    t0_mono = min((float(s["t0"]) for s in spans), default=0.0)
+    events = records.get("event", ())
+    t0_wall = min((float(e["ts"]) for e in events), default=0.0)
+    main_pid = min(pids) if pids else os.getpid()
+    for event in events:
+        level = str(event.get("level", "info"))
+        trace_events.append(
+            {
+                "name": event.get("name", "event"),
+                "cat": f"log.{level}",
+                "ph": "i",
+                "ts": (float(event["ts"]) - t0_wall) * 1e6 + t0_mono * 1e6,
+                "pid": main_pid,
+                "tid": 0,
+                "s": _INSTANT_SCOPE.get(level, "t"),
+                "args": {
+                    "message": event.get("message", ""),
+                    **dict(event.get("fields", {})),
+                },
+            }
+        )
+    # Counter snapshots become single-sample counter tracks: crude,
+    # but enough to read totals next to the timeline.
+    sample_ts = t0_mono * 1e6
+    for metric in records.get("metric", ()):
+        if metric.get("kind") != "counter":
+            continue
+        trace_events.append(
+            {
+                "name": metric["name"],
+                "ph": "C",
+                "ts": sample_ts,
+                "pid": main_pid,
+                "args": {"value": metric.get("value", 0.0)},
+            }
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "processes": sorted(pids),
+        },
+    }
+
+
+def write_chrome_trace(
+    src: str | os.PathLike, dest: str | os.PathLike | None = None
+) -> Path:
+    """Convert a JSONL trace log to a Chrome trace JSON file.
+
+    ``dest`` defaults to the source path with a ``.chrome.json``
+    suffix.  Returns the path written.
+    """
+    src = Path(src)
+    if dest is None:
+        dest = src.with_suffix(".chrome.json")
+    dest = Path(dest)
+    chrome = to_chrome_trace(read_trace(src))
+    dest.parent.mkdir(parents=True, exist_ok=True)
+    dest.write_text(json.dumps(chrome, sort_keys=True, indent=1) + "\n")
+    return dest
+
+
+def summarize_trace(records: dict[str, list[dict]]) -> str:
+    """Aggregate a parsed trace into the ``obs summary`` text."""
+    lines = []
+    meta = records.get("meta", ())
+    if meta:
+        header = meta[0]
+        lines.append(
+            f"trace: pid {header.get('pid', '?')}, "
+            f"argv {' '.join(header.get('argv', [])) or '?'}"
+        )
+    spans = records.get("span", ())
+    by_name: dict[str, list[float]] = {}
+    for span in spans:
+        by_name.setdefault(span["name"], []).append(
+            float(span["t1"]) - float(span["t0"])
+        )
+    pids = {int(s["pid"]) for s in spans}
+    lines.append(
+        f"spans: {len(spans)} across {len(pids)} process(es)"
+        if spans
+        else "spans: none"
+    )
+    for name in sorted(by_name):
+        durations = by_name[name]
+        lines.append(
+            f"  {name}: n={len(durations)} total={sum(durations):.4f}s "
+            f"mean={sum(durations) / len(durations):.4f}s "
+            f"max={max(durations):.4f}s"
+        )
+    events = records.get("event", ())
+    if events:
+        by_level: dict[str, int] = {}
+        for event in events:
+            level = str(event.get("level", "info"))
+            by_level[level] = by_level.get(level, 0) + 1
+        ordered = sorted(
+            by_level.items(),
+            key=lambda item: list(LEVEL_NAMES.values()).index(item[0])
+            if item[0] in LEVEL_NAMES.values()
+            else 99,
+        )
+        lines.append(
+            "events: " + " ".join(f"{level}={n}" for level, n in ordered)
+        )
+    counters = [
+        metric
+        for metric in records.get("metric", ())
+        if metric.get("kind") == "counter" and metric.get("value")
+    ]
+    if counters:
+        lines.append("counters:")
+        for metric in counters:
+            lines.append(f"  {metric['name']}: {metric['value']:g}")
+    histograms = [
+        metric
+        for metric in records.get("metric", ())
+        if metric.get("kind") == "histogram" and metric.get("count")
+    ]
+    if histograms:
+        lines.append("histograms:")
+        for metric in histograms:
+            lines.append(
+                f"  {metric['name']}: n={metric['count']} "
+                f"mean={metric.get('mean', 0.0):.4f}s"
+            )
+    rows = records.get("profile", ())
+    if rows:
+        lines.append(f"profile: {len(rows)} aggregated function row(s)")
+    return "\n".join(lines)

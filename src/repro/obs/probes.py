@@ -1,0 +1,157 @@
+"""Simulation-level probes: watch a run without touching its physics.
+
+A :class:`SimulationProbe` plugs into either engine — ``probe=`` on
+:class:`~repro.core.fastsim.CascadeModel` and
+:class:`~repro.core.model.PeriodicMessagesModel` — and samples the
+quantities the paper's own instrumentation watched on NEARnet:
+largest-cluster mass per round, reset and cascade counts, messages
+processed, and per-node busy time.
+
+The inertness contract (enforced by ``tests/test_obs_probes.py``):
+
+* a probe never draws from, seeds, or reorders any RNG stream;
+* a probe never mutates model or tracker state — its callbacks read
+  arguments and write only probe-local fields;
+* a run with a probe attached therefore produces byte-identical
+  trajectories to the same run without one.
+
+Hook points are deliberately few: the :class:`ClusterTracker` calls
+``on_reset``/``on_group`` (engine-agnostic — both engines feed the
+tracker), and the cascade engine additionally calls ``on_cascade``
+with the exact expiry times, from which per-node busy time follows
+without estimation.  For DES runs, :meth:`collect_model` harvests the
+router states' exact message counters after the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ProbeSummary", "SimulationProbe"]
+
+
+@dataclass(frozen=True)
+class ProbeSummary:
+    """JSON-ready aggregate of one probed run."""
+
+    resets: int
+    groups: int
+    cascades: int
+    largest_cluster: int
+    messages_sent: int
+    messages_processed: int
+    busy_seconds_total: float
+    samples: int
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class SimulationProbe:
+    """Collects trajectory observables from one simulation run.
+
+    Parameters
+    ----------
+    sample_every:
+        Keep every ``sample_every``-th point of the largest-cluster
+        series (1 = keep all).  Sampling bounds memory on very long
+        runs without biasing the counters, which always see every
+        event.
+    """
+
+    def __init__(self, sample_every: int = 1) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.sample_every = sample_every
+        # Engine-agnostic (fed via the ClusterTracker):
+        self.resets = 0
+        self.groups = 0
+        self.largest_cluster = 0
+        #: Sampled (time, group size) series of simultaneous-reset
+        #: groups — the observable behind the paper's Figure 6.
+        self.cluster_series: list[tuple[float, int]] = []
+        # Cascade-engine extras (exact, from expiry times):
+        self.cascades = 0
+        self.messages_sent = 0
+        self.messages_processed = 0
+        self.busy_seconds: dict[int, float] = {}
+        self._group_counter = 0
+
+    # -- tracker hooks (both engines) ----------------------------------------
+
+    def on_reset(self, time: float, node_id: int) -> None:
+        """One router reset its timer (called per reset, hot path)."""
+        self.resets += 1
+
+    def on_group(self, time: float, size: int) -> None:
+        """A simultaneous-reset group closed: one cluster observation."""
+        self.groups += 1
+        if size > self.largest_cluster:
+            self.largest_cluster = size
+        self._group_counter += 1
+        if self._group_counter % self.sample_every == 0:
+            self.cluster_series.append((time, size))
+
+    # -- cascade-engine hook --------------------------------------------------
+
+    def on_cascade(self, window_end: float, expiries) -> None:
+        """One cascade fired; ``expiries`` is [(expiry_time, node), ...].
+
+        Each participant is busy from its own expiry until the common
+        window end, sends one message, and processes one message from
+        every other participant — exact for the pure periodic model.
+        """
+        k = len(expiries)
+        self.cascades += 1
+        self.messages_sent += k
+        self.messages_processed += k * (k - 1)
+        busy = self.busy_seconds
+        for expiry, node in expiries:
+            busy[node] = busy.get(node, 0.0) + (window_end - expiry)
+
+    # -- DES post-run harvest -------------------------------------------------
+
+    def collect_model(self, model) -> None:
+        """Harvest exact per-router counters from a finished DES run.
+
+        The DES counts every message individually (including ones the
+        cascade rule never materializes, e.g. overheard traffic).
+        Counters are cumulative on the router states, so this method
+        *overwrites* rather than adds — calling it after every
+        incremental ``run()`` segment stays correct.
+        """
+        sent = processed = 0
+        busy = self.busy_seconds
+        tc = model.config.tc
+        for router in model.routers:
+            sent += router.messages_sent
+            processed += router.messages_processed
+            busy[router.node_id] = (
+                router.messages_sent + router.messages_processed
+            ) * tc
+        self.messages_sent = sent
+        self.messages_processed = processed
+
+    # -- reporting ------------------------------------------------------------
+
+    @property
+    def busy_seconds_total(self) -> float:
+        return sum(self.busy_seconds.values())
+
+    def summary(self) -> ProbeSummary:
+        return ProbeSummary(
+            resets=self.resets,
+            groups=self.groups,
+            cascades=self.cascades,
+            largest_cluster=self.largest_cluster,
+            messages_sent=self.messages_sent,
+            messages_processed=self.messages_processed,
+            busy_seconds_total=self.busy_seconds_total,
+            samples=len(self.cluster_series),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulationProbe(resets={self.resets}, groups={self.groups}, "
+            f"largest={self.largest_cluster})"
+        )

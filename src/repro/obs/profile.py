@@ -1,0 +1,119 @@
+"""Opt-in cProfile capture with cross-worker merged aggregation.
+
+Profiling is the one obs component that is *not* cheap, so it is off
+unless explicitly requested (``--profile`` on the CLI, or
+``profile=True`` in :func:`repro.obs.configure`).  Each worker (or the
+in-process path) runs its chunk under its own ``cProfile.Profile``,
+then flattens the stats into plain picklable row dicts::
+
+    {"func": "posixpath.py:52(normcase)", "ncalls": 840,
+     "tottime": 0.0012, "cumtime": 0.0030}
+
+Rows ship back to the parent alongside results and spans, where
+:func:`merge_rows` sums them per function across every process —
+giving one top-N table for a whole pooled sweep, which a single-
+process profiler can never see.
+"""
+
+from __future__ import annotations
+
+import cProfile
+from contextlib import contextmanager
+
+__all__ = ["format_top", "merge_rows", "profile_to_rows", "profiled", "top_rows"]
+
+#: Per-process row cap: workers ship only their heaviest functions, so
+#: profile payloads stay small however long the chunk ran.
+MAX_ROWS_PER_PROCESS = 120
+
+
+def profile_to_rows(
+    profiler: cProfile.Profile, limit: int = MAX_ROWS_PER_PROCESS
+) -> list[dict]:
+    """Flatten a profiler's stats into plain row dicts (heaviest first)."""
+    rows = []
+    # snapshot_stats puts {(file, line, name): (cc, nc, tt, ct, callers)}
+    # on .stats — the documented pstats layout, with no file I/O.
+    profiler.snapshot_stats()  # type: ignore[attr-defined]
+    for (filename, line, name), stat in profiler.stats.items():  # type: ignore[attr-defined]
+        cc, nc, tt, ct, _callers = stat
+        short = filename.rsplit("/", 1)[-1]
+        rows.append(
+            {
+                "func": f"{short}:{line}({name})",
+                "ncalls": int(nc),
+                "tottime": float(tt),
+                "cumtime": float(ct),
+            }
+        )
+    rows.sort(key=lambda row: row["tottime"], reverse=True)
+    return rows[:limit]
+
+
+@contextmanager
+def profiled(sink: list):
+    """Run the with-block under cProfile; append row dicts to ``sink``."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        sink.extend(profile_to_rows(profiler))
+
+
+def merge_rows(rows) -> list[dict]:
+    """Sum profile rows per function across processes (heaviest first)."""
+    merged: dict[str, dict] = {}
+    for row in rows:
+        entry = merged.get(row["func"])
+        if entry is None:
+            merged[row["func"]] = {
+                "func": row["func"],
+                "ncalls": int(row["ncalls"]),
+                "tottime": float(row["tottime"]),
+                "cumtime": float(row["cumtime"]),
+            }
+        else:
+            entry["ncalls"] += int(row["ncalls"])
+            entry["tottime"] += float(row["tottime"])
+            entry["cumtime"] += float(row["cumtime"])
+    ordered = sorted(merged.values(), key=lambda row: row["tottime"], reverse=True)
+    return ordered
+
+
+def top_rows(rows, n: int = 15) -> list[dict]:
+    """The N heaviest merged rows."""
+    return merge_rows(rows)[:n]
+
+
+def format_top(rows, n: int = 15) -> str:
+    """Render merged rows as the ``obs top`` table."""
+    top = top_rows(rows, n)
+    if not top:
+        return "no profile data (run with --profile to collect it)"
+    header = ("tottime (s)", "cumtime (s)", "ncalls", "function")
+    body = [
+        (
+            f"{row['tottime']:.4f}",
+            f"{row['cumtime']:.4f}",
+            str(row["ncalls"]),
+            row["func"],
+        )
+        for row in top
+    ]
+    widths = [
+        max(len(header[col]), *(len(row[col]) for row in body))
+        for col in range(3)
+    ]
+    lines = [
+        "  ".join(
+            [header[col].rjust(widths[col]) for col in range(3)] + [header[3]]
+        )
+    ]
+    lines.append("  ".join(["-" * w for w in widths] + ["-" * len(header[3])]))
+    for row in body:
+        lines.append(
+            "  ".join([row[col].rjust(widths[col]) for col in range(3)] + [row[3]])
+        )
+    return "\n".join(lines)

@@ -1,0 +1,179 @@
+"""Monotonic-clock spans: who did what, when, in which process.
+
+A :class:`SpanRecord` is a frozen, picklable fact — name, start/end on
+the monotonic clock, pid/tid, free-form attributes — and a
+:class:`Tracer` is a per-process buffer of them with a context-manager
+API::
+
+    with tracer.span("job.run", seed=7) as span:
+        ...
+        span.set(outcome="ok")
+
+Cross-worker tracing works by shipping records, not handles: a pool
+worker runs its chunk under a local tracer, drains the records, and
+returns them *alongside* the job results; the parent ingests them into
+its own tracer so one pooled run yields a single coherent trace.  On
+Linux ``CLOCK_MONOTONIC`` shares its epoch across processes, so the
+timelines line up without any clock negotiation.
+
+Disabled tracers hand out a shared null span whose enter/exit/set are
+empty — the same zero-cost-off contract as the metrics registry.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from dataclasses import dataclass, field
+
+from .clock import monotonic
+
+__all__ = ["SpanRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span: a named interval on the monotonic clock.
+
+    ``t0``/``t1`` are monotonic seconds; ``pid``/``tid`` locate the
+    process and thread that ran the work (the rows of a Perfetto
+    view); ``attrs`` carries whatever the instrumentation attached
+    (seed, attempt, outcome, ...).  Frozen and built from plain types,
+    so records pickle across the process pool unchanged.
+    """
+
+    name: str
+    t0: float
+    t1: float
+    pid: int
+    tid: int
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the trace file's span record body)."""
+        return {
+            "name": self.name,
+            "t0": self.t0,
+            "t1": self.t1,
+            "pid": self.pid,
+            "tid": self.tid,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SpanRecord":
+        return cls(
+            name=data["name"],
+            t0=float(data["t0"]),
+            t1=float(data["t1"]),
+            pid=int(data["pid"]),
+            tid=int(data["tid"]),
+            attrs=dict(data.get("attrs", {})),
+        )
+
+
+class _Span:
+    """A live (entered, not yet exited) span; records itself on exit."""
+
+    __slots__ = ("_tracer", "name", "attrs", "t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.t0 = 0.0
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered mid-span (e.g. the outcome)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        self.t0 = monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._records.append(
+            SpanRecord(
+                name=self.name,
+                t0=self.t0,
+                t1=monotonic(),
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                attrs=self.attrs,
+            )
+        )
+
+
+class _NullSpan:
+    """Shared no-op span served by disabled tracers."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Per-process span buffer.
+
+    Parameters
+    ----------
+    enabled:
+        When False (default), :meth:`span` returns the shared null
+        span and nothing is ever recorded.
+    """
+
+    _trace_counter = itertools.count(1)
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._records: list[SpanRecord] = []
+        # A per-tracer tag exported with the trace metadata so files
+        # from different runs are tellable apart.
+        self.trace_id = f"{os.getpid()}-{next(self._trace_counter)}"
+
+    def span(self, name: str, **attrs):
+        """Context manager timing one named operation."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, attrs)
+
+    @property
+    def records(self) -> list[SpanRecord]:
+        """The finished spans recorded so far (oldest first)."""
+        return list(self._records)
+
+    def drain(self) -> list[SpanRecord]:
+        """Return all records and clear the buffer (worker -> parent)."""
+        records, self._records = self._records, []
+        return records
+
+    def ingest(self, records) -> None:
+        """Merge records shipped from another process into this buffer."""
+        self._records.extend(records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self.enabled else "disabled"
+        return f"Tracer({state}, records={len(self)})"

@@ -35,10 +35,10 @@ from __future__ import annotations
 import itertools
 import json
 import os
-import time
-import warnings
 from pathlib import Path
 
+from ..obs import WARNING, obs
+from ..obs.clock import monotonic, wall_time
 from .job import MODEL_VERSION, JobResult, SimulationJob
 
 __all__ = ["DEFAULT_CACHE_DIR", "STALE_TMP_AGE", "ResultCache"]
@@ -88,7 +88,23 @@ class ResultCache:
         version, spec mismatch — counts as a miss.  Defective files
         are quarantined to ``*.corrupt`` so the next ``put`` writes a
         clean entry and the evidence survives for inspection.
+
+        With the obs runtime on, hit/miss counts and lookup latency
+        land in ``cache.hits`` / ``cache.misses`` /
+        ``cache.get_seconds`` — the cache-I/O slice of a trace.
         """
+        o = obs()
+        if not o.enabled:
+            return self._get(job)
+        t0 = monotonic()
+        result = self._get(job)
+        o.metrics.histogram("cache.get_seconds").observe(monotonic() - t0)
+        o.metrics.counter(
+            "cache.hits" if result is not None else "cache.misses"
+        ).inc()
+        return result
+
+    def _get(self, job: SimulationJob) -> JobResult | None:
         path = self.path_for(job)
         try:
             text = path.read_text()
@@ -119,6 +135,12 @@ class ResultCache:
             # read-only; either way the miss still stands.
             return None
         self.quarantined += 1
+        obs().emit(
+            "cache.quarantined",
+            f"quarantined defective cache entry {path.name}",
+            target=target.name,
+        )
+        obs().metrics.counter("cache.quarantined").inc()
         return target
 
     # -- write side ----------------------------------------------------------
@@ -132,7 +154,21 @@ class ResultCache:
         ``write_errors`` but never propagated — losing a cache entry
         must not lose the run.  Returns the entry path, or None when
         the write failed.
+
+        With the obs runtime on, write latency lands in
+        ``cache.put_seconds`` and successes in ``cache.puts``.
         """
+        o = obs()
+        if not o.enabled:
+            return self._put(job, result)
+        t0 = monotonic()
+        path = self._put(job, result)
+        o.metrics.histogram("cache.put_seconds").observe(monotonic() - t0)
+        if path is not None:
+            o.metrics.counter("cache.puts").inc()
+        return path
+
+    def _put(self, job: SimulationJob, result: JobResult) -> Path | None:
         path = self.path_for(job)
         tmp = self.root / f"{path.stem}.{os.getpid()}.{next(self._tmp_counter)}.tmp"
         payload = {
@@ -148,11 +184,13 @@ class ResultCache:
             os.replace(tmp, path)
         except OSError as error:
             self.write_errors += 1
-            warnings.warn(
+            obs().emit(
+                "cache.write_error",
                 f"result cache write failed for {path.name} ({error}); "
                 "continuing without caching this entry",
-                RuntimeWarning,
-                stacklevel=2,
+                level=WARNING,
+                path=str(path),
+                error=str(error),
             )
             try:
                 tmp.unlink(missing_ok=True)
@@ -184,7 +222,7 @@ class ResultCache:
         return None
 
     def _stale_tmps(self, max_age: float) -> list[Path]:
-        now = time.time()
+        now = wall_time()
         stale = []
         for tmp in self.root.glob("*.tmp"):
             try:

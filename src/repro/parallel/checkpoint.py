@@ -32,6 +32,8 @@ import os
 from pathlib import Path
 from typing import IO, Sequence
 
+from ..obs import obs
+from ..obs.clock import wall_time
 from .job import MODEL_VERSION, JobResult, SimulationJob
 
 __all__ = ["DEFAULT_CHECKPOINT_DIR", "CheckpointJournal", "resolve_checkpoint"]
@@ -56,6 +58,7 @@ class CheckpointJournal:
         self._handle: IO[str] | None = None
         self.recorded = 0
         self.skipped_lines = 0
+        self._newest_ts: float | None = None
 
     # -- construction helpers ------------------------------------------------
 
@@ -121,12 +124,31 @@ class CheckpointJournal:
                 self.skipped_lines += 1
                 continue
             index[key] = result
+            ts = entry.get("ts")
+            if isinstance(ts, (int, float)) and (
+                self._newest_ts is None or ts > self._newest_ts
+            ):
+                self._newest_ts = float(ts)
         self._index = index
         return index
 
     def lookup(self, job: SimulationJob) -> JobResult | None:
         """The journaled result for this job, or None."""
         return self._load().get(job.cache_key())
+
+    def staleness(self) -> float | None:
+        """Seconds since the newest journal entry was written, or None.
+
+        Entries carry the wall-clock time they were appended (since
+        the ``ts`` field was introduced; older journals without it
+        report None), so a resumed run can say *how old* the work it
+        is picking up is.  Purely informational — resume correctness
+        rests on content-addressing, never on timestamps.
+        """
+        self._load()
+        if self._newest_ts is None:
+            return None
+        return max(0.0, wall_time() - self._newest_ts)
 
     def __len__(self) -> int:
         return len(self._load())
@@ -137,25 +159,36 @@ class CheckpointJournal:
     # -- write side ----------------------------------------------------------
 
     def record(self, job: SimulationJob, result: JobResult) -> None:
-        """Append one completed job (idempotent per key), durably."""
+        """Append one completed job (idempotent per key), durably.
+
+        Each line carries the wall-clock time it was appended so a
+        later ``--resume`` can report how stale the journal is (see
+        :meth:`staleness`); resume matching itself never reads it.
+        """
         index = self._load()
         key = job.cache_key()
         if key in index:
             return
-        if self._handle is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = self.path.open("a")
-        entry = {
-            "key": key,
-            "model_version": MODEL_VERSION,
-            "job": job.to_dict(),
-            "result": result.to_dict(),
-        }
-        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        with obs().span("checkpoint.write", key=key[:12]):
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open("a")
+            now = wall_time()
+            entry = {
+                "key": key,
+                "model_version": MODEL_VERSION,
+                "ts": now,
+                "job": job.to_dict(),
+                "result": result.to_dict(),
+            }
+            self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
         index[key] = result
+        if self._newest_ts is None or now > self._newest_ts:
+            self._newest_ts = now
         self.recorded += 1
+        obs().metrics.counter("checkpoint.records").inc()
 
     def close(self) -> None:
         """Close the append handle (the journal file stays on disk)."""
@@ -192,7 +225,20 @@ def resolve_checkpoint(
     if checkpoint is None or checkpoint is False:
         return None
     if checkpoint is True:
-        return CheckpointJournal.for_specs(specs)
-    if isinstance(checkpoint, CheckpointJournal):
-        return checkpoint
-    return CheckpointJournal(checkpoint)
+        journal = CheckpointJournal.for_specs(specs)
+    elif isinstance(checkpoint, CheckpointJournal):
+        journal = checkpoint
+    else:
+        journal = CheckpointJournal(checkpoint)
+    if journal.exists() and len(journal):
+        stale = journal.staleness()
+        obs().emit(
+            "checkpoint.resume",
+            f"resuming run {journal.run_id}: {len(journal)} completed "
+            "job(s) on record"
+            + (f", newest {stale:.0f}s old" if stale is not None else ""),
+            run_id=journal.run_id,
+            entries=len(journal),
+            staleness_seconds=stale,
+        )
+    return journal

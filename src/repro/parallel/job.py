@@ -31,6 +31,7 @@ __all__ = [
     "SimulationJob",
     "run_job",
     "run_jobs",
+    "run_jobs_observed",
     "validate_engine",
 ]
 
@@ -253,3 +254,51 @@ def run_jobs(
     as the simulations themselves.
     """
     return [run_job(job, faults, attempt) for job in jobs]
+
+
+def run_jobs_observed(
+    jobs: Sequence[SimulationJob],
+    faults=None,
+    attempt: int = 0,
+    trace: bool = True,
+    profile: bool = False,
+) -> tuple[list[JobResult], list, list[dict]]:
+    """The observed pool entry point: results plus span/profile payloads.
+
+    Used instead of :func:`run_jobs` when the parent's obs runtime is
+    on.  The worker runs the chunk under a *local* tracer (workers
+    never share the parent's global runtime), wraps each job in a
+    ``job.run`` span, and returns ``(results, spans, profile_rows)``
+    — the spans and rows are picklable records the parent ingests, so
+    a pooled run yields one coherent multi-process trace.  The results
+    list is computed by the identical :func:`run_job` calls, keeping
+    the byte-identity guarantee trivially intact.
+    """
+    from ..obs.spans import Tracer
+
+    tracer = Tracer(enabled=trace)
+    profile_rows: list[dict] = []
+    results: list[JobResult] = []
+
+    def execute() -> None:
+        with tracer.span("worker.chunk", jobs=len(jobs), attempt=attempt):
+            for job in jobs:
+                with tracer.span(
+                    "job.run",
+                    key=job.cache_key()[:12],
+                    seed=job.seed,
+                    engine=job.engine,
+                    direction=job.direction,
+                    n_nodes=job.n_nodes,
+                    attempt=attempt,
+                ):
+                    results.append(run_job(job, faults, attempt))
+
+    if profile:
+        from ..obs.profile import profiled
+
+        with profiled(profile_rows):
+            execute()
+    else:
+        execute()
+    return results, tracer.drain(), profile_rows

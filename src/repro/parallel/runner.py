@@ -54,10 +54,11 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from ..obs import obs
 from .cache import ResultCache
 from .checkpoint import CheckpointJournal
 from .faults import FaultPlan
-from .job import JobResult, SimulationJob, run_job, run_jobs
+from .job import JobResult, SimulationJob, run_job, run_jobs, run_jobs_observed
 from .report import RunReport
 
 __all__ = ["JobTimeoutError", "ParallelRunner", "RunnerStats"]
@@ -176,6 +177,20 @@ class ParallelRunner:
         specs = list(specs)
         self.stats = RunnerStats(submitted=len(specs))
         self.report = RunReport()
+        o = obs()
+        try:
+            with o.span("runner.run", submitted=len(specs), jobs=self.jobs):
+                return self._run(specs)
+        finally:
+            # Mirror the per-job ledger into metrics on every exit
+            # path — including an on_error="raise" escape — so the
+            # RunReport and the metrics snapshot always reconcile.
+            if o.enabled:
+                o.metrics.merge_counts(
+                    self.report.counts(), prefix="runner.jobs."
+                )
+
+    def _run(self, specs: list[SimulationJob]) -> list[JobResult]:
         results: list[JobResult | None] = [None] * len(specs)
         failures: dict[int, BaseException] = {}
         pending: list[tuple[int, SimulationJob]] = []
@@ -269,6 +284,8 @@ class ParallelRunner:
         first_attempt: int = 0,
     ) -> None:
         """One job, in-process: deadline, retries, backoff, classification."""
+        o = obs()
+        key12 = spec.cache_key()[:12] if o.enabled else ""
         total_attempts = 1 + self.retries
         last_error: BaseException | None = None
         timed_out = False
@@ -276,20 +293,33 @@ class ParallelRunner:
         while attempt < total_attempts:
             if attempt > 0:
                 self._sleep_backoff(spec, attempt)
-            try:
-                result = self._execute(spec, attempt)
-            except JobTimeoutError as error:
-                last_error, timed_out = error, True
-            except (ValueError, TypeError) as error:
-                # Deterministic: a bad spec fails identically on every
-                # attempt, so retrying only burns time.  Fail fast.
-                fail(index, spec, error, attempts=attempt + 1, timed_out=False)
-                return
-            except Exception as error:
-                last_error, timed_out = error, False
-            else:
-                commit(index, spec, result, attempts=attempt + 1)
-                return
+            span = o.span(
+                "job.run",
+                key=key12,
+                seed=spec.seed,
+                engine=spec.engine,
+                attempt=attempt,
+                where="inprocess",
+            )
+            with span:
+                try:
+                    result = self._execute(spec, attempt)
+                except JobTimeoutError as error:
+                    last_error, timed_out = error, True
+                    span.set(outcome="timed_out")
+                except (ValueError, TypeError) as error:
+                    # Deterministic: a bad spec fails identically on
+                    # every attempt, so retrying only burns time.
+                    span.set(outcome="rejected")
+                    fail(index, spec, error, attempts=attempt + 1, timed_out=False)
+                    return
+                except Exception as error:
+                    last_error, timed_out = error, False
+                    span.set(outcome="error", error=type(error).__name__)
+                else:
+                    span.set(outcome="ok")
+                    commit(index, spec, result, attempts=attempt + 1)
+                    return
             attempt += 1
         assert last_error is not None
         fail(index, spec, last_error, attempts=total_attempts, timed_out=timed_out)
@@ -317,7 +347,12 @@ class ParallelRunner:
         if self.backoff_base <= 0:
             return
         delay = self.backoff_base * 2 ** (attempt - 1)
-        time.sleep(min(delay * _jitter(spec.cache_key(), attempt), BACKOFF_CAP))
+        sleep_for = min(delay * _jitter(spec.cache_key(), attempt), BACKOFF_CAP)
+        o = obs()
+        with o.span("runner.backoff", attempt=attempt, seconds=sleep_for):
+            time.sleep(sleep_for)
+        if o.enabled:
+            o.metrics.histogram("runner.backoff_seconds").observe(sleep_for)
 
     def _chunks(
         self, pending: Sequence[tuple[int, SimulationJob]]
@@ -337,12 +372,22 @@ class ParallelRunner:
         commit: Callable,
         fail: Callable,
     ) -> None:
+        o = obs()
+        # Ship the observed worker entry point only when something
+        # would collect its payloads; the plain path stays untouched.
+        observed = o.enabled or o.profile
         chunks = self._chunks(pending)
         try:
             pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(chunks)))
         except (OSError, ValueError, ImportError, NotImplementedError):
             # No process support on this platform: stay in-process,
             # with the full (untouched) retry budget.
+            o.emit(
+                "runner.pool_fallback",
+                f"process pool unavailable; running {len(pending)} job(s) "
+                "in-process",
+                pending=len(pending),
+            )
             self.stats.fallback += len(pending)
             self._run_serial(pending, commit, fail, first_attempt=0)
             return
@@ -363,11 +408,24 @@ class ParallelRunner:
             future.cancel()
             lost.append((chunk_of[future], JobTimeoutError(message), True))
 
+        # Per-chunk submit times (monotonic) — the worker.chunk span's
+        # start minus this is the chunk's pool queueing delay.
+        submitted_at: dict[Future, float] = {}
         try:
             for chunk in chunks:
-                future = pool.submit(
-                    run_jobs, [spec for _index, spec in chunk], self.faults, 0
-                )
+                specs_only = [spec for _index, spec in chunk]
+                if observed:
+                    future = pool.submit(
+                        run_jobs_observed,
+                        specs_only,
+                        self.faults,
+                        0,
+                        o.enabled,
+                        o.profile,
+                    )
+                else:
+                    future = pool.submit(run_jobs, specs_only, self.faults, 0)
+                submitted_at[future] = time.monotonic()
                 chunk_of[future] = chunk
             outstanding = set(chunk_of)
             while outstanding:
@@ -410,7 +468,7 @@ class ParallelRunner:
                 for future in done:
                     chunk = chunk_of[future]
                     try:
-                        chunk_results = future.result()
+                        payload = future.result()
                     except Exception as error:
                         # Worker died (BrokenProcessPool, OOM kill),
                         # pickling trouble, or the job itself raised:
@@ -418,6 +476,13 @@ class ParallelRunner:
                         # re-classifies per job.
                         lost.append((chunk, error, False))
                         continue
+                    if observed:
+                        chunk_results, spans, profile_rows = payload
+                        self._ingest_chunk(
+                            o, spans, profile_rows, submitted_at.get(future)
+                        )
+                    else:
+                        chunk_results = payload
                     for (index, spec), result in zip(chunk, chunk_results):
                         commit(index, spec, result, attempts=1)
                         self.stats.pooled += 1
@@ -426,6 +491,15 @@ class ParallelRunner:
             pool.shutdown(wait=not lost, cancel_futures=True)
 
         for chunk, error, was_timeout in lost:
+            o.emit(
+                "runner.chunk_lost",
+                f"pool chunk of {len(chunk)} job(s) lost "
+                f"({type(error).__name__}); "
+                + ("no retry budget" if self.retries == 0 else "retrying in-process"),
+                jobs=len(chunk),
+                error=repr(error),
+                timed_out=was_timeout,
+            )
             if self.retries == 0:
                 # No retry budget: the pool attempt was the only one.
                 for index, spec in chunk:
@@ -437,3 +511,29 @@ class ParallelRunner:
                 # The pool attempt consumed attempt 0; the fallback
                 # starts at attempt 1 with the deadline still enforced.
                 self._run_single(index, spec, commit, fail, first_attempt=1)
+
+    def _ingest_chunk(
+        self,
+        o,
+        spans: list,
+        profile_rows: list[dict],
+        submitted: float | None,
+    ) -> None:
+        """Fold one pool chunk's shipped observability payloads in.
+
+        Spans merge into the parent tracer (same monotonic epoch on
+        Linux, so worker and parent timelines line up); the chunk's
+        queueing delay — ``worker.chunk`` start minus submit time —
+        lands in the ``runner.queue_delay_seconds`` histogram; profile
+        rows accumulate for the post-run merge.
+        """
+        if spans:
+            o.tracer.ingest(spans)
+            if submitted is not None:
+                head = next((s for s in spans if s.name == "worker.chunk"), None)
+                if head is not None:
+                    o.metrics.histogram("runner.queue_delay_seconds").observe(
+                        max(0.0, head.t0 - submitted)
+                    )
+        if profile_rows:
+            o.profile_rows.extend(profile_rows)

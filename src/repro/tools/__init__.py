@@ -3,4 +3,9 @@
 ``python -m repro.tools.lint_excepts`` — flag broad exception handlers
 that silently swallow errors, the failure mode that turned PR 1's
 "graceful degradation" into untestable dead code.
+
+``python -m repro.tools.lint_clocks`` — flag wall-clock reads
+(``time.time()``, ``datetime.now()``) outside ``repro.obs``, whose
+clock module is the one sanctioned wrapper; everything else must stay
+deterministic in seeds and parameters.
 """

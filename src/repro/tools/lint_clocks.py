@@ -1,0 +1,179 @@
+"""Flag wall-clock reads outside the observability layer.
+
+The reproduction's determinism story depends on simulated time being
+the *only* time most of the code ever sees: results derive from seeds
+and parameters, never from when the code happened to run.  Real clocks
+are legitimate in exactly one place — :mod:`repro.obs`, whose clock
+module wraps them once (``monotonic``/``perf_counter`` for intervals,
+``wall_time`` for timestamps) so every other module that needs a
+duration or a stamp imports the wrapper and is greppable for it.
+
+This linter enforces the boundary: it walks the AST of a source tree
+and reports every call to
+
+* ``time.time()`` — wall-clock seconds, and
+* ``datetime.now()`` / ``datetime.utcnow()`` / ``date.today()`` (and
+  their ``datetime.datetime.*`` spellings) — wall-clock datetimes,
+
+in any module outside ``repro/obs/``.  Monotonic interval clocks
+(``time.monotonic``, ``time.perf_counter``) are allowed everywhere —
+they cannot leak the date into a result, only measure how long
+something took.
+
+Escape hatch: a ``# lint: allow-wallclock`` comment on the offending
+line (or the line above) suppresses the finding — making every
+deliberate wall-clock read a visible, reviewable annotation.
+
+Usage::
+
+    python -m repro.tools.lint_clocks [paths...]   # default: src/repro
+
+Exit status 1 when findings exist, 0 otherwise; also invoked by the
+tier-1 test suite (``tests/test_tools_lint.py``) so a stray
+``time.time()`` fails CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["ALLOW_COMMENT", "Finding", "main", "scan_file", "scan_tree"]
+
+ALLOW_COMMENT = "lint: allow-wallclock"
+
+#: ``(module-ish prefix, attribute)`` pairs that read the wall clock.
+#: Matched against dotted call targets like ``time.time`` or
+#: ``datetime.datetime.now`` — see :func:`_dotted_name`.
+_FORBIDDEN_ATTRS = {
+    "time": ("time",),
+    "datetime": ("now", "utcnow", "today"),
+    "date": ("today",),
+}
+
+#: Directory (package) names whose files may touch the wall clock.
+_EXEMPT_PACKAGES = ("obs",)
+
+
+class Finding:
+    """One flagged call: file, line, and a human-readable reason."""
+
+    def __init__(self, path: Path, line: int, reason: str) -> None:
+        self.path = path
+        self.line = line
+        self.reason = reason
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.reason}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Finding({str(self)!r})"
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for an attribute chain of plain names, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _wallclock_call(node: ast.Call) -> str | None:
+    """The offending dotted name when the call reads the wall clock.
+
+    Matches both ``time.time()`` / ``datetime.now()`` style calls on a
+    dotted chain, and bare calls of a directly imported name such as
+    ``from time import time; time()``.
+    """
+    dotted = _dotted_name(node.func)
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    attr = parts[-1]
+    base = parts[-2] if len(parts) >= 2 else None
+    if base is not None:
+        if attr in _FORBIDDEN_ATTRS.get(base, ()):
+            return dotted
+        return None
+    # A bare name: only ``utcnow``/``today`` are unambiguous enough to
+    # flag (a bare ``time()`` or ``now()`` is routinely a local helper).
+    if attr in ("utcnow",):
+        return dotted
+    return None
+
+
+def _is_exempt(path: Path) -> bool:
+    """True for files inside an exempt package (``repro/obs/``)."""
+    return any(part in _EXEMPT_PACKAGES for part in path.parts)
+
+
+def scan_file(path: Path) -> list[Finding]:
+    """All wall-clock reads in one file (empty for exempt files)."""
+    if _is_exempt(path):
+        return []
+    try:
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError) as error:
+        return [Finding(path, 1, f"could not scan: {error}")]
+    lines = source.splitlines()
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _wallclock_call(node)
+        if dotted is None:
+            continue
+        window = lines[max(0, node.lineno - 2) : node.lineno]
+        if any(ALLOW_COMMENT in line for line in window):
+            continue
+        findings.append(
+            Finding(
+                path,
+                node.lineno,
+                f"{dotted}() reads the wall clock outside repro.obs "
+                f"(use repro.obs.clock.wall_time, or annotate "
+                f"'# {ALLOW_COMMENT}')",
+            )
+        )
+    return findings
+
+
+def scan_tree(paths: Iterable[Path]) -> list[Finding]:
+    """Recursively scan files and directories for wall-clock reads."""
+    findings: list[Finding] = []
+    for path in paths:
+        if path.is_dir():
+            for source in sorted(path.rglob("*.py")):
+                findings.extend(scan_file(source))
+        else:
+            findings.extend(scan_file(path))
+    return findings
+
+
+def default_target() -> Path:
+    """The package source tree this file lives in (``src/repro``)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns 1 when findings exist."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    targets = [Path(arg) for arg in argv] or [default_target()]
+    findings = scan_tree(targets)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} wall-clock read(s) found outside repro.obs")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,127 @@
+"""Tests for repro.obs.export: JSONL trace logs and Chrome conversion."""
+
+import json
+
+from repro.obs.events import WARNING, EventLog
+from repro.obs.export import (
+    read_trace,
+    summarize_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Tracer
+
+
+def make_trace(tmp_path, with_profile=True):
+    tracer = Tracer(enabled=True)
+    with tracer.span("job.run", seed=1):
+        with tracer.span("cache.get"):
+            pass
+    log = EventLog()
+    log.emit("run.start", "starting")
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        log.emit("cache.write_error", "disk full", level=WARNING)
+    metrics = MetricsRegistry(enabled=True)
+    metrics.counter("runner.jobs.ok").inc(3)
+    metrics.histogram("cache.get_seconds").observe(0.01)
+    profile = (
+        [{"func": "sim.py:1(run)", "ncalls": 5, "tottime": 0.4, "cumtime": 0.5}]
+        if with_profile
+        else []
+    )
+    return write_trace(
+        tmp_path / "trace.jsonl",
+        spans=tracer.records,
+        events=log.events,
+        metrics=metrics.snapshot(),
+        profile=profile,
+        meta={"trace_id": tracer.trace_id},
+    )
+
+
+class TestJsonlRoundTrip:
+    def test_every_line_is_json_with_a_type(self, tmp_path):
+        path = make_trace(tmp_path)
+        kinds = []
+        for line in path.read_text().splitlines():
+            body = json.loads(line)  # raises on any malformed line
+            kinds.append(body["type"])
+        assert kinds[0] == "meta"
+        assert kinds.count("span") == 2
+        assert kinds.count("event") == 2
+        assert kinds.count("metric") == 2
+        assert kinds.count("profile") == 1
+
+    def test_read_trace_groups_by_type(self, tmp_path):
+        records = read_trace(make_trace(tmp_path))
+        assert len(records["span"]) == 2
+        assert len(records["event"]) == 2
+        assert records["meta"][0]["trace_id"]
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        path = make_trace(tmp_path)
+        with path.open("a") as handle:
+            handle.write('{"type": "span", "name": "torn')  # killed writer
+        records = read_trace(path)
+        assert len(records["span"]) == 2  # the torn line never surfaces
+
+
+class TestChromeTrace:
+    def test_span_events_are_complete_events(self, tmp_path):
+        chrome = to_chrome_trace(read_trace(make_trace(tmp_path)))
+        xs = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 2
+        for event in xs:
+            assert isinstance(event["ts"], float)
+            assert event["dur"] >= 0
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+
+    def test_log_events_become_instants(self, tmp_path):
+        chrome = to_chrome_trace(read_trace(make_trace(tmp_path)))
+        instants = [e for e in chrome["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 2
+        warning = next(e for e in instants if e["cat"] == "log.warning")
+        assert warning["s"] == "p"  # warnings get process scope
+
+    def test_counters_become_counter_tracks(self, tmp_path):
+        chrome = to_chrome_trace(read_trace(make_trace(tmp_path)))
+        counters = [e for e in chrome["traceEvents"] if e["ph"] == "C"]
+        assert [c["name"] for c in counters] == ["runner.jobs.ok"]
+        assert counters[0]["args"]["value"] == 3.0
+
+    def test_written_file_round_trips_json_loads(self, tmp_path):
+        dest = write_chrome_trace(make_trace(tmp_path))
+        assert dest.suffix == ".json"
+        parsed = json.loads(dest.read_text())
+        assert parsed["displayTimeUnit"] == "ms"
+        valid_phases = {"X", "i", "C"}
+        for event in parsed["traceEvents"]:
+            assert event["ph"] in valid_phases
+            assert "ts" in event and "pid" in event
+
+    def test_explicit_destination(self, tmp_path):
+        dest = write_chrome_trace(make_trace(tmp_path), tmp_path / "out.json")
+        assert dest == tmp_path / "out.json"
+        assert dest.is_file()
+
+
+class TestSummary:
+    def test_summary_mentions_spans_events_counters(self, tmp_path):
+        text = summarize_trace(read_trace(make_trace(tmp_path)))
+        assert "spans: 2" in text
+        assert "job.run: n=1" in text
+        assert "warning=1" in text
+        assert "runner.jobs.ok: 3" in text
+        assert "cache.get_seconds" in text
+        assert "profile: 1 aggregated" in text
+
+    def test_empty_trace_summary(self, tmp_path):
+        path = write_trace(tmp_path / "empty.jsonl")
+        text = summarize_trace(read_trace(path))
+        assert "spans: none" in text

@@ -1,0 +1,124 @@
+"""Tests for repro.obs.metrics: instruments, null path, merging."""
+
+import pickle
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_counts_up(self):
+        c = Counter("jobs")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter("jobs").inc(-1)
+
+    def test_as_dict(self):
+        c = Counter("jobs")
+        c.inc(4)
+        assert c.as_dict() == {"kind": "counter", "value": 4.0}
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("depth")
+        g.set(5)
+        g.add(-2)
+        assert g.value == 3.0
+        assert g.as_dict() == {"kind": "gauge", "value": 3.0}
+
+
+class TestHistogram:
+    def test_buckets_are_upper_bounds(self):
+        h = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.1, 0.5, 5.0):
+            h.observe(value)
+        assert h.counts == [2, 1, 1]
+        assert h.overflow == 0
+        assert h.count == 4
+
+    def test_overflow_bucket(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(2.0)
+        assert h.overflow == 1
+        assert h.count == 1
+
+    def test_mean_and_sum(self):
+        h = Histogram("lat")
+        h.observe(1.0)
+        h.observe(3.0)
+        assert h.mean == 2.0
+        assert h.as_dict()["sum"] == 4.0
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("lat").mean == 0.0
+
+    def test_rejects_unsorted_or_empty_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(2.0, 1.0))
+
+    def test_default_buckets_ascending(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_disabled_returns_shared_null(self):
+        reg = MetricsRegistry()
+        null = reg.counter("a")
+        assert null is reg.gauge("b")
+        assert null is reg.histogram("c")
+        null.inc()
+        null.set(1)
+        null.observe(1)
+        assert len(reg) == 0
+        assert reg.snapshot() == {}
+
+    def test_enabled_instruments_persist_by_name(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("hits").inc()
+        reg.counter("hits").inc()
+        assert reg.value("hits") == 2.0
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x")
+
+    def test_snapshot_is_sorted_and_json_ready(self):
+        import json
+
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("b").inc()
+        reg.gauge("a").set(2)
+        reg.histogram("c").observe(0.5)
+        snap = reg.snapshot()
+        assert list(snap) == ["a", "b", "c"]
+        json.dumps(snap)  # must serialize without help
+
+    def test_merge_counts_prefixes(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.merge_counts({"ok": 3, "failed": 0}, prefix="runner.jobs.")
+        assert reg.value("runner.jobs.ok") == 3.0
+        assert reg.value("runner.jobs.failed") == 0.0
+
+    def test_value_of_missing_metric_is_zero(self):
+        assert MetricsRegistry(enabled=True).value("nope") == 0.0
+
+    def test_snapshot_pickles(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.histogram("h").observe(0.2)
+        assert pickle.loads(pickle.dumps(reg.snapshot())) == reg.snapshot()

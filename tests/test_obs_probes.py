@@ -1,0 +1,139 @@
+"""Tests for repro.obs.probes: observation without perturbation."""
+
+import pytest
+
+from repro.core import CascadeModel, RouterTimingParameters
+from repro.core.model import ModelConfig, PeriodicMessagesModel
+from repro.obs.probes import SimulationProbe
+
+FAST = RouterTimingParameters(n_nodes=5, tp=20.0, tc=0.3, tr=0.1)
+HORIZON = 20000.0
+
+
+class TestInertness:
+    def test_probe_does_not_change_cascade_trajectory(self):
+        bare = CascadeModel(FAST, seed=3, initial_phases="unsynchronized")
+        bare.run(until=HORIZON, stop_on_full_sync=True)
+        probed = CascadeModel(
+            FAST, seed=3, initial_phases="unsynchronized",
+            probe=SimulationProbe(),
+        )
+        probed.run(until=HORIZON, stop_on_full_sync=True)
+        assert (
+            probed.tracker.first_time_at_least == bare.tracker.first_time_at_least
+        )
+        assert probed.synchronization_time == bare.synchronization_time
+
+    def test_probe_does_not_change_des_trajectory(self):
+        config = ModelConfig.from_parameters(
+            FAST, seed=3, keep_cluster_history=False
+        )
+        bare = PeriodicMessagesModel(config, initial_phases="unsynchronized")
+        bare.run(until=HORIZON, stop_on_full_sync=True)
+        config2 = ModelConfig.from_parameters(
+            FAST, seed=3, keep_cluster_history=False
+        )
+        probed = PeriodicMessagesModel(
+            config2, initial_phases="unsynchronized", probe=SimulationProbe()
+        )
+        probed.run(until=HORIZON, stop_on_full_sync=True)
+        assert (
+            probed.tracker.first_time_at_least == bare.tracker.first_time_at_least
+        )
+
+
+class TestCascadeObservables:
+    def test_counters_populate(self):
+        probe = SimulationProbe()
+        model = CascadeModel(
+            FAST, seed=3, initial_phases="unsynchronized", probe=probe
+        )
+        model.run(until=HORIZON, stop_on_full_sync=True)
+        assert probe.resets > 0
+        assert probe.groups > 0
+        assert probe.cascades > 0
+        assert probe.largest_cluster == FAST.n_nodes  # the run synchronized
+        assert probe.messages_sent >= probe.cascades
+        assert probe.busy_seconds_total > 0.0
+
+    def test_message_count_consistency(self):
+        # Each cascade of k nodes sends k messages and processes
+        # k*(k-1); with only lone resets processed == 0.
+        probe = SimulationProbe()
+        model = CascadeModel(
+            FAST, seed=3, initial_phases="unsynchronized", probe=probe
+        )
+        model.run(until=HORIZON, stop_on_full_sync=True)
+        assert probe.messages_sent == probe.resets
+        assert probe.messages_processed >= 0
+
+    def test_cluster_series_sampling(self):
+        dense = SimulationProbe(sample_every=1)
+        sparse = SimulationProbe(sample_every=10)
+        CascadeModel(
+            FAST, seed=3, initial_phases="unsynchronized", probe=dense
+        ).run(until=HORIZON, stop_on_full_sync=True)
+        CascadeModel(
+            FAST, seed=3, initial_phases="unsynchronized", probe=sparse
+        ).run(until=HORIZON, stop_on_full_sync=True)
+        # Sampling thins the series but never the counters.
+        assert len(sparse.cluster_series) < len(dense.cluster_series)
+        assert sparse.groups == dense.groups
+        assert sparse.largest_cluster == dense.largest_cluster
+
+    def test_rejects_bad_sample_every(self):
+        with pytest.raises(ValueError):
+            SimulationProbe(sample_every=0)
+
+
+class TestDesObservables:
+    def test_collect_model_harvests_router_counters(self):
+        probe = SimulationProbe()
+        config = ModelConfig.from_parameters(
+            FAST, seed=3, keep_cluster_history=False
+        )
+        model = PeriodicMessagesModel(
+            config, initial_phases="unsynchronized", probe=probe
+        )
+        model.run(until=HORIZON, stop_on_full_sync=True)
+        assert probe.resets > 0
+        assert probe.messages_sent == sum(
+            r.messages_sent for r in model.routers
+        )
+        assert probe.messages_processed == sum(
+            r.messages_processed for r in model.routers
+        )
+        assert probe.busy_seconds_total > 0.0
+
+    def test_collect_model_overwrites_not_accumulates(self):
+        # Incremental run() segments call collect_model repeatedly;
+        # busy/message totals must not double-count.
+        probe = SimulationProbe()
+        config = ModelConfig.from_parameters(
+            FAST, seed=3, keep_cluster_history=False
+        )
+        model = PeriodicMessagesModel(
+            config, initial_phases="unsynchronized", probe=probe
+        )
+        model.run(until=5000.0)
+        sent_mid = probe.messages_sent
+        model.run(until=10000.0)
+        assert probe.messages_sent >= sent_mid
+        assert probe.messages_sent == sum(
+            r.messages_sent for r in model.routers
+        )
+
+
+class TestSummary:
+    def test_summary_is_json_ready(self):
+        import json
+
+        probe = SimulationProbe()
+        CascadeModel(
+            FAST, seed=3, initial_phases="unsynchronized", probe=probe
+        ).run(until=HORIZON, stop_on_full_sync=True)
+        summary = probe.summary()
+        body = summary.to_dict()
+        json.dumps(body)
+        assert body["resets"] == probe.resets
+        assert body["samples"] == len(probe.cluster_series)

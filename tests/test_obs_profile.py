@@ -1,0 +1,85 @@
+"""Tests for repro.obs.profile: cProfile capture and cross-worker merge."""
+
+from repro.obs.profile import (
+    MAX_ROWS_PER_PROCESS,
+    format_top,
+    merge_rows,
+    profiled,
+    top_rows,
+)
+
+
+def busy_work(n=2000):
+    return sum(i * i for i in range(n))
+
+
+class TestCapture:
+    def test_profiled_appends_rows(self):
+        rows = []
+        with profiled(rows):
+            busy_work()
+        assert rows, "profiling captured nothing"
+        for row in rows:
+            assert set(row) == {"func", "ncalls", "tottime", "cumtime"}
+            assert row["ncalls"] >= 1
+        assert len(rows) <= MAX_ROWS_PER_PROCESS
+
+    def test_rows_are_picklable_plain_dicts(self):
+        import pickle
+
+        rows = []
+        with profiled(rows):
+            busy_work()
+        assert pickle.loads(pickle.dumps(rows)) == rows
+
+    def test_rows_sorted_heaviest_first(self):
+        rows = []
+        with profiled(rows):
+            busy_work(20000)
+        tottimes = [row["tottime"] for row in rows]
+        assert tottimes == sorted(tottimes, reverse=True)
+
+
+class TestMerge:
+    def test_merge_sums_per_function(self):
+        worker_a = [
+            {"func": "sim.py:1(run)", "ncalls": 3, "tottime": 0.2, "cumtime": 0.5},
+            {"func": "rng.py:9(next)", "ncalls": 10, "tottime": 0.1, "cumtime": 0.1},
+        ]
+        worker_b = [
+            {"func": "sim.py:1(run)", "ncalls": 2, "tottime": 0.3, "cumtime": 0.4},
+        ]
+        merged = merge_rows(worker_a + worker_b)
+        run = next(row for row in merged if row["func"] == "sim.py:1(run)")
+        assert run["ncalls"] == 5
+        assert abs(run["tottime"] - 0.5) < 1e-12
+        assert abs(run["cumtime"] - 0.9) < 1e-12
+
+    def test_merged_order_is_heaviest_first(self):
+        rows = [
+            {"func": "light", "ncalls": 1, "tottime": 0.1, "cumtime": 0.1},
+            {"func": "heavy", "ncalls": 1, "tottime": 0.9, "cumtime": 0.9},
+        ]
+        assert [row["func"] for row in merge_rows(rows)] == ["heavy", "light"]
+
+    def test_top_rows_limits(self):
+        rows = [
+            {"func": f"f{i}", "ncalls": 1, "tottime": float(i), "cumtime": float(i)}
+            for i in range(30)
+        ]
+        top = top_rows(rows, n=5)
+        assert len(top) == 5
+        assert top[0]["func"] == "f29"
+
+
+class TestFormat:
+    def test_table_renders(self):
+        rows = [
+            {"func": "sim.py:1(run)", "ncalls": 5, "tottime": 0.5, "cumtime": 0.9},
+        ]
+        text = format_top(rows)
+        assert "tottime (s)" in text
+        assert "sim.py:1(run)" in text
+
+    def test_empty_rows_give_guidance(self):
+        assert "--profile" in format_top([])

@@ -1,0 +1,127 @@
+"""Tests for repro.obs.spans and events: tracing and the event log."""
+
+import pickle
+
+import pytest
+
+from repro.obs.events import (
+    DEBUG,
+    ERROR,
+    INFO,
+    WARNING,
+    ConsoleSink,
+    EventLog,
+)
+from repro.obs.spans import SpanRecord, Tracer
+
+
+class TestTracer:
+    def test_span_records_interval_and_attrs(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("job.run", seed=7) as span:
+            span.set(outcome="ok")
+        (record,) = tracer.records
+        assert record.name == "job.run"
+        assert record.attrs == {"seed": 7, "outcome": "ok"}
+        assert record.t1 >= record.t0
+        assert record.duration == record.t1 - record.t0
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer()
+        with tracer.span("job.run", seed=7) as span:
+            span.set(outcome="ok")
+        assert tracer.records == []
+        # The null span is shared, not allocated per call.
+        assert tracer.span("a") is tracer.span("b")
+
+    def test_exception_is_tagged_and_propagates(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with tracer.span("job.run"):
+                raise RuntimeError("boom")
+        (record,) = tracer.records
+        assert record.attrs["error"] == "RuntimeError"
+
+    def test_drain_then_ingest_round_trips(self):
+        worker = Tracer(enabled=True)
+        with worker.span("worker.chunk"):
+            pass
+        shipped = worker.drain()
+        assert worker.records == []
+        parent = Tracer(enabled=True)
+        parent.ingest(shipped)
+        assert [r.name for r in parent.records] == ["worker.chunk"]
+
+    def test_records_pickle(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("job.run", seed=3):
+            pass
+        restored = pickle.loads(pickle.dumps(tracer.records))
+        assert restored == tracer.records
+
+    def test_record_dict_round_trip(self):
+        record = SpanRecord("x", 1.0, 2.0, 10, 20, {"a": 1})
+        assert SpanRecord.from_dict(record.to_dict()) == record
+
+    def test_nested_spans_record_inner_first(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [r.name for r in tracer.records] == ["inner", "outer"]
+
+
+class TestEventLog:
+    def test_emit_buffers_and_orders(self):
+        log = EventLog()
+        log.emit("a", "first")
+        log.emit("b", "second", level=DEBUG)
+        assert [e.name for e in log.events] == ["a", "b"]
+        assert len(log) == 2
+
+    def test_warning_without_sink_falls_back_to_warnings(self):
+        log = EventLog()
+        with pytest.warns(RuntimeWarning, match="disk is sad"):
+            log.emit("cache.write_error", "disk is sad", level=WARNING)
+
+    def test_info_without_sink_is_silent(self, recwarn):
+        EventLog().emit("fyi", "nothing to see")
+        assert len(recwarn) == 0
+
+    def test_sink_suppresses_warning_fallback(self, recwarn):
+        log = EventLog()
+        log.add_sink(ConsoleSink(level=ERROR))
+        log.emit("cache.write_error", "disk is sad", level=WARNING)
+        assert len(recwarn) == 0
+
+    def test_ring_buffer_caps_memory(self):
+        log = EventLog(maxlen=3)
+        for i in range(10):
+            log.emit(f"e{i}", "x")
+        assert [e.name for e in log.events] == ["e7", "e8", "e9"]
+
+    def test_drain_clears(self):
+        log = EventLog()
+        log.emit("a", "x")
+        assert [e.name for e in log.drain()] == ["a"]
+        assert len(log) == 0
+
+    def test_event_to_dict_names_level(self):
+        log = EventLog()
+        with pytest.warns(RuntimeWarning):  # sinkless error falls back
+            event = log.emit("a", "x", level=ERROR, path="/tmp/f")
+        body = event.to_dict()
+        assert body["level"] == "error"
+        assert body["fields"] == {"path": "/tmp/f"}
+
+
+class TestConsoleSink:
+    def test_routes_by_level(self, capsys):
+        log = EventLog()
+        log.add_sink(ConsoleSink(level=INFO))
+        log.emit("a", "narrative")
+        log.emit("b", "trouble", level=WARNING)
+        log.emit("c", "chatter", level=DEBUG)  # below the sink level
+        captured = capsys.readouterr()
+        assert captured.out == "narrative\n"
+        assert captured.err == "trouble\n"
