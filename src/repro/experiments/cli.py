@@ -10,6 +10,9 @@ Usage::
     repro-sync fig10 --resume          # journal + resume interrupted runs
     repro-sync bench                   # parallel-layer perf snapshot
     repro-sync bench --obs             # obs-overhead snapshot (BENCH_obs.json)
+    repro-sync bench --serve           # loopback serving snapshot (BENCH_serve.json)
+    repro-sync serve --port 8793       # run the simulation-serving API
+    repro-sync loadgen --clients 8     # seeded load against a running server
     repro-sync cache verify            # audit results/cache/ entries
     repro-sync cache repair            # quarantine corrupt, sweep stale tmp
     repro-sync cache clear             # drop every cached result
@@ -82,7 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
         "target",
         help=(
             "a figure id (fig01..fig15), 'all', 'list', 'bench', 'cache', "
-            "or 'obs'"
+            "'obs', 'serve', or 'loadgen'"
         ),
     )
     parser.add_argument(
@@ -192,6 +195,93 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--serve",
+        action="store_true",
+        help=(
+            "for the 'bench' target: run the loopback serving benchmark "
+            "and write BENCH_serve.json instead of the parallel benchmark"
+        ),
+    )
+    serving = parser.add_argument_group(
+        "serving options (the 'serve' and 'loadgen' targets)"
+    )
+    serving.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="listen/connect address (default 127.0.0.1)",
+    )
+    serving.add_argument(
+        "--port",
+        type=int,
+        default=8793,
+        help="listen/connect port; 0 asks the OS for a free port (default 8793)",
+    )
+    serving.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        metavar="N",
+        help=(
+            "serve: admission limit — requests beyond N in flight shed "
+            "with 429 Retry-After (default 64)"
+        ),
+    )
+    serving.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "serve: per-request deadline; computations that outlive it "
+            "answer 504 (default: none)"
+        ),
+    )
+    serving.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        metavar="N",
+        help="loadgen: concurrent periodic clients (default 4)",
+    )
+    serving.add_argument(
+        "--period",
+        type=float,
+        default=1.0,
+        metavar="TP",
+        help="loadgen: mean request period per client in seconds (default 1)",
+    )
+    serving.add_argument(
+        "--load-jitter",
+        type=float,
+        default=0.5,
+        metavar="TR",
+        help=(
+            "loadgen: timer jitter half-width — intervals are uniform in "
+            "[TP-TR, TP+TR], the paper's own randomization (default 0.5)"
+        ),
+    )
+    serving.add_argument(
+        "--duration",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="loadgen: length of the generated schedule (default 10)",
+    )
+    serving.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        help="loadgen: seed for the schedule and spec rotation (default 1)",
+    )
+    serving.add_argument(
+        "--real-time",
+        action="store_true",
+        help=(
+            "loadgen: actually sleep between ticks (threads + wall "
+            "clock) instead of replaying the schedule as fast as possible"
+        ),
+    )
+    parser.add_argument(
         "-o",
         "--output",
         default=None,
@@ -245,8 +335,64 @@ def _run_cache(args) -> int:
     return 2
 
 
+def _run_serve(args) -> int:
+    """The 'serve' target: run the simulation-serving API until SIGTERM."""
+    from ..serve import ServeConfig, serve_forever
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs or 1,
+        queue_depth=args.queue_depth,
+        deadline=args.deadline,
+        cache_root=None if args.no_cache else (args.cache_root or "results/cache"),
+        checkpoint=bool(args.resume),
+    )
+
+    def announce(line: str) -> None:
+        print(line, flush=True)
+
+    return serve_forever(config, announce=announce)
+
+
+def _run_loadgen(args) -> int:
+    """The 'loadgen' target: seeded load against a running server."""
+    from ..serve import LoadPlan, format_report, run_load
+
+    plan = LoadPlan(
+        clients=args.clients,
+        period=args.period,
+        jitter=args.load_jitter,
+        duration=args.duration,
+        seed=args.seed,
+        real_time=args.real_time,
+    )
+    try:
+        report = run_load(plan, args.host, args.port)
+    except (ConnectionError, OSError) as error:
+        print(
+            f"error: cannot reach server at {args.host}:{args.port}: {error}",
+            file=sys.stderr,
+        )
+        return 2
+    print(format_report(report))
+    return 0 if report["identical_payloads_per_key"] else 1
+
+
 def _run_bench(args) -> int:
     """The 'bench' target: emit and print the parallel perf snapshot."""
+    if args.serve:
+        from ..serve.bench import format_serve_table, run_serve_benchmark
+
+        output = "BENCH_serve.json"
+        snapshot = run_serve_benchmark(jobs=args.jobs, output=output)
+        print(format_serve_table(snapshot))
+        print(f"snapshot written to {output}")
+        ok = (
+            snapshot["payloads_identical_cold_vs_warm"]
+            and snapshot["warm_served_entirely_from_cache"]
+        )
+        return 0 if ok else 1
     if args.obs:
         from ..obs.bench import format_obs_table, run_obs_benchmark
 
@@ -370,6 +516,10 @@ def _dispatch(args) -> int:
         return 0
     if args.target == "bench":
         return _run_bench(args)
+    if args.target == "serve":
+        return _run_serve(args)
+    if args.target == "loadgen":
+        return _run_loadgen(args)
     cache = None
     if not args.no_cache:
         from ..parallel import ResultCache
@@ -405,6 +555,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
     if args.quiet and args.verbose:
         print("error: --quiet and --verbose are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.obs and args.serve:
+        print("error: --obs and --serve are mutually exclusive", file=sys.stderr)
         return 2
     if args.action is not None and args.target not in ("cache", "obs"):
         print(

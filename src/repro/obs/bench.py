@@ -15,10 +15,8 @@ equally rather than biasing one side.
 
 from __future__ import annotations
 
-import json
 import os
 import statistics
-from pathlib import Path
 from typing import Sequence
 
 from . import configure, obs, reset
@@ -90,8 +88,7 @@ def run_obs_benchmark(
     overhead = (
         (median_on - median_off) / median_off * 100.0 if median_off > 0 else 0.0
     )
-    snapshot = {
-        "benchmark": "fig10_ensemble_obs_overhead",
+    payload = {
         "params": dict(BENCH_PARAMS),
         "horizon_seconds": horizon,
         "n_seeds": len(list(seeds)),
@@ -108,8 +105,11 @@ def run_obs_benchmark(
         "results_identical_with_obs": identical,
         "spans_per_run": span_count,
     }
+    from ..benchio import bench_envelope, write_bench_json
+
+    snapshot = bench_envelope("fig10_ensemble_obs_overhead", payload)
     if output is not None:
-        Path(output).write_text(json.dumps(snapshot, indent=2) + "\n")
+        write_bench_json(output, snapshot)
     return snapshot
 
 

@@ -52,7 +52,12 @@ from .job import (
     validate_engine,
 )
 from .report import OUTCOMES, JobRecord, RunReport
-from .runner import JobTimeoutError, ParallelRunner, RunnerStats
+from .runner import (
+    JobTimeoutError,
+    ParallelRunner,
+    RunnerStats,
+    deterministic_jitter,
+)
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
@@ -75,6 +80,7 @@ __all__ = [
     "RunnerStats",
     "SimulationJob",
     "TransientInjectedError",
+    "deterministic_jitter",
     "format_table",
     "resolve_checkpoint",
     "run_benchmark",

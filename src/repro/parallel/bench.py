@@ -16,14 +16,14 @@ by convention — so perf regressions are diffable across commits.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
 from typing import Sequence
 
+from ..benchio import bench_envelope, write_bench_json
 from .cache import ResultCache
-from .job import MODEL_VERSION, SimulationJob
+from .job import SimulationJob
 from .runner import ParallelRunner
 
 __all__ = ["BENCH_PARAMS", "format_table", "run_benchmark"]
@@ -104,9 +104,7 @@ def run_benchmark(
         des_results == serial_results == pooled_results == warm_results
     )
     baseline = timings["des_jobs1"]
-    snapshot = {
-        "benchmark": "fig10_first_passage_ensemble",
-        "model_version": MODEL_VERSION,
+    payload = {
         "params": dict(BENCH_PARAMS),
         "horizon_seconds": horizon,
         "n_seeds": len(list(seeds)),
@@ -128,8 +126,9 @@ def run_benchmark(
         "run_report_warm": warm_runner.report.counts(),
         "cache_write_errors": cache.write_errors,
     }
+    snapshot = bench_envelope("fig10_first_passage_ensemble", payload)
     if output is not None:
-        Path(output).write_text(json.dumps(snapshot, indent=2) + "\n")
+        write_bench_json(output, snapshot)
     return snapshot
 
 

@@ -61,7 +61,12 @@ from .faults import FaultPlan
 from .job import JobResult, SimulationJob, run_job, run_jobs, run_jobs_observed
 from .report import RunReport
 
-__all__ = ["JobTimeoutError", "ParallelRunner", "RunnerStats"]
+__all__ = [
+    "JobTimeoutError",
+    "ParallelRunner",
+    "RunnerStats",
+    "deterministic_jitter",
+]
 
 #: Backoff sleeps never exceed this many seconds, whatever the attempt.
 BACKOFF_CAP = 30.0
@@ -71,16 +76,22 @@ class JobTimeoutError(TimeoutError):
     """A job exceeded its per-job deadline (pool chunk or in-process)."""
 
 
-def _jitter(key: str, attempt: int) -> float:
+def deterministic_jitter(key: str, attempt: int) -> float:
     """Deterministic jitter factor in [0.5, 1.5) for backoff sleeps.
 
     Seeded from the job key and attempt number, so two runners
     retrying the same failed batch do not wake in lockstep (the
     paper's ``Tr`` prescription applied to our own retry loop) yet
-    every rerun sleeps the same schedule.
+    every rerun sleeps the same schedule.  Also the jitter behind the
+    serving layer's ``Retry-After`` values (``repro.serve.queue``) —
+    shed clients keyed by different jobs back off at different times.
     """
     digest = hashlib.sha256(f"{key}:{attempt}".encode("ascii")).digest()
     return 0.5 + int.from_bytes(digest[:8], "big") / 2**64
+
+
+#: Backwards-compatible module-private alias (pre-serve spelling).
+_jitter = deterministic_jitter
 
 
 @dataclass

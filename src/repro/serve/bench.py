@@ -1,0 +1,145 @@
+"""The serving-layer loopback benchmark (``repro-sync bench --serve``).
+
+Boots a real server on a loopback socket (ephemeral port, throwaway
+cache directory), then drives the deterministic load generator
+through two passes of the same seeded plan:
+
+* **cold** — the cache is empty, so every distinct job simulates once
+  (repeat requests within the pass coalesce or hit the cache), and
+* **warm** — the identical plan replayed, which must be answered
+  entirely from cache: ``jobs_executed == 0`` is asserted into the
+  snapshot, and the payload hashes must match the cold pass exactly
+  (restart-warmth and byte-identity in one number).
+
+The snapshot is written as ``BENCH_serve.json`` in the shared
+``repro.benchio`` envelope, next to ``BENCH_parallel.json`` and
+``BENCH_obs.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from pathlib import Path
+
+from ..benchio import bench_envelope, write_bench_json
+from .config import ServeConfig
+from .lifecycle import BackgroundServer
+from .loadgen import LoadPlan, default_specs, run_load
+
+__all__ = ["format_serve_table", "run_serve_benchmark"]
+
+#: Default bench cache directory (cleared before the cold pass so the
+#: cold numbers really are cold).
+DEFAULT_BENCH_CACHE = Path("results") / "cache" / "serve-bench"
+
+
+def run_serve_benchmark(
+    clients: int = 8,
+    duration: float = 30.0,
+    seed: int = 1,
+    jobs: int | None = None,
+    cache_root: str | os.PathLike | None = None,
+    output: str | os.PathLike | None = None,
+) -> dict:
+    """Run the loopback load test; return (optionally write) the snapshot.
+
+    Parameters
+    ----------
+    clients, duration, seed:
+        Load plan shape: ``clients`` periodic clients over
+        ``duration`` virtual seconds (virtual mode — the pass replays
+        the schedule as fast as the server answers).
+    jobs:
+        Server-side pool width; defaults to the CPU count.
+    cache_root:
+        Cache directory; defaults to a throwaway under
+        ``results/cache/serve-bench`` (cleared first).
+    output:
+        If given, the enveloped snapshot JSON is written there.
+    """
+    jobs = jobs or os.cpu_count() or 1
+    cache = Path(cache_root) if cache_root is not None else DEFAULT_BENCH_CACHE
+    shutil.rmtree(cache, ignore_errors=True)
+
+    config = ServeConfig(
+        host="127.0.0.1",
+        port=0,
+        jobs=jobs,
+        queue_depth=max(64, clients * 4),
+        cache_root=str(cache),
+    )
+    plan = LoadPlan(
+        clients=clients,
+        period=1.0,
+        jitter=0.5,
+        duration=duration,
+        seed=seed,
+        specs=default_specs(),
+    )
+    with BackgroundServer(config) as bg:
+        cold = run_load(plan, bg.host, bg.port)
+        warm = run_load(plan, bg.host, bg.port)
+
+    payload = {
+        "workload": {
+            "clients": clients,
+            "duration_virtual_seconds": duration,
+            "seed": seed,
+            "distinct_jobs": len(plan.specs),
+            "jobs": jobs,
+        },
+        "cold": cold,
+        "warm": warm,
+        "warm_served_entirely_from_cache": warm["server"]["jobs_executed"] == 0,
+        "payloads_identical_cold_vs_warm": (
+            cold["payload_sha256"] == warm["payload_sha256"]
+            and cold["identical_payloads_per_key"]
+            and warm["identical_payloads_per_key"]
+        ),
+    }
+    snapshot = bench_envelope("serve_loopback_load", payload)
+    if output is not None:
+        write_bench_json(output, snapshot)
+    return snapshot
+
+
+def format_serve_table(snapshot: dict) -> str:
+    """Render the snapshot as the CLI's serving table."""
+    rows = [("pass", "req/s", "mean latency (ms)", "executed", "cache hits", "shed")]
+    for name in ("cold", "warm"):
+        report = snapshot[name]
+        latency = report["latency_seconds"]
+        rows.append(
+            (
+                name,
+                f"{report['throughput_rps']:.1f}",
+                f"{latency.get('mean', 0.0) * 1000:.2f}",
+                f"{report['server']['jobs_executed']:g}",
+                f"{report['server']['cache_hits']:g}",
+                f"{report['server']['shed']:g}",
+            )
+        )
+    widths = [max(len(row[col]) for row in rows) for col in range(len(rows[0]))]
+    workload = snapshot["workload"]
+    lines = [
+        f"serve loopback load: {workload['clients']} client(s), "
+        f"{workload['duration_virtual_seconds']:g} virtual s, "
+        f"{workload['distinct_jobs']} distinct job(s), "
+        f"server jobs={workload['jobs']}"
+    ]
+    for i, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.ljust(widths[col]) for col, cell in enumerate(row))
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    lines.append(
+        "warm pass served entirely from cache: "
+        + ("yes" if snapshot["warm_served_entirely_from_cache"] else "NO")
+    )
+    lines.append(
+        "payloads identical cold vs warm: "
+        + ("yes" if snapshot["payloads_identical_cold_vs_warm"] else "NO")
+    )
+    return "\n".join(lines)

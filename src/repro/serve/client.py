@@ -1,0 +1,138 @@
+"""A stdlib client for the simulation-serving API.
+
+Thin, synchronous, dependency-free: one persistent
+``http.client.HTTPConnection`` per :class:`ServeClient` (keep-alive —
+the load generator's periodic clients reuse their connection exactly
+like long-lived routing peers reuse a session), JSON in/out, and the
+raw response bytes preserved so byte-identity can be asserted
+end-to-end.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["ApiResponse", "ServeClient"]
+
+
+@dataclass
+class ApiResponse:
+    """One API exchange: status, selected headers, raw body bytes."""
+
+    status: int
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self):
+        """The body decoded as JSON (raises ValueError on junk)."""
+        return json.loads(self.body.decode("utf-8"))
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def retry_after(self) -> float | None:
+        """The Retry-After hint in seconds, when the server sent one."""
+        value = self.headers.get("retry-after")
+        return float(value) if value is not None else None
+
+
+@dataclass
+class ServeClient:
+    """Synchronous client for one server, with connection reuse.
+
+    Not thread-safe: give each load-generating client its own
+    instance (exactly what :mod:`repro.serve.loadgen` does).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8793
+    timeout: float = 60.0
+    _conn: http.client.HTTPConnection | None = field(
+        default=None, init=False, repr=False
+    )
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def request(
+        self, method: str, path: str, payload=None
+    ) -> ApiResponse:
+        """One exchange; reconnects once if the kept-alive peer hung up."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                raw = conn.getresponse()
+                data = raw.read()
+                response = ApiResponse(
+                    status=raw.status,
+                    headers={k.lower(): v for k, v in raw.getheaders()},
+                    body=data,
+                )
+                if raw.will_close:
+                    self.close()
+                return response
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                BrokenPipeError,
+            ):
+                # A server that closed the idle keep-alive connection
+                # is routine; retry exactly once on a fresh socket.
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    # -- the API --------------------------------------------------------------
+
+    def healthz(self) -> ApiResponse:
+        return self.request("GET", "/healthz")
+
+    def readyz(self) -> ApiResponse:
+        return self.request("GET", "/readyz")
+
+    def metrics(self) -> dict:
+        """The server's metric snapshot (raises on non-200)."""
+        response = self.request("GET", "/metrics")
+        if not response.ok:
+            raise RuntimeError(f"/metrics returned {response.status}")
+        return response.json()
+
+    def simulate(self, spec: dict) -> ApiResponse:
+        """POST one SimulationJob spec dict to ``/v1/simulate``."""
+        return self.request("POST", "/v1/simulate", payload=spec)
+
+    def sweep(self, specs: list[dict]) -> ApiResponse:
+        """POST a batch of spec dicts to ``/v1/sweep``."""
+        return self.request("POST", "/v1/sweep", payload={"jobs": list(specs)})
+
+    def figure(self, figure_id: str) -> ApiResponse:
+        """GET one reduced-scale figure reproduction."""
+        return self.request("GET", f"/v1/figures/{figure_id}")

@@ -1,0 +1,79 @@
+"""Configuration for the simulation server.
+
+One frozen dataclass, validated up front, shared by the CLI, the
+lifecycle runner, tests, and the loopback benchmark.  Everything here
+controls *how* requests are served, never *what* a simulation
+computes — the byte-identity guarantee does not depend on any of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Settings for one :class:`~repro.serve.server.SimulationServer`.
+
+    Parameters
+    ----------
+    host, port:
+        Listen address.  ``port=0`` asks the OS for a free port (the
+        bound port is reported by ``server.port`` once started) —
+        tests and the loopback bench rely on this.
+    jobs:
+        Worker processes for the underlying
+        :class:`~repro.parallel.ParallelRunner` (``1`` = in-process).
+    queue_depth:
+        Admission limit: requests in flight (queued + computing)
+        beyond this are shed with ``429 Retry-After``.
+    deadline:
+        Per-request deadline in seconds, or None for no deadline.  A
+        request whose computation outlives it gets ``504``; the
+        deadline is also passed to the runner as its per-job timeout
+        (the PR-2 watchdog), so a genuinely hung job cannot wedge a
+        worker forever either.
+    retry_after_base:
+        Base of the jittered ``Retry-After`` value sent with a 429;
+        the actual value is ``base * deterministic_jitter(job_key)``
+        in ``[0.5, 1.5) * base`` seconds.
+    drain_grace:
+        Upper bound in seconds a SIGTERM-initiated drain waits for
+        in-flight requests before giving up and exiting anyway.
+    cache_root:
+        Directory for the result cache, or None to disable caching.
+    checkpoint:
+        When True, every compute batch is journaled through the PR-2
+        :class:`~repro.parallel.CheckpointJournal`: a batch cut short
+        (SIGKILL, drain-grace expiry) leaves its completed jobs on
+        record, and the next identical request resumes instead of
+        recomputing.  Off by default — the write-through cache already
+        makes completed *jobs* durable; journals additionally make
+        partial *batches* resumable.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8793
+    jobs: int = 1
+    queue_depth: int = 64
+    deadline: float | None = None
+    retry_after_base: float = 1.0
+    drain_grace: float = 30.0
+    cache_root: str | None = "results/cache"
+    checkpoint: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ValueError("port must be in [0, 65535]")
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if self.retry_after_base <= 0:
+            raise ValueError("retry_after_base must be positive")
+        if self.drain_grace <= 0:
+            raise ValueError("drain_grace must be positive")

@@ -1,0 +1,124 @@
+"""Bounded admission with explicit backpressure.
+
+The server never queues unboundedly: every compute request must pass
+through the :class:`AdmissionQueue` before any work is scheduled, and
+when the depth limit is hit the request is *shed* — a
+:class:`QueueFullError` the handler turns into ``429`` with a
+``Retry-After`` header.
+
+The retry hint practices what the paper preaches.  A fleet of clients
+shed at the same instant must not retry in lockstep (that is exactly
+the synchronization failure Floyd & Jacobson analyze), so the hint is
+jittered — but with the *deterministic*, job-keyed jitter from the
+parallel layer's backoff helper rather than ``random.random()``:
+different jobs spread out, identical runs reproduce identically.
+"""
+
+from __future__ import annotations
+
+from ..parallel.runner import deterministic_jitter
+
+__all__ = ["AdmissionQueue", "QueueFullError"]
+
+
+class QueueFullError(Exception):
+    """The admission queue is at its depth limit; shed with 429.
+
+    ``retry_after`` is the jittered hint in seconds the handler
+    forwards as the ``Retry-After`` header.
+    """
+
+    def __init__(self, retry_after: float, depth: int, limit: int) -> None:
+        super().__init__(
+            f"admission queue full ({depth}/{limit}); retry after "
+            f"{retry_after:.3f}s"
+        )
+        self.retry_after = retry_after
+        self.depth = depth
+        self.limit = limit
+
+
+class _Admission:
+    """Context manager releasing one admitted slot on exit."""
+
+    __slots__ = ("_queue", "_released")
+
+    def __init__(self, queue: "AdmissionQueue") -> None:
+        self._queue = queue
+        self._released = False
+
+    def __enter__(self) -> "_Admission":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._queue._release()
+
+
+class AdmissionQueue:
+    """Depth-limited admission of compute requests.
+
+    Single-threaded by construction: ``admit``/release run on the
+    server's event loop, so a plain counter is race-free.  ``metrics``
+    is an optional :class:`~repro.obs.metrics.MetricsRegistry` that
+    receives the live depth gauge and the shed counter.
+    """
+
+    def __init__(
+        self,
+        limit: int,
+        retry_after_base: float = 1.0,
+        metrics=None,
+    ) -> None:
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        if retry_after_base <= 0:
+            raise ValueError("retry_after_base must be positive")
+        self.limit = limit
+        self.retry_after_base = retry_after_base
+        self.metrics = metrics
+        self.depth = 0
+        self.shed = 0
+        self.admitted = 0
+
+    def retry_after(self, key: str) -> float:
+        """The jittered, job-keyed backoff hint for a shed request."""
+        return self.retry_after_base * deterministic_jitter(key, 0)
+
+    def admit(self, key: str) -> _Admission:
+        """Claim a slot, or raise :class:`QueueFullError` with the hint.
+
+        ``key`` is the request's job hash (or another stable route
+        key); it seeds the ``Retry-After`` jitter so simultaneously
+        shed clients do not come back in lockstep.
+        """
+        if self.depth >= self.limit:
+            self.shed += 1
+            if self.metrics is not None:
+                self.metrics.counter("serve.shed").inc()
+            raise QueueFullError(self.retry_after(key), self.depth, self.limit)
+        self.depth += 1
+        self.admitted += 1
+        if self.metrics is not None:
+            self.metrics.gauge("serve.queue.depth").set(self.depth)
+        return _Admission(self)
+
+    def _release(self) -> None:
+        self.depth -= 1
+        if self.metrics is not None:
+            self.metrics.gauge("serve.queue.depth").set(self.depth)
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is admitted (drain uses this)."""
+        return self.depth == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AdmissionQueue(depth={self.depth}/{self.limit}, "
+            f"admitted={self.admitted}, shed={self.shed})"
+        )

@@ -1,0 +1,574 @@
+"""The asyncio simulation server: admit → coalesce → cache → pool.
+
+A :class:`SimulationServer` turns the existing job/cache/obs stack
+into a long-running JSON-over-HTTP service.  The request path is the
+serving skeleton later sharding / multi-backend work builds on:
+
+1. **Admit** — every compute request passes the bounded
+   :class:`~repro.serve.queue.AdmissionQueue`; over the limit it is
+   shed with ``429`` and a jittered, job-keyed ``Retry-After``.
+2. **Coalesce** — requests are single-flighted on the job's content
+   hash (:class:`~repro.serve.coalesce.Coalescer`): N identical
+   concurrent requests cost one computation, and all N receive the
+   same bytes.
+3. **Cache** — cold results are written through the PR-1
+   :class:`~repro.parallel.ResultCache`, so a restarted server serves
+   warm immediately.
+4. **Pool** — the actual simulation runs on a
+   :class:`~repro.parallel.ParallelRunner` (process pool when
+   ``jobs > 1``) inside the default thread executor, keeping the
+   event loop free; the per-request deadline doubles as the runner's
+   PR-2 watchdog timeout, so a hung job becomes ``504``, never a
+   wedged loop.
+
+Endpoints::
+
+    POST /v1/simulate        body = SimulationJob spec dict
+    POST /v1/sweep           body = {"jobs": [spec, ...]}
+    GET  /v1/figures/{figNN} reduced-scale figure reproduction
+    GET  /healthz            liveness (always 200 while the loop runs)
+    GET  /readyz             readiness (503 once draining)
+    GET  /metrics            serve + obs metric snapshots as JSON
+
+Response bodies are canonical JSON (sorted keys, fixed separators):
+the bytes for a given job are a pure function of the job spec, equal
+across requests, restarts, and the direct ``ParallelRunner`` path —
+the determinism acceptance test is stated in exactly those terms.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import suppress
+from time import monotonic as _monotonic
+
+from ..experiments.registry import figure_ids, run_figure
+from ..obs import WARNING, obs
+from ..obs.metrics import MetricsRegistry
+from ..parallel import (
+    JobResult,
+    JobTimeoutError,
+    ParallelRunner,
+    ResultCache,
+    SimulationJob,
+    resolve_checkpoint,
+)
+from ..parallel.job import MODEL_VERSION
+from .coalesce import Coalescer
+from .config import ServeConfig
+from .http import (
+    BadRequestError,
+    HttpRequest,
+    HttpResponse,
+    PayloadTooLargeError,
+    canonical_json,
+    json_response,
+    read_request,
+    render_response,
+)
+from .queue import AdmissionQueue, QueueFullError
+
+__all__ = [
+    "MAX_SWEEP_JOBS",
+    "SimulationServer",
+    "figure_payload",
+    "simulation_payload",
+]
+
+#: Upper bound on specs per sweep request (a guard, not a throughput
+#: limit — the admission queue is what bounds concurrent work).
+MAX_SWEEP_JOBS = 4096
+
+
+def simulation_payload(job: SimulationJob, result: JobResult) -> bytes:
+    """The canonical response bytes for one completed job.
+
+    A pure function of ``(job, result)`` — the unit the byte-identity
+    and coalescing guarantees are stated in.
+    """
+    return canonical_json(
+        {
+            "key": job.cache_key(),
+            "model_version": MODEL_VERSION,
+            "job": job.to_dict(),
+            "result": result.to_dict(),
+        }
+    )
+
+
+def figure_payload(result) -> bytes:
+    """Canonical response bytes for one FigureResult."""
+    return canonical_json(
+        {
+            "figure_id": result.figure_id,
+            "title": result.title,
+            "series": {
+                name: [[x, y] for x, y in points]
+                for name, points in result.series.items()
+            },
+            "metrics": result.metrics,
+            "notes": list(result.notes),
+        }
+    )
+
+
+class SimulationServer:
+    """The serving layer over the job/cache/obs stack.
+
+    Parameters
+    ----------
+    config:
+        A :class:`~repro.serve.config.ServeConfig`.
+    job_runner:
+        Optional override: a callable ``(list[SimulationJob]) ->
+        list[JobResult]`` run on the default executor.  Tests inject
+        slow or counting runners here; production uses the
+        :class:`~repro.parallel.ParallelRunner` + cache default.
+    figure_runner:
+        Optional override for figure requests: ``(figure_id) ->
+        FigureResult``.  Defaults to the registry's reduced-scale
+        (``fast=True``) driver.
+    """
+
+    def __init__(self, config: ServeConfig, job_runner=None, figure_runner=None):
+        self.config = config
+        #: The server's own always-on registry (``/metrics``).  It is
+        #: deliberately separate from the global obs runtime, which
+        #: stays inert/off unless the operator opted in.
+        self.metrics = MetricsRegistry(enabled=True)
+        self.queue = AdmissionQueue(
+            config.queue_depth, config.retry_after_base, metrics=self.metrics
+        )
+        self.coalescer = Coalescer(metrics=self.metrics)
+        self.cache = (
+            ResultCache(config.cache_root) if config.cache_root is not None else None
+        )
+        self._job_runner = job_runner or self._run_specs
+        self._figure_runner = figure_runner or self._run_figure
+        self.draining = False
+        self._asgi_server: asyncio.AbstractServer | None = None
+        self._stopped: asyncio.Event | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self._active_requests = 0
+        #: Memoized figure payload bytes (figures are deterministic,
+        #: so a computed figure never needs recomputing).
+        self._figures: dict[str, bytes] = {}
+
+    # -- production compute defaults -----------------------------------------
+
+    def _run_specs(self, specs: list[SimulationJob]) -> list[JobResult]:
+        """Default job runner: fresh ParallelRunner, shared cache.
+
+        A new runner per batch keeps per-batch stats/reports race-free
+        when several batches compute concurrently on executor threads;
+        the cache and pool settings come from the config.  The request
+        deadline doubles as the runner's per-job watchdog timeout.
+        """
+        journal = (
+            resolve_checkpoint(True, specs) if self.config.checkpoint else None
+        )
+        runner = ParallelRunner(
+            jobs=self.config.jobs,
+            cache=self.cache,
+            timeout=self.config.deadline,
+            checkpoint=journal,
+        )
+        try:
+            results = runner.run(specs)
+        except BaseException:
+            if journal is not None:
+                journal.close()
+            raise
+        if journal is not None:
+            journal.complete()
+        stats = runner.stats
+        self.metrics.counter("serve.jobs.executed").inc(stats.executed)
+        self.metrics.counter("serve.jobs.cache_hits").inc(stats.cache_hits)
+        return results
+
+    def _run_figure(self, figure_id: str):
+        return run_figure(
+            figure_id, fast=True, jobs=self.config.jobs, cache=self.cache
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the OS's choice)."""
+        if self._asgi_server is not None and self._asgi_server.sockets:
+            return self._asgi_server.sockets[0].getsockname()[1]
+        return self.config.port
+
+    async def start(self) -> None:
+        self._stopped = asyncio.Event()
+        self._asgi_server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+
+    def begin_drain(self) -> None:
+        """Start a graceful drain (idempotent; the SIGTERM handler).
+
+        Flips ``/readyz`` to 503, stops admitting compute work,
+        finishes in-flight requests (bounded by ``drain_grace``), then
+        releases :meth:`wait_stopped`.
+        """
+        if self.draining:
+            return
+        self.draining = True
+        self.metrics.gauge("serve.draining").set(1)
+        obs().emit(
+            "serve.drain",
+            f"drain started: {self._active_requests} request(s) in flight",
+            inflight=self._active_requests,
+        )
+        task = asyncio.get_running_loop().create_task(self._drain())
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _drain(self) -> None:
+        deadline = _monotonic() + self.config.drain_grace
+        while _monotonic() < deadline:
+            # In-flight = requests mid-handler plus unfinished compute
+            # tasks (this drain task itself does not count).
+            busy = self._active_requests > 0 or len(self._tasks) > 1
+            if not busy:
+                break
+            await asyncio.sleep(0.02)
+        assert self._stopped is not None
+        self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        assert self._stopped is not None, "server not started"
+        await self._stopped.wait()
+
+    async def close(self) -> None:
+        if self._asgi_server is not None:
+            self._asgi_server.close()
+            with suppress(Exception):
+                await self._asgi_server.wait_closed()
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        self.metrics.counter("serve.connections").inc()
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except PayloadTooLargeError as error:
+                    await self._write(
+                        writer, json_response(413, {"error": str(error)}), False
+                    )
+                    break
+                except BadRequestError as error:
+                    await self._write(
+                        writer, json_response(400, {"error": str(error)}), False
+                    )
+                    break
+                if request is None:
+                    break
+                self._active_requests += 1
+                try:
+                    t0 = _monotonic()
+                    response = await self._route(request)
+                    self.metrics.counter("serve.requests").inc()
+                    self.metrics.counter(
+                        f"serve.responses.{response.status}"
+                    ).inc()
+                    self.metrics.histogram("serve.request_seconds").observe(
+                        _monotonic() - t0
+                    )
+                    keep = request.keep_alive
+                    await self._write(writer, response, keep)
+                finally:
+                    self._active_requests -= 1
+                if not keep:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            with suppress(Exception):
+                await writer.wait_closed()
+
+    async def _write(self, writer, response: HttpResponse, keep: bool) -> None:
+        writer.write(render_response(response, keep))
+        await writer.drain()
+
+    # -- routing ---------------------------------------------------------------
+
+    async def _route(self, request: HttpRequest) -> HttpResponse:
+        o = obs()
+        with o.span("serve.request", method=request.method, path=request.path) as span:
+            try:
+                response = await self._dispatch(request)
+            except BadRequestError as error:
+                response = json_response(400, {"error": str(error)})
+            except Exception as error:
+                # The one deliberately broad handler on the serving
+                # path: any unplanned failure becomes a 500 response
+                # (with the event logged) instead of a dropped
+                # connection.
+                self.metrics.counter("serve.errors").inc()
+                o.emit(
+                    "serve.error",
+                    f"unhandled error serving {request.method} "
+                    f"{request.path}: {error!r}",
+                    level=WARNING,
+                    error=repr(error),
+                )
+                response = json_response(
+                    500, {"error": f"{type(error).__name__}: {error}"}
+                )
+            span.set(status=response.status)
+        return response
+
+    async def _dispatch(self, request: HttpRequest) -> HttpResponse:
+        path, method = request.path, request.method
+        if path == "/healthz":
+            if method != "GET":
+                return json_response(405, {"error": "use GET"})
+            return json_response(200, {"status": "ok"})
+        if path == "/readyz":
+            if method != "GET":
+                return json_response(405, {"error": "use GET"})
+            if self.draining:
+                return json_response(503, {"ready": False, "draining": True})
+            return json_response(200, {"ready": True, "draining": False})
+        if path == "/metrics":
+            if method != "GET":
+                return json_response(405, {"error": "use GET"})
+            return self._metrics_response()
+        if path == "/v1/simulate":
+            if method != "POST":
+                return json_response(405, {"error": "use POST"})
+            return await self._simulate(request)
+        if path == "/v1/sweep":
+            if method != "POST":
+                return json_response(405, {"error": "use POST"})
+            return await self._sweep(request)
+        if path.startswith("/v1/figures/"):
+            if method != "GET":
+                return json_response(405, {"error": "use GET"})
+            return await self._figure(path.removeprefix("/v1/figures/"))
+        return json_response(404, {"error": f"no route for {path}"})
+
+    def _metrics_response(self) -> HttpResponse:
+        o = obs()
+        snapshot = {
+            "serve": self.metrics.snapshot(),
+            "obs": o.metrics.snapshot() if o.enabled else {},
+        }
+        return json_response(200, snapshot)
+
+    # -- compute endpoints ------------------------------------------------------
+
+    def _parse_spec(self, data) -> SimulationJob:
+        if not isinstance(data, dict):
+            raise BadRequestError("job spec must be a JSON object")
+        try:
+            return SimulationJob.from_dict(data)
+        except (ValueError, TypeError) as error:
+            raise BadRequestError(f"invalid job spec: {error}")
+
+    async def _simulate(self, request: HttpRequest) -> HttpResponse:
+        spec = self._parse_spec(request.json())
+        if self.draining:
+            return self._draining_response()
+        key = spec.cache_key()
+        future, leader = self.coalescer.claim(key)
+        if leader:
+            self._lead(
+                [future],
+                key,
+                lambda results, spec=spec: [simulation_payload(spec, results[0])],
+                [spec],
+            )
+        return await self._await_body(future, key)
+
+    async def _sweep(self, request: HttpRequest) -> HttpResponse:
+        body = request.json()
+        if not isinstance(body, dict) or not isinstance(body.get("jobs"), list):
+            raise BadRequestError('sweep body must be {"jobs": [spec, ...]}')
+        raw_specs = body["jobs"]
+        if not raw_specs:
+            raise BadRequestError("sweep needs at least one job spec")
+        if len(raw_specs) > MAX_SWEEP_JOBS:
+            raise BadRequestError(
+                f"sweep of {len(raw_specs)} jobs exceeds the "
+                f"{MAX_SWEEP_JOBS}-job limit"
+            )
+        specs = [self._parse_spec(data) for data in raw_specs]
+        if self.draining:
+            return self._draining_response()
+
+        # Claim every job; compute only the ones this request leads.
+        # Jobs already in flight (a concurrent /v1/simulate, or a
+        # duplicate spec within this sweep) coalesce for free.
+        futures: list[asyncio.Future] = []
+        led_futures: list[asyncio.Future] = []
+        led_specs: list[SimulationJob] = []
+        for spec in specs:
+            future, leader = self.coalescer.claim(spec.cache_key())
+            futures.append(future)
+            if leader:
+                led_futures.append(future)
+                led_specs.append(spec)
+        if led_specs:
+            batch_key = led_specs[0].cache_key()
+            self._lead(
+                led_futures,
+                batch_key,
+                lambda results, led=tuple(led_specs): [
+                    simulation_payload(spec, result)
+                    for spec, result in zip(led, results)
+                ],
+                led_specs,
+            )
+        try:
+            pieces = await asyncio.wait_for(
+                asyncio.shield(asyncio.gather(*futures)), self.config.deadline
+            )
+        except QueueFullError as error:
+            return self._shed_response(error)
+        except (asyncio.TimeoutError, JobTimeoutError):
+            return self._timeout_response()
+        # Splice the canonical per-job payloads into one canonical
+        # body without re-encoding them (bytes equality with the
+        # /v1/simulate payloads is part of the contract).
+        joined = b",".join(piece.rstrip(b"\n") for piece in pieces)
+        return HttpResponse(200, b'{"results":[' + joined + b"]}\n")
+
+    async def _figure(self, figure_id: str) -> HttpResponse:
+        if figure_id not in figure_ids():
+            return json_response(
+                404,
+                {"error": f"unknown figure {figure_id!r}", "known": figure_ids()},
+            )
+        cached = self._figures.get(figure_id)
+        if cached is not None:
+            self.metrics.counter("serve.figures.memo_hits").inc()
+            return HttpResponse(200, cached)
+        if self.draining:
+            return self._draining_response()
+        key = f"figure:{figure_id}"
+        future, leader = self.coalescer.claim(key)
+        if leader:
+            loop = asyncio.get_running_loop()
+
+            async def produce() -> list[bytes]:
+                result = await loop.run_in_executor(
+                    None, self._figure_runner, figure_id
+                )
+                body = figure_payload(result)
+                self._figures[figure_id] = body
+                return [body]
+
+            self._lead_async([future], key, produce)
+        return await self._await_body(future, key)
+
+    # -- the admit -> compute -> settle machinery -------------------------------
+
+    def _lead(self, futures, admission_key: str, to_payloads, specs) -> None:
+        """Leader path for job batches: admit, compute on the
+        executor, settle every led future with its payload bytes."""
+        loop = asyncio.get_running_loop()
+
+        async def produce() -> list[bytes]:
+            results = await loop.run_in_executor(
+                None, self._job_runner, list(specs)
+            )
+            return to_payloads(results)
+
+        self._lead_async(futures, admission_key, produce)
+
+    def _lead_async(self, futures, admission_key: str, produce) -> None:
+        """Admit then run ``produce`` as a tracked task; settle
+        ``futures`` (one payload each, in order) when it finishes.
+
+        Admission failure settles every future with the
+        :class:`QueueFullError`, so a coalesced herd that arrives
+        while the queue is full is shed as one — with one shared,
+        deterministic ``Retry-After``.
+        """
+        try:
+            admission = self.queue.admit(admission_key)
+        except QueueFullError as error:
+            for future in futures:
+                if not future.done():
+                    future.set_exception(error)
+            return
+
+        async def run() -> None:
+            try:
+                with admission:
+                    payloads = await produce()
+            except BaseException as error:  # settle followers, always
+                for future in futures:
+                    if not future.done():
+                        future.set_exception(error)
+            else:
+                for future, payload in zip(futures, payloads):
+                    if not future.done():
+                        future.set_result(payload)
+
+        task = asyncio.get_running_loop().create_task(run())
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _await_body(self, future: asyncio.Future, key: str) -> HttpResponse:
+        """Wait (under the request deadline) for the shared bytes."""
+        try:
+            body = await asyncio.wait_for(
+                asyncio.shield(future), self.config.deadline
+            )
+        except QueueFullError as error:
+            return self._shed_response(error)
+        except (asyncio.TimeoutError, JobTimeoutError):
+            return self._timeout_response(key)
+        return HttpResponse(200, body)
+
+    def _draining_response(self) -> HttpResponse:
+        return json_response(
+            503, {"error": "server is draining"}, headers={"connection": "close"}
+        )
+
+    def _shed_response(self, error: QueueFullError) -> HttpResponse:
+        obs().emit(
+            "serve.shed",
+            f"queue full ({error.depth}/{error.limit}); "
+            f"shed with Retry-After {error.retry_after:.3f}s",
+            depth=error.depth,
+            limit=error.limit,
+        )
+        return json_response(
+            429,
+            {
+                "error": "admission queue full",
+                "retry_after": round(error.retry_after, 3),
+            },
+            headers={"retry-after": f"{error.retry_after:.3f}"},
+        )
+
+    def _timeout_response(self, key: str = "") -> HttpResponse:
+        self.metrics.counter("serve.timeouts").inc()
+        return json_response(
+            504,
+            {
+                "error": "deadline exceeded",
+                "deadline": self.config.deadline,
+                "key": key,
+            },
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "draining" if self.draining else "serving"
+        return (
+            f"SimulationServer({state}, {self.host}:{self.port}, "
+            f"queue={self.queue!r}, coalescer={self.coalescer!r})"
+        )

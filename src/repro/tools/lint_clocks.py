@@ -15,18 +15,31 @@ and reports every call to
 * ``datetime.now()`` / ``datetime.utcnow()`` / ``date.today()`` (and
   their ``datetime.datetime.*`` spellings) — wall-clock datetimes,
 
-in any module outside ``repro/obs/``.  Monotonic interval clocks
+in any module outside the **allowlist**.  Monotonic interval clocks
 (``time.monotonic``, ``time.perf_counter``) are allowed everywhere —
 they cannot leak the date into a result, only measure how long
 something took.
 
-Escape hatch: a ``# lint: allow-wallclock`` comment on the offending
-line (or the line above) suppresses the finding — making every
-deliberate wall-clock read a visible, reviewable annotation.
+The allowlist is an explicit mechanism, not a hardcoded carve-out:
+:data:`DEFAULT_ALLOWLIST` names the package directories with a
+legitimate claim on real time — ``obs`` (the measurement plane, whose
+clock module wraps the raw calls) and ``serve`` (the serving layer:
+HTTP ``Date`` headers and drain deadlines are wall-clock concepts by
+definition, and nothing in ``serve`` feeds a simulation result).
+Callers can extend or replace it: ``scan_file``/``scan_tree`` take an
+``allow=`` sequence, and the CLI takes repeated ``--allow NAME``
+flags (each adds to the default) or ``--no-default-allow`` to start
+from an empty list.
+
+Escape hatch for single sites elsewhere: a ``# lint:
+allow-wallclock`` comment on the offending line (or the line above)
+suppresses the finding — making every deliberate wall-clock read a
+visible, reviewable annotation.
 
 Usage::
 
     python -m repro.tools.lint_clocks [paths...]   # default: src/repro
+    python -m repro.tools.lint_clocks --allow mypkg src/
 
 Exit status 1 when findings exist, 0 otherwise; also invoked by the
 tier-1 test suite (``tests/test_tools_lint.py``) so a stray
@@ -35,12 +48,20 @@ tier-1 test suite (``tests/test_tools_lint.py``) so a stray
 
 from __future__ import annotations
 
+import argparse
 import ast
 import sys
 from pathlib import Path
 from typing import Iterable, Sequence
 
-__all__ = ["ALLOW_COMMENT", "Finding", "main", "scan_file", "scan_tree"]
+__all__ = [
+    "ALLOW_COMMENT",
+    "DEFAULT_ALLOWLIST",
+    "Finding",
+    "main",
+    "scan_file",
+    "scan_tree",
+]
 
 ALLOW_COMMENT = "lint: allow-wallclock"
 
@@ -53,8 +74,13 @@ _FORBIDDEN_ATTRS = {
     "date": ("today",),
 }
 
-#: Directory (package) names whose files may touch the wall clock.
-_EXEMPT_PACKAGES = ("obs",)
+#: Directory (package) names whose files may read the wall clock.
+#: ``obs`` wraps the raw clocks once for everyone else; ``serve``
+#: speaks HTTP, where Date headers and Retry-After/drain deadlines
+#: are wall-clock concepts — and neither can leak time into a
+#: simulation result (enforced by the obs-inert and serve
+#: byte-identity suites).
+DEFAULT_ALLOWLIST = ("obs", "serve")
 
 
 class Finding:
@@ -108,14 +134,16 @@ def _wallclock_call(node: ast.Call) -> str | None:
     return None
 
 
-def _is_exempt(path: Path) -> bool:
-    """True for files inside an exempt package (``repro/obs/``)."""
-    return any(part in _EXEMPT_PACKAGES for part in path.parts)
+def _is_exempt(path: Path, allow: Sequence[str]) -> bool:
+    """True when any path component names an allowlisted package."""
+    return any(part in allow for part in path.parts)
 
 
-def scan_file(path: Path) -> list[Finding]:
-    """All wall-clock reads in one file (empty for exempt files)."""
-    if _is_exempt(path):
+def scan_file(
+    path: Path, allow: Sequence[str] = DEFAULT_ALLOWLIST
+) -> list[Finding]:
+    """All wall-clock reads in one file (empty for allowlisted files)."""
+    if _is_exempt(path, allow):
         return []
     try:
         source = path.read_text()
@@ -137,7 +165,7 @@ def scan_file(path: Path) -> list[Finding]:
             Finding(
                 path,
                 node.lineno,
-                f"{dotted}() reads the wall clock outside repro.obs "
+                f"{dotted}() reads the wall clock outside the allowlist "
                 f"(use repro.obs.clock.wall_time, or annotate "
                 f"'# {ALLOW_COMMENT}')",
             )
@@ -145,15 +173,17 @@ def scan_file(path: Path) -> list[Finding]:
     return findings
 
 
-def scan_tree(paths: Iterable[Path]) -> list[Finding]:
+def scan_tree(
+    paths: Iterable[Path], allow: Sequence[str] = DEFAULT_ALLOWLIST
+) -> list[Finding]:
     """Recursively scan files and directories for wall-clock reads."""
     findings: list[Finding] = []
     for path in paths:
         if path.is_dir():
             for source in sorted(path.rglob("*.py")):
-                findings.extend(scan_file(source))
+                findings.extend(scan_file(source, allow))
         else:
-            findings.extend(scan_file(path))
+            findings.extend(scan_file(path, allow))
     return findings
 
 
@@ -164,13 +194,42 @@ def default_target() -> Path:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns 1 when findings exist."""
-    argv = list(sys.argv[1:] if argv is None else argv)
-    targets = [Path(arg) for arg in argv] or [default_target()]
-    findings = scan_tree(targets)
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.lint_clocks",
+        description="flag wall-clock reads outside allowlisted packages",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path, help="files or directories to scan"
+    )
+    parser.add_argument(
+        "--allow",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="additional package (directory) name allowed to read the "
+        "wall clock; repeatable",
+    )
+    parser.add_argument(
+        "--no-default-allow",
+        action="store_true",
+        help=f"start from an empty allowlist instead of "
+        f"{', '.join(DEFAULT_ALLOWLIST)}",
+    )
+    options = parser.parse_args(sys.argv[1:] if argv is None else list(argv))
+    allow = tuple(
+        ([] if options.no_default_allow else list(DEFAULT_ALLOWLIST))
+        + options.allow
+    )
+    targets = options.paths or [default_target()]
+    findings = scan_tree(targets, allow)
     for finding in findings:
         print(finding)
     if findings:
-        print(f"{len(findings)} wall-clock read(s) found outside repro.obs")
+        allowed = ", ".join(allow) if allow else "(none)"
+        print(
+            f"{len(findings)} wall-clock read(s) found outside the "
+            f"allowlist [{allowed}]"
+        )
         return 1
     return 0
 

@@ -1,0 +1,97 @@
+"""Direct unit tests for repro.analysis.timeseries."""
+
+import pytest
+
+from repro.analysis.timeseries import (
+    Series,
+    find_peaks,
+    resample_step,
+    runs_of,
+    time_offsets,
+)
+
+
+class TestSeries:
+    def test_from_pairs_and_len(self):
+        series = Series.from_pairs([(0.0, 1.0), (2.0, 3.0)])
+        assert series.times == (0.0, 2.0)
+        assert series.values == (1.0, 3.0)
+        assert len(series) == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series(times=(0.0, 1.0), values=(1.0,))
+
+
+class TestTimeOffsets:
+    def test_figure4_semantics_time_mod_round(self):
+        # Figure 4's y-axis: send time modulo T = Tp + Tc.
+        period = 121.11
+        times = [0.0, 121.11, 242.22 + 5.0, 60.0]
+        assert time_offsets(times, period) == pytest.approx(
+            [0.0, 0.0, 5.0, 60.0]
+        )
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(ValueError):
+            time_offsets([1.0], period=-1.0)
+
+
+class TestResampleStep:
+    SERIES = Series(times=(1.0, 3.0, 5.0), values=(10.0, 20.0, 30.0))
+
+    def test_piecewise_constant_semantics(self):
+        samples = resample_step(self.SERIES, [1.0, 2.0, 3.0, 4.9, 5.0, 99.0])
+        assert samples == [10.0, 10.0, 20.0, 20.0, 30.0, 30.0]
+
+    def test_before_first_point_gets_first_value(self):
+        assert resample_step(self.SERIES, [0.0, 0.5]) == [10.0, 10.0]
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            resample_step(Series((), ()), [1.0])
+
+    def test_decreasing_sample_times_rejected(self):
+        with pytest.raises(ValueError):
+            resample_step(self.SERIES, [3.0, 1.0])
+
+
+class TestRunsOf:
+    def test_runs_and_endpoints(self):
+        flags = [True, True, False, True, False, False, True]
+        assert runs_of(flags) == [(0, 2), (3, 1), (6, 1)]
+
+    def test_target_false(self):
+        flags = [True, False, False, True]
+        assert runs_of(flags, target=False) == [(1, 2)]
+
+    def test_empty_and_uniform(self):
+        assert runs_of([]) == []
+        assert runs_of([True] * 3) == [(0, 3)]
+        assert runs_of([False] * 3) == []
+
+
+class TestFindPeaks:
+    def test_interior_peaks_above_threshold(self):
+        values = [0.0, 2.0, 1.0, 3.0, 0.0]
+        assert find_peaks(values, threshold=1.5) == [1, 3]
+
+    def test_threshold_filters_low_maxima(self):
+        values = [0.0, 2.0, 1.0, 3.0, 0.0]
+        assert find_peaks(values, threshold=2.5) == [3]
+
+    def test_plateau_counts_once_at_first_index(self):
+        values = [0.0, 5.0, 5.0, 5.0, 0.0]
+        assert find_peaks(values, threshold=1.0) == [1]
+
+    def test_endpoints_count_when_not_exceeded(self):
+        assert find_peaks([3.0, 1.0, 2.0], threshold=0.5) == [0, 2]
+
+    def test_rising_plateau_into_higher_value_is_not_a_peak(self):
+        values = [0.0, 2.0, 2.0, 3.0, 0.0]
+        assert find_peaks(values, threshold=1.0) == [3]
+
+    def test_trivial_inputs(self):
+        assert find_peaks([], threshold=0.0) == []
+        assert find_peaks([1.0], threshold=0.5) == [0]
+        assert find_peaks([1.0], threshold=2.0) == []

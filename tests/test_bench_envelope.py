@@ -1,0 +1,100 @@
+"""Tests for the shared BENCH_*.json envelope (repro.benchio).
+
+All three benchmarks — parallel, obs, serve — must frame their
+snapshots identically: one schema version, the model version, and the
+host context, with benchmark payload fields alongside.
+"""
+
+import json
+
+import pytest
+
+from repro.benchio import (
+    BENCH_SCHEMA,
+    bench_envelope,
+    host_info,
+    write_bench_json,
+)
+from repro.parallel.job import MODEL_VERSION
+
+FRAME_FIELDS = ("bench_schema", "benchmark", "model_version", "host")
+
+
+class TestEnvelope:
+    def test_frame_fields_and_payload_merge(self):
+        snapshot = bench_envelope("demo", {"speedup": 2.0})
+        assert snapshot["bench_schema"] == BENCH_SCHEMA
+        assert snapshot["benchmark"] == "demo"
+        assert snapshot["model_version"] == MODEL_VERSION
+        assert set(snapshot["host"]) == {"cpu_count", "platform", "python"}
+        assert snapshot["speedup"] == 2.0
+
+    def test_payload_may_not_shadow_frame_fields(self):
+        for f in FRAME_FIELDS:
+            with pytest.raises(ValueError, match=f):
+                bench_envelope("demo", {f: "clash"})
+
+    def test_host_info_shape(self):
+        info = host_info()
+        assert isinstance(info["cpu_count"], int) and info["cpu_count"] >= 1
+        assert isinstance(info["platform"], str)
+        assert isinstance(info["python"], str)
+
+    def test_write_bench_json_round_trips(self, tmp_path):
+        snapshot = bench_envelope("demo", {"n": 3})
+        path = write_bench_json(tmp_path / "BENCH_demo.json", snapshot)
+        assert json.loads(path.read_text()) == snapshot
+        assert path.read_text().endswith("\n")
+
+
+class TestAllBenchmarksUseTheEnvelope:
+    """Each bench's snapshot carries the shared frame (tiny workloads)."""
+
+    def assert_framed(self, snapshot, benchmark):
+        for f in FRAME_FIELDS:
+            assert f in snapshot, f"missing frame field {f}"
+        assert snapshot["benchmark"] == benchmark
+        assert snapshot["bench_schema"] == BENCH_SCHEMA
+        assert snapshot["model_version"] == MODEL_VERSION
+
+    def test_parallel_bench(self, tmp_path):
+        from repro.parallel.bench import run_benchmark
+
+        snapshot = run_benchmark(
+            jobs=1,
+            horizon=2000.0,
+            seeds=(1, 2),
+            cache_root=tmp_path / "cache",
+            output=tmp_path / "BENCH_parallel.json",
+        )
+        self.assert_framed(snapshot, "fig10_first_passage_ensemble")
+        assert (tmp_path / "BENCH_parallel.json").exists()
+
+    def test_obs_bench(self, tmp_path):
+        from repro.obs.bench import run_obs_benchmark
+
+        snapshot = run_obs_benchmark(
+            horizon=2000.0,
+            seeds=(1, 2),
+            repeats=1,
+            output=tmp_path / "BENCH_obs.json",
+        )
+        self.assert_framed(snapshot, "fig10_ensemble_obs_overhead")
+        assert snapshot["results_identical_with_obs"]
+
+    def test_serve_bench(self, tmp_path):
+        from repro.serve.bench import format_serve_table, run_serve_benchmark
+
+        snapshot = run_serve_benchmark(
+            clients=2,
+            duration=0.5,
+            jobs=1,
+            cache_root=tmp_path / "cache",
+            output=tmp_path / "BENCH_serve.json",
+        )
+        self.assert_framed(snapshot, "serve_loopback_load")
+        assert snapshot["payloads_identical_cold_vs_warm"]
+        assert snapshot["warm_served_entirely_from_cache"]
+        assert (tmp_path / "BENCH_serve.json").exists()
+        table = format_serve_table(snapshot)
+        assert "cold" in table and "warm" in table

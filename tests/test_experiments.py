@@ -134,3 +134,51 @@ class TestCli:
         out = capsys.readouterr().out
         assert "speedup" in out
         assert (tmp_path / "BENCH_parallel.json").exists()
+
+
+class TestServingCli:
+    def test_parser_serving_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8793
+        assert args.queue_depth == 64
+        assert args.deadline is None
+        args = build_parser().parse_args(
+            ["loadgen", "--clients", "8", "--duration", "3", "--real-time"]
+        )
+        assert args.clients == 8
+        assert args.duration == 3.0
+        assert args.real_time is True
+
+    def test_bench_obs_and_serve_mutually_exclusive(self, capsys):
+        assert main(["bench", "--obs", "--serve"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_loadgen_against_a_live_server(self, capsys, tmp_path):
+        from repro.serve import BackgroundServer, ServeConfig
+
+        config = ServeConfig(port=0, cache_root=str(tmp_path / "cache"))
+        with BackgroundServer(config) as bg:
+            code = main(
+                [
+                    "loadgen",
+                    "--port",
+                    str(bg.port),
+                    "--clients",
+                    "2",
+                    "--period",
+                    "0.5",
+                    "--load-jitter",
+                    "0.25",
+                    "--duration",
+                    "1",
+                ]
+            )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "payloads identical per job: yes" in out
+
+    def test_loadgen_unreachable_server_errors(self, capsys, tmp_path):
+        # A port from the dynamic range with nothing listening.
+        assert main(["loadgen", "--port", "1", "--duration", "1"]) == 2
+        assert "cannot reach server" in capsys.readouterr().err

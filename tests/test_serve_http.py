@@ -1,0 +1,124 @@
+"""Unit tests for the hand-rolled HTTP layer (repro.serve.http)."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.http import (
+    MAX_BODY_BYTES,
+    MAX_HEADER_BYTES,
+    BadRequestError,
+    HttpRequest,
+    HttpResponse,
+    PayloadTooLargeError,
+    canonical_json,
+    json_response,
+    read_request,
+    render_response,
+)
+
+
+def parse(raw: bytes):
+    """Run read_request against an in-memory stream."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+class TestCanonicalJson:
+    def test_sorted_keys_fixed_separators_trailing_newline(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == b'{"a":[1,2],"b":1}\n'
+
+    def test_equal_payloads_equal_bytes(self):
+        one = canonical_json({"x": 1, "y": {"b": 2, "a": 3}})
+        two = canonical_json({"y": {"a": 3, "b": 2}, "x": 1})
+        assert one == two
+
+
+class TestReadRequest:
+    def test_parses_method_target_headers_body(self):
+        request = parse(
+            b"POST /v1/simulate?fast=1 HTTP/1.1\r\n"
+            b"Host: localhost\r\n"
+            b"Content-Length: 4\r\n"
+            b"\r\n"
+            b'{"a"'
+        )
+        assert request.method == "POST"
+        assert request.path == "/v1/simulate"
+        assert request.query == {"fast": "1"}
+        assert request.headers["host"] == "localhost"
+        assert request.body == b'{"a"'
+        assert request.keep_alive  # HTTP/1.1 default
+
+    def test_connection_close_disables_keep_alive(self):
+        request = parse(
+            b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n"
+        )
+        assert not request.keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_malformed_request_line_raises(self):
+        with pytest.raises(BadRequestError):
+            parse(b"NONSENSE\r\n\r\n")
+
+    def test_unsupported_protocol_raises(self):
+        with pytest.raises(BadRequestError):
+            parse(b"GET / HTTP/2.0\r\n\r\n")
+
+    def test_bad_content_length_raises(self):
+        with pytest.raises(BadRequestError):
+            parse(b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+
+    def test_oversized_body_raises_payload_too_large(self):
+        with pytest.raises(PayloadTooLargeError):
+            parse(
+                b"POST / HTTP/1.1\r\n"
+                + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+            )
+
+    def test_oversized_headers_raise_payload_too_large(self):
+        filler = b"X-Filler: " + b"a" * MAX_HEADER_BYTES + b"\r\n"
+        with pytest.raises(PayloadTooLargeError):
+            parse(b"GET / HTTP/1.1\r\n" + filler + b"\r\n")
+
+    def test_truncated_body_raises(self):
+        with pytest.raises(BadRequestError):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+
+    def test_json_helper_raises_bad_request_on_junk(self):
+        request = HttpRequest("POST", "/", {}, b"not json")
+        with pytest.raises(BadRequestError):
+            request.json()
+
+
+class TestRenderResponse:
+    def test_status_line_headers_and_body(self):
+        wire = render_response(json_response(200, {"ok": True}), keep_alive=True)
+        head, _, body = wire.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        assert lines[0] == "HTTP/1.1 200 OK"
+        headers = dict(
+            line.split(": ", 1) for line in lines[1:]
+        )
+        assert headers["content-type"] == "application/json"
+        assert headers["content-length"] == str(len(body))
+        assert headers["connection"] == "keep-alive"
+        assert "date" in headers
+        assert body == b'{"ok":true}\n'
+
+    def test_connection_close_header(self):
+        wire = render_response(HttpResponse(200, b"{}\n"), keep_alive=False)
+        assert b"connection: close" in wire.split(b"\r\n\r\n")[0]
+
+    def test_extra_headers_override_defaults(self):
+        response = json_response(429, {"e": 1}, headers={"Retry-After": "1.25"})
+        wire = render_response(response, keep_alive=True)
+        assert b"retry-after: 1.25" in wire.split(b"\r\n\r\n")[0]

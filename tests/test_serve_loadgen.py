@@ -1,0 +1,120 @@
+"""Tests for the seeded load generator and the loopback report."""
+
+import pytest
+
+from repro.parallel import SimulationJob
+from repro.serve import (
+    BackgroundServer,
+    LoadPlan,
+    ServeConfig,
+    build_schedule,
+    default_specs,
+    format_report,
+    run_load,
+)
+
+
+class TestLoadPlan:
+    def test_defaults_validate(self):
+        plan = LoadPlan()
+        assert plan.clients == 4 and len(plan.specs) == 4
+
+    def test_specs_are_validated_up_front(self):
+        with pytest.raises((ValueError, TypeError)):
+            LoadPlan(specs=({"junk": 1},))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"clients": 0},
+            {"period": 0},
+            {"jitter": -0.1},
+            {"jitter": 2.0, "period": 1.0},
+            {"duration": 0},
+            {"specs": ()},
+        ],
+    )
+    def test_invalid_plans_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LoadPlan(**kwargs)
+
+
+class TestBuildSchedule:
+    def test_same_plan_same_schedule(self):
+        plan = LoadPlan(clients=3, duration=20.0, seed=9)
+        assert build_schedule(plan) == build_schedule(plan)
+
+    def test_different_seed_different_schedule(self):
+        base = LoadPlan(clients=3, duration=20.0, seed=9)
+        other = LoadPlan(clients=3, duration=20.0, seed=10)
+        assert build_schedule(base) != build_schedule(other)
+
+    def test_intervals_respect_the_papers_jitter_rule(self):
+        plan = LoadPlan(clients=2, period=1.0, jitter=0.25, duration=50.0)
+        ticks = build_schedule(plan)
+        per_client = {}
+        for tick in ticks:
+            per_client.setdefault(tick.client, []).append(tick.time)
+        for times in per_client.values():
+            assert times[0] < plan.period  # unsynchronized start
+            for earlier, later in zip(times, times[1:]):
+                gap = later - earlier
+                # uniform on [Tp - Tr, Tp + Tr]
+                assert plan.period - plan.jitter <= gap <= plan.period + plan.jitter
+
+    def test_schedule_is_time_ordered_and_rotates_specs(self):
+        plan = LoadPlan(clients=3, duration=10.0)
+        ticks = build_schedule(plan)
+        assert all(
+            a.time <= b.time for a, b in zip(ticks, ticks[1:])
+        )
+        for tick in ticks:
+            assert tick.spec_index == (tick.client + tick.seq) % len(plan.specs)
+
+
+class TestRunLoad:
+    def test_virtual_load_reports_and_is_byte_stable(self, tmp_path):
+        config = ServeConfig(port=0, cache_root=str(tmp_path / "cache"))
+        plan = LoadPlan(
+            clients=3,
+            period=0.2,
+            jitter=0.1,
+            duration=1.0,
+            seed=5,
+            specs=default_specs(count=2, horizon=1500.0),
+        )
+        with BackgroundServer(config) as bg:
+            first = run_load(plan, bg.host, bg.port)
+            second = run_load(plan, bg.host, bg.port)
+
+        assert first["requests"] > 0
+        assert set(first["by_status"]) == {"200"}
+        assert first["identical_payloads_per_key"]
+        assert first["latency_seconds"]["count"] == first["requests"]
+        # Seeded plan + warm server -> the same payload bytes per job,
+        # run over run (the determinism acceptance criterion).
+        assert second["payload_sha256"] == first["payload_sha256"]
+        # Every distinct job hashed exactly once in the report.
+        keys = {
+            SimulationJob.from_dict(spec).cache_key()
+            for spec in plan.specs
+        }
+        assert set(first["payload_sha256"]) <= keys
+        # The second pass is answered entirely from cache.
+        assert second["server"]["jobs_executed"] == 0
+        assert second["server"]["cache_hits"] > 0
+
+    def test_format_report_mentions_the_load_shape(self, tmp_path):
+        config = ServeConfig(port=0, cache_root=str(tmp_path / "cache"))
+        plan = LoadPlan(
+            clients=2,
+            period=0.5,
+            jitter=0.25,
+            duration=1.0,
+            specs=default_specs(count=1, horizon=1500.0),
+        )
+        with BackgroundServer(config) as bg:
+            report = run_load(plan, bg.host, bg.port)
+        text = format_report(report)
+        assert "2 client(s)" in text
+        assert "payloads identical per job: yes" in text

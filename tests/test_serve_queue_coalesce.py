@@ -1,0 +1,117 @@
+"""Unit tests for admission control and single-flight coalescing."""
+
+import asyncio
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel import deterministic_jitter
+from repro.serve import AdmissionQueue, Coalescer, QueueFullError
+
+
+class TestAdmissionQueue:
+    def test_admit_and_release_track_depth(self):
+        queue = AdmissionQueue(limit=2)
+        a = queue.admit("a")
+        b = queue.admit("b")
+        assert queue.depth == 2 and not queue.idle
+        a.release()
+        b.release()
+        assert queue.depth == 0 and queue.idle
+        assert queue.admitted == 2 and queue.shed == 0
+
+    def test_context_manager_releases_once(self):
+        queue = AdmissionQueue(limit=1)
+        with queue.admit("a") as admission:
+            assert queue.depth == 1
+        admission.release()  # second release is a no-op
+        assert queue.depth == 0
+
+    def test_over_limit_sheds_with_jittered_hint(self):
+        queue = AdmissionQueue(limit=1, retry_after_base=2.0)
+        queue.admit("held")
+        with pytest.raises(QueueFullError) as info:
+            queue.admit("shed-key")
+        error = info.value
+        assert error.depth == 1 and error.limit == 1
+        assert error.retry_after == 2.0 * deterministic_jitter("shed-key", 0)
+        assert 1.0 <= error.retry_after < 3.0  # base * [0.5, 1.5)
+        assert queue.shed == 1
+
+    def test_retry_after_is_deterministic_and_key_spread(self):
+        queue = AdmissionQueue(limit=1, retry_after_base=1.0)
+        assert queue.retry_after("job-1") == queue.retry_after("job-1")
+        hints = {queue.retry_after(f"job-{i}") for i in range(20)}
+        assert len(hints) > 15  # different jobs spread out
+
+    def test_metrics_gauge_and_shed_counter(self):
+        metrics = MetricsRegistry(enabled=True)
+        queue = AdmissionQueue(limit=1, metrics=metrics)
+        admission = queue.admit("a")
+        assert metrics.gauge("serve.queue.depth").value == 1
+        with pytest.raises(QueueFullError):
+            queue.admit("b")
+        assert metrics.counter("serve.shed").value == 1
+        admission.release()
+        assert metrics.gauge("serve.queue.depth").value == 0
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(limit=0)
+        with pytest.raises(ValueError):
+            AdmissionQueue(limit=1, retry_after_base=0)
+
+
+class TestCoalescer:
+    def test_leader_then_followers_share_one_future(self):
+        async def go():
+            coalescer = Coalescer()
+            future, leader = coalescer.claim("k")
+            assert leader
+            same, follower_leads = coalescer.claim("k")
+            assert same is future and not follower_leads
+            assert coalescer.inflight == 1
+            assert (coalescer.leaders, coalescer.followers) == (1, 1)
+            future.set_result(b"payload")
+            assert await same == b"payload"
+
+        asyncio.run(go())
+
+    def test_settling_retires_the_key(self):
+        async def go():
+            coalescer = Coalescer()
+            future, _ = coalescer.claim("k")
+            future.set_result(b"done")
+            await asyncio.sleep(0)  # let the done callback run
+            assert coalescer.peek("k") is None
+            # A later claim starts a fresh flight.
+            fresh, leader = coalescer.claim("k")
+            assert leader and fresh is not future
+            fresh.set_result(b"again")
+
+        asyncio.run(go())
+
+    def test_failed_flight_retires_without_unretrieved_warning(self):
+        async def go():
+            coalescer = Coalescer()
+            future, _ = coalescer.claim("k")
+            future.set_exception(RuntimeError("boom"))
+            await asyncio.sleep(0)
+            # _retire marked the exception retrieved even though no
+            # awaiter consumed it (everyone may have timed out first).
+            assert coalescer.peek("k") is None
+
+        asyncio.run(go())
+
+    def test_metrics_counters(self):
+        async def go():
+            metrics = MetricsRegistry(enabled=True)
+            coalescer = Coalescer(metrics=metrics)
+            future, _ = coalescer.claim("k")
+            coalescer.claim("k")
+            coalescer.claim("k")
+            assert metrics.counter("serve.coalesce.leaders").value == 1
+            assert metrics.counter("serve.coalesce.followers").value == 2
+            future.set_result(b"x")
+
+        asyncio.run(go())

@@ -1,0 +1,265 @@
+"""Loopback integration tests for the simulation server.
+
+These drive real sockets through :class:`BackgroundServer` and state
+the PR's acceptance criteria directly:
+
+* determinism — server response bytes equal the direct
+  ``ParallelRunner`` path's canonical payload, cold and warm;
+* coalescing — 8 concurrent identical requests cost exactly one job
+  execution and every caller receives identical bytes;
+* backpressure — over the admission limit requests shed with 429 and
+  a deterministic ``Retry-After``; past the deadline they answer 504;
+* drain — ``/readyz`` flips to 503, in-flight work completes.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.parallel import ParallelRunner, SimulationJob, deterministic_jitter
+from repro.serve import (
+    BackgroundServer,
+    ServeClient,
+    ServeConfig,
+    simulation_payload,
+)
+
+
+def spec_dict(seed=1, horizon=1500.0, **overrides):
+    base = dict(
+        n_nodes=5,
+        tp=121.0,
+        tc=0.11,
+        tr=2.0,
+        seed=seed,
+        horizon=horizon,
+        direction="up",
+        engine="cascade",
+    )
+    base.update(overrides)
+    return SimulationJob(**base).to_dict()
+
+
+def config(tmp_path, **overrides):
+    defaults = dict(port=0, cache_root=str(tmp_path / "cache"))
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+class GatedRunner:
+    """An injectable job runner that blocks until released.
+
+    Lets a test hold a computation in flight (to pile followers onto
+    the leader, fill the admission queue, or outlive a deadline) and
+    then finish it for real, so payload bytes stay canonical.
+    """
+
+    def __init__(self):
+        self.calls = []
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self._lock = threading.Lock()
+
+    def __call__(self, specs):
+        with self._lock:
+            self.calls.append(list(specs))
+        self.started.set()
+        assert self.release.wait(timeout=30), "test never released the runner"
+        return ParallelRunner(jobs=1).run(specs)
+
+
+class TestEndpoints:
+    def test_health_ready_metrics_and_errors(self, tmp_path):
+        with BackgroundServer(config(tmp_path)) as bg:
+            with ServeClient(bg.host, bg.port) as client:
+                assert client.healthz().status == 200
+                ready = client.readyz()
+                assert ready.status == 200
+                assert ready.json() == {"ready": True, "draining": False}
+                assert "serve" in client.metrics()
+                assert client.request("GET", "/nowhere").status == 404
+                assert client.request("GET", "/v1/simulate").status == 405
+                assert client.request("POST", "/healthz", {}).status == 405
+                bad = client.request("POST", "/v1/simulate", {"junk": 1})
+                assert bad.status == 400
+                assert "invalid job spec" in bad.json()["error"]
+
+    def test_unknown_figure_404_lists_known_ids(self, tmp_path):
+        with BackgroundServer(config(tmp_path)) as bg:
+            with ServeClient(bg.host, bg.port) as client:
+                response = client.figure("fig99")
+                assert response.status == 404
+                assert "fig01" in response.json()["known"]
+
+    def test_sweep_body_validation(self, tmp_path):
+        with BackgroundServer(config(tmp_path)) as bg:
+            with ServeClient(bg.host, bg.port) as client:
+                assert client.request("POST", "/v1/sweep", {}).status == 400
+                assert (
+                    client.request("POST", "/v1/sweep", {"jobs": []}).status
+                    == 400
+                )
+
+
+class TestDeterminism:
+    def test_simulate_bytes_equal_direct_runner_path(self, tmp_path):
+        spec = spec_dict(seed=11)
+        job = SimulationJob.from_dict(spec)
+        direct = simulation_payload(job, ParallelRunner(jobs=1).run([job])[0])
+        with BackgroundServer(config(tmp_path)) as bg:
+            with ServeClient(bg.host, bg.port) as client:
+                cold = client.simulate(spec)
+                warm = client.simulate(spec)
+        assert cold.status == warm.status == 200
+        assert cold.body == direct
+        assert warm.body == direct  # warm (cached) bytes identical too
+
+    def test_restarted_server_serves_identical_bytes_from_cache(self, tmp_path):
+        spec = spec_dict(seed=12)
+        cfg = config(tmp_path)
+        with BackgroundServer(cfg) as bg:
+            with ServeClient(bg.host, bg.port) as client:
+                first = client.simulate(spec).body
+        with BackgroundServer(cfg) as bg:
+            with ServeClient(bg.host, bg.port) as client:
+                second = client.simulate(spec).body
+                executed = client.metrics()["serve"].get(
+                    "serve.jobs.executed", {}
+                )
+        assert second == first
+        assert executed.get("value", 0) == 0  # answered from cache
+
+    def test_sweep_splices_the_exact_simulate_payloads(self, tmp_path):
+        specs = [spec_dict(seed=21), spec_dict(seed=22)]
+        jobs = [SimulationJob.from_dict(s) for s in specs]
+        results = ParallelRunner(jobs=1).run(jobs)
+        pieces = [
+            simulation_payload(job, result).rstrip(b"\n")
+            for job, result in zip(jobs, results)
+        ]
+        expected = b'{"results":[' + b",".join(pieces) + b"]}\n"
+        with BackgroundServer(config(tmp_path)) as bg:
+            with ServeClient(bg.host, bg.port) as client:
+                response = client.sweep(specs)
+        assert response.status == 200
+        assert response.body == expected
+
+
+class TestCoalescing:
+    def test_eight_concurrent_identical_requests_run_one_job(self, tmp_path):
+        runner = GatedRunner()
+        spec = spec_dict(seed=31)
+        herd = 8
+        with BackgroundServer(config(tmp_path), job_runner=runner) as bg:
+            responses = [None] * herd
+
+            def fire(i):
+                with ServeClient(bg.host, bg.port, timeout=60) as client:
+                    responses[i] = client.simulate(spec)
+
+            threads = [
+                threading.Thread(target=fire, args=(i,)) for i in range(herd)
+            ]
+            for thread in threads:
+                thread.start()
+            # Release the (single) computation only once every other
+            # request has coalesced behind the leader.
+            assert runner.started.wait(timeout=30)
+            with ServeClient(bg.host, bg.port) as probe:
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    followers = (
+                        probe.metrics()["serve"]
+                        .get("serve.coalesce.followers", {})
+                        .get("value", 0)
+                    )
+                    if followers >= herd - 1:
+                        break
+                    time.sleep(0.01)
+                else:
+                    pytest.fail("followers never piled up behind the leader")
+            runner.release.set()
+            for thread in threads:
+                thread.join(timeout=60)
+
+        assert len(runner.calls) == 1  # exactly one job execution
+        assert all(r is not None and r.status == 200 for r in responses)
+        bodies = {r.body for r in responses}
+        assert len(bodies) == 1  # identical bytes to every caller
+
+
+class TestBackpressure:
+    def test_queue_full_sheds_429_with_deterministic_retry_after(self, tmp_path):
+        runner = GatedRunner()
+        cfg = config(tmp_path, queue_depth=1, retry_after_base=2.0)
+        blocker, shed_spec = spec_dict(seed=41), spec_dict(seed=42)
+        with BackgroundServer(cfg, job_runner=runner) as bg:
+            holder_response = []
+            holder = threading.Thread(
+                target=lambda: holder_response.append(
+                    ServeClient(bg.host, bg.port, timeout=60).simulate(blocker)
+                )
+            )
+            holder.start()
+            assert runner.started.wait(timeout=30)
+            with ServeClient(bg.host, bg.port) as client:
+                shed = client.simulate(shed_spec)
+            runner.release.set()
+            holder.join(timeout=60)
+
+        assert shed.status == 429
+        expected = 2.0 * deterministic_jitter(
+            SimulationJob.from_dict(shed_spec).cache_key(), 0
+        )
+        assert shed.headers["retry-after"] == f"{expected:.3f}"
+        assert shed.json()["retry_after"] == round(expected, 3)
+        assert holder_response[0].status == 200  # the admitted one finished
+
+    def test_deadline_overrun_answers_504(self, tmp_path):
+        runner = GatedRunner()
+        cfg = config(tmp_path, deadline=0.2)
+        with BackgroundServer(cfg, job_runner=runner) as bg:
+            with ServeClient(bg.host, bg.port, timeout=60) as client:
+                response = client.simulate(spec_dict(seed=51))
+                metrics = client.metrics()["serve"]
+            runner.release.set()
+        assert response.status == 504
+        assert response.json()["deadline"] == 0.2
+        assert metrics["serve.timeouts"]["value"] >= 1
+
+
+class TestDrain:
+    def test_drain_flips_readyz_and_completes_inflight(self, tmp_path):
+        runner = GatedRunner()
+        with BackgroundServer(config(tmp_path), job_runner=runner) as bg:
+            inflight_response = []
+            inflight = threading.Thread(
+                target=lambda: inflight_response.append(
+                    ServeClient(bg.host, bg.port, timeout=60).simulate(
+                        spec_dict(seed=61)
+                    )
+                )
+            )
+            inflight.start()
+            assert runner.started.wait(timeout=30)
+
+            bg._loop.call_soon_threadsafe(bg.server.begin_drain)
+            with ServeClient(bg.host, bg.port) as client:
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    ready = client.readyz()
+                    if ready.status == 503:
+                        break
+                    time.sleep(0.01)
+                assert ready.status == 503
+                assert ready.json()["draining"] is True
+                # New compute work is refused while draining...
+                refused = client.simulate(spec_dict(seed=62))
+                assert refused.status == 503
+
+            # ...but the in-flight request still completes.
+            runner.release.set()
+            inflight.join(timeout=60)
+        assert inflight_response[0].status == 200
+        assert len(runner.calls) == 1

@@ -1,14 +1,16 @@
 """Tests for the wall-clock linter (repro.tools.lint_clocks).
 
 Also the enforcement point: the last test runs the linter over the
-shipped package, so a stray ``time.time()`` outside ``repro.obs``
-anywhere in ``src/repro`` fails CI.
+shipped package, so a stray ``time.time()`` outside the allowlisted
+packages (``repro.obs``, ``repro.serve``) anywhere in ``src/repro``
+fails CI.
 """
 
 import textwrap
 
 from repro.tools.lint_clocks import (
     ALLOW_COMMENT,
+    DEFAULT_ALLOWLIST,
     default_target,
     main,
     scan_file,
@@ -112,6 +114,44 @@ class TestDetection:
         findings = scan_tree([tmp_path])
         assert len(findings) == 1
         assert "deep.py" in str(findings[0])
+
+
+class TestAllowlist:
+    WALLCLOCK = "import time\nx = time.time()\n"
+
+    def test_default_allowlist_names_obs_and_serve(self):
+        assert DEFAULT_ALLOWLIST == ("obs", "serve")
+
+    def test_serve_package_is_allowlisted_by_default(self, tmp_path):
+        path = write(tmp_path, "serve/http.py", self.WALLCLOCK)
+        assert scan_file(path) == []
+
+    def test_custom_allowlist_replaces_default(self, tmp_path):
+        obs = write(tmp_path, "obs/clock.py", self.WALLCLOCK)
+        mine = write(tmp_path, "mypkg/mod.py", self.WALLCLOCK)
+        # With only "mypkg" allowed, obs is now flagged and mypkg is not.
+        assert scan_file(obs, allow=("mypkg",)) != []
+        assert scan_file(mine, allow=("mypkg",)) == []
+        findings = scan_tree([tmp_path], allow=("mypkg",))
+        assert [f.path for f in findings] == [obs]
+
+    def test_empty_allowlist_flags_everything(self, tmp_path):
+        write(tmp_path, "obs/clock.py", self.WALLCLOCK)
+        write(tmp_path, "serve/http.py", self.WALLCLOCK)
+        assert len(scan_tree([tmp_path], allow=())) == 2
+
+    def test_cli_allow_flag_extends_default(self, tmp_path, capsys):
+        write(tmp_path, "mypkg/mod.py", self.WALLCLOCK)
+        assert main([str(tmp_path)]) == 1
+        capsys.readouterr()
+        assert main(["--allow", "mypkg", str(tmp_path)]) == 0
+
+    def test_cli_no_default_allow_flags_obs(self, tmp_path, capsys):
+        write(tmp_path, "obs/clock.py", self.WALLCLOCK)
+        assert main([str(tmp_path)]) == 0
+        assert main(["--no-default-allow", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "allowlist [(none)]" in out
 
 
 class TestMain:
