@@ -5,7 +5,9 @@ cluster tracking, timer policies, the paper's canonical parameters,
 and sweep/transition-finding helpers.
 """
 
+from .batch import BatchCascade, BatchMember
 from .clusters import ClusterGroup, ClusterTracker
+from .engines import ENGINES, resolve_engine
 from .ensemble import EnsembleResult, FirstPassageEnsemble
 from .fastsim import CascadeModel
 from .model import InitialPhases, ModelConfig, PeriodicMessagesModel, RouterState
@@ -39,9 +41,13 @@ from .timers import (
 )
 
 __all__ = [
+    "BatchCascade",
+    "BatchMember",
     "ClusterGroup",
     "ClusterTracker",
     "CascadeModel",
+    "ENGINES",
+    "resolve_engine",
     "EnsembleResult",
     "FirstPassageEnsemble",
     "InitialPhases",

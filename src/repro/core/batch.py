@@ -1,0 +1,507 @@
+"""Batched struct-of-arrays backend for the cascade rule.
+
+One :class:`~repro.core.fastsim.CascadeModel` per seed pays for a
+heap, a :class:`~repro.core.clusters.ClusterTracker`, and an object
+per pending expiry — at ensemble scale that bookkeeping, not the
+model, is the dominant cost.  :class:`BatchCascade` advances a whole
+ensemble of seeds through one kernel instead: every member's pending
+timer expiries live in one flat list (member ``k``'s routers occupy
+the slice ``[k*n, (k+1)*n)``), the cascade rule is applied per member
+over its slice, and the cluster statistics are maintained by a fused
+tracker that keeps an incremental window maximum instead of rescanning
+the window on every reset.
+
+Bit-for-bit identity
+--------------------
+Each member's trajectory is identical to ``CascadeModel(params,
+seed=s)`` — not statistically, *byte for byte* — because the batch
+kernel replays the exact same arithmetic in the exact same order:
+
+* Stream derivation repeats :meth:`repro.rng.RandomSource.spawn`
+  verbatim: one master Lehmer advance per router, the same
+  multiplicative mix, the same ``n + 1`` stream id for the phase
+  stream.
+* Each router's interval draws are ``low + (high - low) * (state /
+  m)`` with the same operand order, so every float rounds the same
+  way.
+* The heap's ``(time, node)`` tie-break is reproduced by taking the
+  *first* minimum in node order within the member's slice.
+* The busy window grows by sequential ``window += tc`` additions (no
+  closed form), accumulating the identical rounding.
+* The fused tracker is an algebraic rewrite of
+  :class:`~repro.core.clusters.ClusterTracker` — same window deque,
+  same eviction order, same first-passage backfills — verified
+  against it by ``tests/test_engine_differential.py``.
+
+Backends
+--------
+The module works with no third-party dependencies.  When NumPy is
+importable, an accelerated path precomputes each router's interval
+draws in vectorized blocks (the Lehmer recurrence is jumped with
+``x_{j} = a^j x_0 mod m`` under exact int64 arithmetic; the uniform
+transform is elementwise float64 with the scalar operand order, so
+the produced floats are identical).  :data:`BACKEND` reports which
+path new :class:`BatchCascade` instances use by default; either can
+be forced with ``backend="python"`` / ``backend="numpy"``, and both
+produce byte-identical results.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from .clusters import RESET_TIME_TOLERANCE, ClusterGroup
+from .parameters import RouterTimingParameters
+
+try:  # NumPy is optional: the pure-Python path is always available.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+__all__ = ["BACKEND", "BatchCascade", "BatchMember"]
+
+#: The backend new instances use when none is forced: "numpy" when
+#: NumPy imported at module load, else "python".
+BACKEND = "numpy" if _np is not None else "python"
+
+_MOD = 2**31 - 1  # == repro.rng.lehmer.MODULUS
+_MUL = 16807  # == repro.rng.lehmer.MULTIPLIER
+_INF = float("inf")
+
+#: Soft cap on the total number of precomputed uniforms held by the
+#: NumPy RNG bank (floats across all member×router streams).
+_BLOCK_BUDGET = 4_000_000
+
+
+class BatchMember:
+    """One ensemble member's trajectory state and statistics.
+
+    Exposes the same outputs as ``CascadeModel`` + its tracker:
+    :attr:`first_time_at_least` / :attr:`first_time_at_most` (the
+    first-passage dicts), :attr:`round_times` / :attr:`round_largest`
+    (the per-round largest-cluster series), :attr:`groups` (closed
+    reset groups, when history is kept), :attr:`total_resets`,
+    :attr:`total_cascades`, :attr:`now`, and the
+    :attr:`synchronization_time` / :attr:`breakup_time` properties.
+    """
+
+    __slots__ = (
+        "seed",
+        "n_nodes",
+        "now",
+        "total_cascades",
+        "total_resets",
+        "groups",
+        "first_time_at_least",
+        "first_time_at_most",
+        "round_times",
+        "round_largest",
+        "_open_time",
+        "_open_size",
+        "_win",
+        "_window_resets",
+        "_wmax",
+        "_ftal_max",
+        "_ftam_min",
+        "_round_fill",
+        "_round_max",
+    )
+
+    def __init__(self, seed: int, n_nodes: int) -> None:
+        self.seed = seed
+        self.n_nodes = n_nodes
+        self.now = 0.0
+        self.total_cascades = 0
+        self.total_resets = 0
+        self.groups: list[ClusterGroup] = []
+        self.first_time_at_least: dict[int, float] = {}
+        self.first_time_at_most: dict[int, float] = {}
+        self.round_times: list[float] = []
+        self.round_largest: list[int] = []
+        self._open_time: float | None = None
+        self._open_size = 0
+        # Sliding window of the last N resets' group sizes, exactly as
+        # ClusterTracker keeps it: [group_size, resets_in_window] pairs.
+        self._win: deque[list] = deque()
+        self._window_resets = 0
+        # Incremental max over window entry sizes (== largest_in_window).
+        self._wmax = 0
+        # first_time_at_least keys are contiguous {1..max}; at_most keys
+        # contiguous {min..n}.  Tracking the frontiers replaces the
+        # per-reset dict membership probes and backfill loops.
+        self._ftal_max = 0
+        self._ftam_min = n_nodes + 1
+        self._round_fill = 0
+        self._round_max = 0
+
+    @property
+    def synchronization_time(self) -> float | None:
+        """First time all N routers reset together."""
+        return self.first_time_at_least.get(self.n_nodes)
+
+    @property
+    def breakup_time(self) -> float | None:
+        """First time a full window of lone resets occurred."""
+        return self.first_time_at_most.get(1)
+
+
+class BatchCascade:
+    """Cascade-rule simulation of many seeds through one kernel.
+
+    Parameters
+    ----------
+    params:
+        The (N, Tp, Tc, Tr) tuple, shared by every member.
+    seeds:
+        One master seed per ensemble member; member ``k`` reproduces
+        ``CascadeModel(params, seed=seeds[k], ...)`` bit for bit.
+    initial_phases:
+        As in ``CascadeModel``: "unsynchronized" (uniform on [0, Tp]
+        from each member's own phase stream), "synchronized" (all
+        zero), or explicit phases applied to every member.
+    keep_cluster_history:
+        When True, each member retains its closed reset groups.
+    backend:
+        "python", "numpy", or None to use the module default
+        (:data:`BACKEND`).  Both backends produce identical bytes;
+        "numpy" raises if NumPy is not importable.
+    """
+
+    def __init__(
+        self,
+        params: RouterTimingParameters,
+        seeds: Sequence[int],
+        initial_phases="unsynchronized",
+        keep_cluster_history: bool = False,
+        backend: str | None = None,
+    ) -> None:
+        if backend is None:
+            backend = BACKEND
+        if backend not in ("python", "numpy"):
+            raise ValueError(
+                f"unknown batch backend {backend!r}; known backends: python, numpy"
+            )
+        if backend == "numpy" and _np is None:
+            raise RuntimeError("numpy backend requested but numpy is not importable")
+        seeds = [int(s) for s in seeds]
+        if not seeds:
+            raise ValueError("seeds must be non-empty")
+        self.params = params
+        self.backend = backend
+        self._keep_history = keep_cluster_history
+        n = params.n_nodes
+        self._n = n
+        self._m = len(seeds)
+        self._tp = params.tp
+        self._tc = params.tc
+        # The interval draw's operands, fixed once: CascadeModel passes
+        # (tp - tr, tp + tr) into uniform(), which multiplies by
+        # (high - low).  Same floats, same order, here.
+        self._low = params.tp - params.tr
+        self._high = params.tp + params.tr
+        self._span = self._high - self._low
+
+        explicit = None
+        if not isinstance(initial_phases, str):
+            explicit = [float(p) for p in initial_phases]
+            if len(explicit) != n:
+                raise ValueError(f"expected {n} phases, got {len(explicit)}")
+            if any(p < 0 for p in explicit):
+                raise ValueError("initial phases must be non-negative")
+
+        # -- per-member stream derivation (exact spawn() replay) -------
+        # Flat SoA state: expiries and router RNG states are single
+        # lists of length m*n; member k's router i sits at k*n + i.
+        expiry: list[float] = []
+        states: list[int] = []
+        phase_states: list[int] = []
+        members: list[BatchMember] = []
+        tp = params.tp
+        for seed in seeds:
+            s = int(seed) % _MOD or 1  # _validate_seed
+            for i in range(n):
+                s = (_MUL * s) % _MOD  # master.next_int() inside spawn(i)
+                mixed = (s * 2654435761 + (i + 1) * 40503) % _MOD
+                states.append(mixed or 1)
+            s = (_MUL * s) % _MOD  # the spawn(n + 1) master advance
+            mixed = (s * 2654435761 + (n + 2) * 40503) % _MOD
+            ps = mixed or 1
+            if explicit is not None:
+                expiry.extend(explicit)
+            elif initial_phases == "synchronized":
+                expiry.extend([0.0] * n)
+            else:
+                # phase_rng.uniform(0.0, tp): 0.0 + (tp - 0.0) * u.
+                q = ps
+                for _ in range(n):
+                    q = (_MUL * q) % _MOD
+                    expiry.append(0.0 + (tp - 0.0) * (q / _MOD))
+                ps = q
+            phase_states.append(ps)
+            members.append(BatchMember(seed, n))
+        self._expiry = expiry
+        self._rng_state = states
+        self._phase_states = phase_states
+        self._members = members
+
+        # NumPy RNG bank, built lazily at the first run() so the block
+        # size can be matched to the horizon.
+        self._blocks: list[list[float]] | None = None
+        self._pos: list[int] = []
+        self._base: list[int] = []
+        self._powers = None
+        self._jump = 1
+        self._block_len = 0
+
+    # -- public views ----------------------------------------------------
+
+    @property
+    def members(self) -> tuple[BatchMember, ...]:
+        """Per-member trajectory views, in seed order."""
+        return tuple(self._members)
+
+    def rng_states(self, k: int) -> list[int]:
+        """Member ``k``'s current per-router Lehmer states.
+
+        Equal to ``[m._rngs[i]._gen.state for i in range(n)]`` of the
+        equivalent ``CascadeModel`` at the same point — the witness
+        that both engines consumed each stream to the same position.
+        """
+        base = k * self._n
+        if self.backend == "python" or self._blocks is None:
+            return self._rng_state[base : base + self._n]
+        return [
+            (pow(_MUL, self._pos[i], _MOD) * self._base[i]) % _MOD
+            for i in range(base, base + self._n)
+        ]
+
+    def phase_rng_state(self, k: int) -> int:
+        """Member ``k``'s phase-stream state after initialization."""
+        return self._phase_states[k]
+
+    # -- the kernel ------------------------------------------------------
+
+    def run(
+        self,
+        until: float,
+        stop_on_full_sync: bool = False,
+        stop_on_full_unsync: bool = False,
+    ) -> list[float]:
+        """Advance every member to the horizon or its stop condition.
+
+        Semantically ``CascadeModel.run(until, ...)`` applied to each
+        member independently; returns the per-member ``now`` values.
+        Resumable: a later call with a larger horizon picks each member
+        up exactly where it stopped (members that met a stop condition
+        continue, as the serial engine would).
+        """
+        until = float(until)
+        if self.backend == "numpy" and self._blocks is None:
+            self._build_blocks(until)
+        for k in range(self._m):
+            self._advance_member(k, until, stop_on_full_sync, stop_on_full_unsync)
+        return [member.now for member in self._members]
+
+    def _advance_member(
+        self, k: int, until: float, stop_sync: bool, stop_unsync: bool
+    ) -> None:
+        """Replay of ``CascadeModel.run`` over member ``k``'s slice."""
+        member = self._members[k]
+        n = self._n
+        tc = self._tc
+        tol = RESET_TIME_TOLERANCE
+        exp = self._expiry
+        lo = k * n
+        hi = lo + n
+        draw = self._draw_value
+        keep = self._keep_history
+        win = member._win
+        while True:
+            # Earliest pending expiry; first minimum in the slice is
+            # the lowest node id, matching the heap's (time, node) order.
+            e1 = min(exp[lo:hi])
+            if e1 > until:
+                member.now = max(member.now, until)
+                self._finish(member)
+                return
+            i1 = exp.index(e1, lo, hi)
+            exp[i1] = _INF
+            idxs = [i1]
+            times = [e1]
+            window = e1 + tc
+            while True:
+                e = min(exp[lo:hi])
+                if e > window:
+                    break
+                i = exp.index(e, lo, hi)
+                exp[i] = _INF
+                idxs.append(i)
+                times.append(e)
+                window += tc
+            if window > until:
+                # Busy period outlives the horizon: restore the pending
+                # expiries and stop here, exactly as the serial engine
+                # does (which also closes the trailing open group, as
+                # the DES's end-of-run finish() would).
+                for i, e in zip(idxs, times):
+                    exp[i] = e
+                member.now = until
+                self._finish(member)
+                return
+            member.total_cascades += 1
+            member.now = window
+            t = window
+            g = len(idxs)
+
+            # -- fused ClusterTracker.record_reset × g at time t ------
+            open_time = member._open_time
+            if open_time is not None and abs(t - open_time) <= tol:
+                s = member._open_size
+                cur = win[-1]
+            else:
+                if open_time is not None:
+                    if keep:
+                        member.groups.append(
+                            ClusterGroup(open_time, member._open_size)
+                        )
+                cur = [0, 0]
+                win.append(cur)
+                s = 0
+            wres = member._window_resets
+            wmax = member._wmax
+            ftal = member.first_time_at_least
+            ftal_max = member._ftal_max
+            ftam = member.first_time_at_most
+            ftam_min = member._ftam_min
+            rfill = member._round_fill
+            rmax = member._round_max
+            for _ in range(g):
+                s += 1
+                cur[0] = s
+                cur[1] += 1
+                wres += 1
+                if s > wmax:
+                    wmax = s
+                while wres > n:
+                    oldest = win[0]
+                    oldest[1] -= 1
+                    wres -= 1
+                    if not oldest[1]:
+                        win.popleft()
+                        if oldest[0] >= wmax and wmax > 1:
+                            # Evicted the max holder: rescan (rare).
+                            wmax = 1
+                            for entry in win:
+                                if entry[0] > wmax:
+                                    wmax = entry[0]
+                # at_least keys stay contiguous {1..max} because the
+                # open size grows one reset at a time.
+                if s > ftal_max:
+                    ftal[s] = t
+                    ftal_max = s
+                # at_most keys stay contiguous {min..n}; only a new
+                # window maximum below the frontier extends them.
+                if wres >= n and wmax < ftam_min:
+                    for v in range(wmax, ftam_min):
+                        ftam[v] = t
+                    ftam_min = wmax
+                rfill += 1
+                if s > rmax:
+                    rmax = s
+                if rfill >= n:
+                    member.round_times.append(t)
+                    member.round_largest.append(rmax)
+                    rfill = 0
+                    rmax = 0
+            member._open_time = t
+            member._open_size = s
+            member._window_resets = wres
+            member._wmax = wmax
+            member._ftal_max = ftal_max
+            member._ftam_min = ftam_min
+            member._round_fill = rfill
+            member._round_max = rmax
+            member.total_resets += g
+
+            # -- redraw, in pop order (the per-router stream order) ---
+            for i in idxs:
+                exp[i] = window + draw(i)
+
+            if stop_sync and (
+                s >= n or (wres >= n and wmax >= n)
+            ):
+                self._finish(member)
+                return
+            if stop_unsync and wres >= n and wmax <= 1:
+                self._finish(member)
+                return
+
+    def _finish(self, member: BatchMember) -> None:
+        """ClusterTracker.finish(): close the trailing open group."""
+        if member._open_time is None:
+            return
+        if self._keep_history:
+            member.groups.append(
+                ClusterGroup(member._open_time, member._open_size)
+            )
+        member._open_time = None
+        member._open_size = 0
+
+    # -- RNG backends ----------------------------------------------------
+
+    def _draw_value(self, idx: float) -> float:
+        """One interval draw from flat stream ``idx`` (pure path)."""
+        s = (_MUL * self._rng_state[idx]) % _MOD
+        self._rng_state[idx] = s
+        return self._low + self._span * (s / _MOD)
+
+    def _draw_value_numpy(self, idx: int) -> float:
+        """One interval draw from flat stream ``idx`` (block path)."""
+        pos = self._pos[idx]
+        blk = self._blocks[idx]
+        if pos >= self._block_len:
+            blk = self._refill(idx)
+            pos = 0
+        self._pos[idx] = pos + 1
+        return blk[pos]
+
+    def _build_blocks(self, until: float) -> None:
+        """Precompute every stream's interval draws in one array pass.
+
+        Block states come from jumping the recurrence: ``x_j = (a^j *
+        x_0) mod m`` — exact in int64 because ``a^j mod m < 2**31`` and
+        ``x_0 < 2**31`` keep every product under ``2**62``.  The
+        uniform transform divides by the modulus and applies ``low +
+        span * u`` elementwise, the same float64 operations in the same
+        order as the scalar path, so the block values are bit-identical
+        to sequential draws.
+        """
+        streams = self._m * self._n
+        est = int(until / self._tp) + 32 if self._tp > 0 else 64
+        cap = max(32, _BLOCK_BUDGET // streams)
+        length = max(16, min(est, cap, 16384))
+        self._block_len = length
+        powers = []
+        p = 1
+        for _ in range(length):
+            p = (p * _MUL) % _MOD
+            powers.append(p)
+        self._powers = _np.array(powers, dtype=_np.int64)
+        self._jump = pow(_MUL, length, _MOD)
+        base = _np.array(self._rng_state, dtype=_np.int64)
+        states = (base[:, None] * self._powers[None, :]) % _MOD
+        values = self._low + self._span * (states / _MOD)
+        self._blocks = values.tolist()
+        self._pos = [0] * streams
+        self._base = list(self._rng_state)
+        self._draw_value = self._draw_value_numpy  # type: ignore[method-assign]
+
+    def _refill(self, idx: int) -> list[float]:
+        """Advance stream ``idx``'s bank by one block."""
+        base = (self._jump * self._base[idx]) % _MOD
+        self._base[idx] = base
+        states = (self._powers * base) % _MOD
+        block = (self._low + self._span * (states / _MOD)).tolist()
+        self._blocks[idx] = block
+        return block

@@ -96,8 +96,11 @@ class FirstPassageEnsemble:
         size (Figure 11).
     engine:
         ``"cascade"`` (default, ~8x faster; bit-for-bit equivalent to
-        the DES for the pure periodic model) or ``"des"`` — the escape
-        hatch for configurations the cascade rule cannot express.
+        the DES for the pure periodic model), ``"batch"`` (the
+        struct-of-arrays kernel: same trajectories bit for bit, seeds
+        sharing a parameter point advance through one kernel per
+        worker), or ``"des"`` — the escape hatch for configurations
+        the cascade rule cannot express.
     jobs:
         Worker processes for the runs; ``1`` executes in-process.
     cache:
@@ -134,7 +137,7 @@ class FirstPassageEnsemble:
     _passages: list[dict[int, float]] = field(default_factory=list, init=False)
 
     def __post_init__(self) -> None:
-        from ..parallel.job import validate_engine
+        from .engines import resolve_engine
 
         if self.horizon <= 0:
             raise ValueError("horizon must be positive")
@@ -142,7 +145,7 @@ class FirstPassageEnsemble:
             raise ValueError("need at least one seed")
         if self.direction not in ("up", "down"):
             raise ValueError(f"unknown direction {self.direction!r}")
-        validate_engine(self.engine)
+        resolve_engine(self.engine)
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
 

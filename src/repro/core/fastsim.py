@@ -116,6 +116,7 @@ class CascadeModel:
                 for entry in popped:
                     heapq.heappush(heap, entry)
                 self.now = until
+                tracker.finish()
                 return self.now
             group = [node for _expiry, node in popped]
             self.total_cascades += 1

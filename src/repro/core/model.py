@@ -172,6 +172,7 @@ class PeriodicMessagesModel:
         self._trigger_counter = 0
         self._stop_on_full_sync = False
         self._stop_on_full_unsync = False
+        self._stop_check_at: float | None = None
         self._schedule_initial_timers(initial_phases)
 
     # -- setup ---------------------------------------------------------------
@@ -309,7 +310,30 @@ class PeriodicMessagesModel:
             if self.config.record_journal:
                 self.journal.append((now, "reset", router.node_id))
             self.tracker.record_reset(now, router.node_id)
-            self._check_stop()
+            self._schedule_stop_check(now)
+
+    def _schedule_stop_check(self, now: float) -> None:
+        """Arrange for the stop conditions to be checked once ``now`` settles.
+
+        Same-instant co-resets arrive as separate events; checking after
+        each one would observe a *transient* cluster state — e.g. a
+        momentarily all-lone window one event before its co-reset lands
+        and merges into a cluster.  A single lower-priority event at the
+        same timestamp runs after every reset of the instant, so the
+        decision is made on the settled state — exactly the state the
+        cascade and batch engines see at the end of a cascade group.
+        """
+        if not (self._stop_on_full_sync or self._stop_on_full_unsync):
+            return
+        if self._stop_check_at == now:
+            return
+        self._stop_check_at = now
+        self.sim.schedule_at(now, self._settled_stop_check, priority=2,
+                             label="stop-check")
+
+    def _settled_stop_check(self) -> None:
+        self._stop_check_at = None
+        self._check_stop()
 
     def _check_stop(self) -> bool:
         if self._stop_on_full_sync and self.tracker.is_fully_synchronized():

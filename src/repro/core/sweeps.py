@@ -58,9 +58,9 @@ class SweepResult:
 
 
 def _validate_engine(engine: str) -> None:
-    from ..parallel.job import validate_engine
+    from .engines import resolve_engine
 
-    validate_engine(engine)
+    resolve_engine(engine)
 
 
 def time_to_synchronize(
@@ -73,11 +73,19 @@ def time_to_synchronize(
     """Seconds until an unsynchronized start first reaches a full cluster.
 
     ``engine`` selects the implementation: ``"cascade"`` (default,
-    ~8x faster) or ``"des"``; they produce identical trajectories for
-    the pure periodic model (see tests/test_core_fastsim.py).  Config
-    overrides (e.g. a notification delay) force the DES.
+    ~8x faster), ``"batch"`` (the struct-of-arrays kernel, a batch of
+    one here), or ``"des"``; all three produce identical trajectories
+    for the pure periodic model (see
+    tests/test_engine_differential.py).  Config overrides (e.g. a
+    notification delay) force the DES.
     """
     _validate_engine(engine)
+    if engine == "batch" and not config_overrides:
+        from .batch import BatchCascade
+
+        batch = BatchCascade(params, [seed], initial_phases="unsynchronized")
+        batch.run(until=horizon, stop_on_full_sync=True)
+        return batch.members[0].synchronization_time
     if engine == "cascade" and not config_overrides:
         model = CascadeModel(params, seed=seed, initial_phases="unsynchronized")
         model.run(until=horizon, stop_on_full_sync=True)
@@ -102,6 +110,12 @@ def time_to_break_up(
     See :func:`time_to_synchronize` for the ``engine`` parameter.
     """
     _validate_engine(engine)
+    if engine == "batch" and not config_overrides:
+        from .batch import BatchCascade
+
+        batch = BatchCascade(params, [seed], initial_phases="synchronized")
+        batch.run(until=horizon, stop_on_full_unsync=True)
+        return batch.members[0].breakup_time
     if engine == "cascade" and not config_overrides:
         model = CascadeModel(params, seed=seed, initial_phases="synchronized")
         model.run(until=horizon, stop_on_full_unsync=True)

@@ -8,9 +8,11 @@ Usage::
     repro-sync fig10 --jobs 4          # fan seed runs over 4 processes
     repro-sync fig10 --no-cache        # force recomputation
     repro-sync fig10 --resume          # journal + resume interrupted runs
+    repro-sync fig10 --engine batch    # batched SoA kernel (same numbers)
     repro-sync bench                   # parallel-layer perf snapshot
     repro-sync bench --obs             # obs-overhead snapshot (BENCH_obs.json)
     repro-sync bench --serve           # loopback serving snapshot (BENCH_serve.json)
+    repro-sync bench --batch           # batched-kernel snapshot (BENCH_batch.json)
     repro-sync serve --port 8793       # run the simulation-serving API
     repro-sync loadgen --clients 8     # seeded load against a running server
     repro-sync cache verify            # audit results/cache/ entries
@@ -134,6 +136,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--engine",
+        default=None,
+        metavar="NAME",
+        help=(
+            "simulation engine for figures, sweeps, and serving: des, "
+            "cascade (default), or batch; every engine produces "
+            "bit-identical results for the same seed"
+        ),
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="do not read or write the on-disk result cache (results/cache/)",
@@ -200,6 +212,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "for the 'bench' target: run the loopback serving benchmark "
             "and write BENCH_serve.json instead of the parallel benchmark"
+        ),
+    )
+    parser.add_argument(
+        "--batch",
+        action="store_true",
+        help=(
+            "for the 'bench' target: benchmark the batched kernel "
+            "(engine=batch, both backends) against the serial cascade "
+            "engine and write BENCH_batch.json"
         ),
     )
     serving = parser.add_argument_group(
@@ -347,6 +368,7 @@ def _run_serve(args) -> int:
         deadline=args.deadline,
         cache_root=None if args.no_cache else (args.cache_root or "results/cache"),
         checkpoint=bool(args.resume),
+        engine=args.engine or "cascade",
     )
 
     def announce(line: str) -> None:
@@ -381,6 +403,14 @@ def _run_loadgen(args) -> int:
 
 def _run_bench(args) -> int:
     """The 'bench' target: emit and print the parallel perf snapshot."""
+    if args.batch:
+        from ..parallel import format_batch_table, run_batch_benchmark
+
+        output = "BENCH_batch.json"
+        snapshot = run_batch_benchmark(jobs=args.jobs, output=output)
+        print(format_batch_table(snapshot))
+        print(f"snapshot written to {output}")
+        return 0 if snapshot["results_identical_across_configs"] else 1
     if args.serve:
         from ..serve.bench import format_serve_table, run_serve_benchmark
 
@@ -535,6 +565,7 @@ def _dispatch(args) -> int:
                 jobs=args.jobs,
                 cache=cache,
                 checkpoint=checkpoint,
+                engine=args.engine,
             )
             if args.plot:
                 print(_render_plots(result))
@@ -556,9 +587,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.quiet and args.verbose:
         print("error: --quiet and --verbose are mutually exclusive", file=sys.stderr)
         return 2
-    if args.obs and args.serve:
-        print("error: --obs and --serve are mutually exclusive", file=sys.stderr)
+    if sum((args.obs, args.serve, args.batch)) > 1:
+        print(
+            "error: --obs, --serve, and --batch are mutually exclusive",
+            file=sys.stderr,
+        )
         return 2
+    if args.engine is not None:
+        from ..core.engines import resolve_engine
+
+        try:
+            resolve_engine(args.engine)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     if args.action is not None and args.target not in ("cache", "obs"):
         print(
             "error: an action argument is only valid with the "

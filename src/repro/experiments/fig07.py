@@ -26,12 +26,14 @@ def run(
     jobs: int = 1,
     cache=None,
     checkpoint=None,
+    engine: str = "cascade",
 ) -> FigureResult:
     """Reproduce Figure 7 (pass a smaller horizon for a fast run).
 
     The (Tr, seed) grid runs through the parallel layer; ``jobs``,
-    ``cache``, and ``checkpoint`` (resume support) change wall-clock
-    only.
+    ``cache``, ``checkpoint`` (resume support), and ``engine``
+    (``cascade``/``batch``/``des``, all bit-identical) change
+    wall-clock only.
     """
     tc = PAPER_PARAMS.tc
     result = FigureResult(
@@ -40,8 +42,8 @@ def run(
     )
     runs = sweep_tr(
         PAPER_PARAMS, [m * tc for m in tr_multiples], horizon,
-        direction="synchronize", seeds=seeds, jobs=jobs, cache=cache,
-        checkpoint=checkpoint,
+        direction="synchronize", seeds=seeds, engine=engine, jobs=jobs,
+        cache=cache, checkpoint=checkpoint,
     )
     points = []
     for multiple in tr_multiples:

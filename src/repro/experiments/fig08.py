@@ -24,11 +24,12 @@ def run(
     jobs: int = 1,
     cache=None,
     checkpoint=None,
+    engine: str = "cascade",
 ) -> FigureResult:
     """Reproduce Figure 8 (pass a smaller horizon for a fast run).
 
-    The (Tr, seed) grid runs through the parallel layer; ``jobs`` and
-    ``cache`` change wall-clock only.
+    The (Tr, seed) grid runs through the parallel layer; ``jobs``,
+    ``cache``, and ``engine`` change wall-clock only.
     """
     tc = PAPER_PARAMS.tc
     result = FigureResult(
@@ -37,7 +38,8 @@ def run(
     )
     runs = sweep_tr(
         PAPER_PARAMS, [m * tc for m in tr_multiples], horizon,
-        direction="break_up", seeds=seeds, jobs=jobs, cache=cache, checkpoint=checkpoint,
+        direction="break_up", seeds=seeds, engine=engine, jobs=jobs,
+        cache=cache, checkpoint=checkpoint,
     )
     points = []
     for multiple in tr_multiples:

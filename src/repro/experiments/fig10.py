@@ -36,21 +36,24 @@ def run(
     jobs: int = 1,
     cache=None,
     checkpoint=None,
+    engine: str = "cascade",
 ) -> FigureResult:
     """Reproduce Figure 10 (paper scale: 20 seeds, ~600,000 s axis).
 
     ``jobs`` fans the seeds out over worker processes; ``cache`` (a
     :class:`~repro.parallel.ResultCache`) makes repeated runs free;
     ``checkpoint`` journals completed seeds so an interrupted run
-    resumes (CLI ``--resume``).  None of them changes the numbers.
+    resumes (CLI ``--resume``); ``engine`` picks the simulation
+    backend (``cascade``/``batch``/``des``).  None of them changes
+    the numbers.
     """
     from ..obs import obs
 
     with obs().span("figure.run", figure="fig10", seeds=len(seeds), jobs=jobs):
-        return _run(horizon, seeds, f2, jobs, cache, checkpoint)
+        return _run(horizon, seeds, f2, jobs, cache, checkpoint, engine)
 
 
-def _run(horizon, seeds, f2, jobs, cache, checkpoint) -> FigureResult:
+def _run(horizon, seeds, f2, jobs, cache, checkpoint, engine) -> FigureResult:
     analysis = synchronization_times(PAPER_PARAMS, f2=f2)
     round_seconds = analysis.seconds_per_round
     result = FigureResult(
@@ -63,7 +66,7 @@ def _run(horizon, seeds, f2, jobs, cache, checkpoint) -> FigureResult:
     )
     ensemble = FirstPassageEnsemble(
         params=PAPER_PARAMS, horizon=horizon, seeds=seeds, direction="up",
-        jobs=jobs, cache=cache, checkpoint=checkpoint,
+        engine=engine, jobs=jobs, cache=cache, checkpoint=checkpoint,
     ).run()
     mean_points = [
         (size, aggregate.mean)

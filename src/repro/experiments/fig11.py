@@ -33,12 +33,13 @@ def run(
     jobs: int = 1,
     cache=None,
     checkpoint=None,
+    engine: str = "cascade",
 ) -> FigureResult:
     """Reproduce Figure 11 (paper scale: 20 seeds, ~300,000 s axis).
 
-    ``jobs``/``cache``/``checkpoint`` parallelize, memoize, and make
-    resumable the seed runs without changing the numbers (see
-    :mod:`repro.parallel`).
+    ``jobs``/``cache``/``checkpoint``/``engine`` parallelize, memoize,
+    make resumable, and re-backend the seed runs without changing the
+    numbers (see :mod:`repro.parallel`).
     """
     analysis = synchronization_times(PAPER_PARAMS, f2=19.0)
     round_seconds = analysis.seconds_per_round
@@ -52,7 +53,7 @@ def run(
     )
     ensemble = FirstPassageEnsemble(
         params=PAPER_PARAMS, horizon=horizon, seeds=seeds, direction="down",
-        jobs=jobs, cache=cache, checkpoint=checkpoint,
+        engine=engine, jobs=jobs, cache=cache, checkpoint=checkpoint,
     ).run()
     mean_points = [
         (size, aggregate.mean)

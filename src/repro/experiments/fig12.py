@@ -31,11 +31,13 @@ def run(
     jobs: int = 1,
     cache=None,
     checkpoint=None,
+    engine: str = "cascade",
 ) -> FigureResult:
     """Reproduce Figure 12.
 
     The simulation spot checks run through the parallel layer:
-    ``jobs``/``cache`` speed them up without changing the marks.
+    ``jobs``/``cache``/``engine`` speed them up without changing the
+    marks.
     """
     from ..obs import obs
 
@@ -44,13 +46,13 @@ def run(
     ):
         return _run(
             tr_over_tc_max, steps, f2, sim_checks, sim_horizon, seeds,
-            jobs, cache, checkpoint,
+            jobs, cache, checkpoint, engine,
         )
 
 
 def _run(
     tr_over_tc_max, steps, f2, sim_checks, sim_horizon, seeds, jobs,
-    cache, checkpoint,
+    cache, checkpoint, engine,
 ) -> FigureResult:
     tc = PAPER_PARAMS.tc
     f_curve = []
@@ -86,12 +88,14 @@ def _run(
     if sim_checks:
         sync_runs = sweep_tr(
             PAPER_PARAMS, [0.9 * tc], sim_horizon, direction="synchronize",
-            seeds=seeds, jobs=jobs, cache=cache, checkpoint=checkpoint,
+            seeds=seeds, engine=engine, jobs=jobs, cache=cache,
+            checkpoint=checkpoint,
         )
         sync_mark = [r.time for r in sync_runs if r.occurred]
         break_runs = sweep_tr(
             PAPER_PARAMS, [3.0 * tc], sim_horizon, direction="break_up",
-            seeds=seeds, jobs=jobs, cache=cache, checkpoint=checkpoint,
+            seeds=seeds, engine=engine, jobs=jobs, cache=cache,
+            checkpoint=checkpoint,
         )
         break_mark = [r.time for r in break_runs if r.occurred]
         if sync_mark:

@@ -88,6 +88,7 @@ def run_figure(
     jobs: int | None = None,
     cache=None,
     checkpoint=None,
+    engine: str | None = None,
     **overrides,
 ) -> FigureResult:
     """Run one figure's reproduction.
@@ -110,12 +111,21 @@ def run_figure(
         :func:`repro.parallel.resolve_checkpoint`); an interrupted
         figure run picks up where it stopped.  Same scoping as
         ``jobs``/``cache``.
+    engine:
+        Simulation engine for :data:`PARALLEL_FIGURES`
+        (``des``/``cascade``/``batch``; validated by
+        :func:`repro.core.engines.resolve_engine`).  Same scoping as
+        ``jobs``/``cache``: analytic figures ignore it.
     overrides:
         Explicit keyword arguments for the driver (take precedence
         over the fast defaults).
     """
     if figure_id not in FIGURES:
         raise ValueError(f"unknown figure {figure_id!r}; known: {figure_ids()}")
+    if engine is not None:
+        from ..core.engines import resolve_engine
+
+        resolve_engine(engine)
     kwargs = dict(FAST_KWARGS.get(figure_id, {})) if fast else {}
     if figure_id in PARALLEL_FIGURES:
         if jobs is not None:
@@ -124,6 +134,8 @@ def run_figure(
             kwargs["cache"] = cache
         if checkpoint is not None:
             kwargs["checkpoint"] = checkpoint
+        if engine is not None:
+            kwargs["engine"] = engine
     kwargs.update(overrides)
     result = FIGURES[figure_id](**kwargs)
     if fast:

@@ -42,11 +42,14 @@ from .faults import (
     InjectedFaultError,
     TransientInjectedError,
 )
+from .bench_batch import format_batch_table, run_batch_benchmark
 from .job import (
     ENGINES,
     MODEL_VERSION,
     JobResult,
     SimulationJob,
+    batch_group_key,
+    run_batch,
     run_job,
     run_jobs,
     validate_engine,
@@ -80,9 +83,13 @@ __all__ = [
     "RunnerStats",
     "SimulationJob",
     "TransientInjectedError",
+    "batch_group_key",
     "deterministic_jitter",
+    "format_batch_table",
     "format_table",
     "resolve_checkpoint",
+    "run_batch",
+    "run_batch_benchmark",
     "run_benchmark",
     "run_job",
     "run_jobs",

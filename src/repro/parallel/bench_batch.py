@@ -1,0 +1,161 @@
+"""The batch-kernel performance snapshot (``python -m repro bench --batch``).
+
+Runs the same fixed workload as ``bench`` — the 20-seed Figure 10
+first-passage ensemble (N=20, Tp=121 s, Tc=0.11 s, Tr=0.1 s) — through
+four configurations:
+
+* ``cascade_jobs1`` — the serial cascade engine, the PR-1 baseline.
+* ``batch_python``  — the batch kernel, pure-Python RNG path.
+* ``batch_numpy``   — the batch kernel, NumPy RNG bank (skipped, and
+  reported as absent, when NumPy is not installed).
+* ``batch_jobsN``   — batch jobs over the process pool: the kernel
+  groups seeds *within* each worker chunk, the pool fans chunks out.
+
+All rows must produce identical first-passage times (checked on every
+bench run), so the table is a pure wall-clock comparison.  The
+snapshot is written as JSON — ``BENCH_batch.json`` at the repo root by
+convention — so the acceptance numbers (NumPy ≥ 1.5x over serial
+cascade; pure Python within 10% of it or better) stay diffable across
+commits.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Sequence
+
+from ..benchio import bench_envelope, write_bench_json
+from ..core.batch import BACKEND
+from .bench import BENCH_PARAMS, DEFAULT_HORIZON
+from .job import SimulationJob, run_batch
+from .runner import ParallelRunner
+
+__all__ = ["format_batch_table", "run_batch_benchmark"]
+
+
+def _specs(
+    horizon: float, seeds: Sequence[int], engine: str
+) -> list[SimulationJob]:
+    return [
+        SimulationJob(
+            seed=seed, horizon=horizon, direction="up", engine=engine, **BENCH_PARAMS
+        )
+        for seed in seeds
+    ]
+
+
+def run_batch_benchmark(
+    jobs: int | None = None,
+    horizon: float = DEFAULT_HORIZON,
+    seeds: Sequence[int] = tuple(range(1, 21)),
+    output: str | os.PathLike | None = None,
+) -> dict:
+    """Run the batch-vs-serial configurations; return/write the snapshot.
+
+    Parameters
+    ----------
+    jobs:
+        Pool width for the ``batch_jobsN`` row; defaults to CPU count.
+    horizon, seeds:
+        The ensemble's run settings (defaults reproduce the canonical
+        snapshot: 20 seeds, 2e5 s).
+    output:
+        If given, the snapshot JSON is written there.
+    """
+    jobs = jobs or os.cpu_count() or 1
+    timings: dict[str, float] = {}
+
+    start = time.perf_counter()
+    serial_results = ParallelRunner(jobs=1).run(_specs(horizon, seeds, "cascade"))
+    timings["cascade_jobs1"] = time.perf_counter() - start
+
+    batch_specs = _specs(horizon, seeds, "batch")
+    start = time.perf_counter()
+    python_results = run_batch(batch_specs, backend="python")
+    timings["batch_python"] = time.perf_counter() - start
+
+    numpy_results = None
+    if BACKEND == "numpy":
+        start = time.perf_counter()
+        numpy_results = run_batch(batch_specs, backend="numpy")
+        timings["batch_numpy"] = time.perf_counter() - start
+
+    pooled_runner = ParallelRunner(jobs=jobs)
+    start = time.perf_counter()
+    pooled_results = pooled_runner.run(batch_specs)
+    timings["batch_jobsN"] = time.perf_counter() - start
+
+    identical = serial_results == python_results == pooled_results and (
+        numpy_results is None or numpy_results == serial_results
+    )
+    baseline = timings["cascade_jobs1"]
+    speedups = {
+        name: round(baseline / t, 2) if t > 0 else float("inf")
+        for name, t in timings.items()
+    }
+    payload = {
+        "params": dict(BENCH_PARAMS),
+        "horizon_seconds": horizon,
+        "n_seeds": len(list(seeds)),
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        # Which RNG bank the auto-detected default would use; rows
+        # name their backend explicitly.
+        "default_backend": BACKEND,
+        "timings_seconds": {name: round(t, 4) for name, t in timings.items()},
+        "speedup_vs_serial_cascade": speedups,
+        "results_identical_across_configs": identical,
+        # The PR's acceptance thresholds, evaluated on this box.
+        "acceptance": {
+            "numpy_speedup_target": 1.5,
+            "numpy_speedup_met": (
+                speedups.get("batch_numpy", 0.0) >= 1.5
+                if "batch_numpy" in speedups
+                else None
+            ),
+            "python_within_10pct_target": 0.9,
+            "python_within_10pct_met": speedups["batch_python"] >= 0.9,
+        },
+        "run_report_pooled": pooled_runner.report.counts(),
+    }
+    snapshot = bench_envelope("fig10_batch_kernel", payload)
+    if output is not None:
+        write_bench_json(output, snapshot)
+    return snapshot
+
+
+def format_batch_table(snapshot: dict) -> str:
+    """Render a batch snapshot as the CLI's speedup table."""
+    rows = [("configuration", "wall-clock (s)", "speedup vs serial cascade")]
+    labels = {
+        "cascade_jobs1": "cascade engine, jobs=1 (baseline)",
+        "batch_python": "batch kernel, python backend",
+        "batch_numpy": "batch kernel, numpy backend",
+        "batch_jobsN": f"batch kernel over pool, jobs={snapshot['jobs']}",
+    }
+    for name, seconds in snapshot["timings_seconds"].items():
+        rows.append(
+            (
+                labels.get(name, name),
+                f"{seconds:.3f}",
+                f"{snapshot['speedup_vs_serial_cascade'][name]:.2f}x",
+            )
+        )
+    widths = [max(len(row[col]) for row in rows) for col in range(3)]
+    lines = [
+        f"fig10 ensemble: {snapshot['n_seeds']} seeds, horizon "
+        f"{snapshot['horizon_seconds']:g} s, {snapshot['cpu_count']} CPU(s), "
+        f"default backend {snapshot['default_backend']}"
+    ]
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[col]) for col, cell in enumerate(row)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    if "batch_numpy" not in snapshot["timings_seconds"]:
+        lines.append("numpy backend: not installed (row skipped)")
+    lines.append(
+        "results identical across configurations: "
+        + ("yes" if snapshot["results_identical_across_configs"] else "NO")
+    )
+    return "\n".join(lines)

@@ -20,6 +20,8 @@ import json
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..core.batch import BatchCascade
+from ..core.engines import ENGINES, resolve_engine
 from ..core.fastsim import CascadeModel
 from ..core.model import ModelConfig, PeriodicMessagesModel
 from ..core.parameters import RouterTimingParameters
@@ -29,6 +31,8 @@ __all__ = [
     "MODEL_VERSION",
     "JobResult",
     "SimulationJob",
+    "batch_group_key",
+    "run_batch",
     "run_job",
     "run_jobs",
     "run_jobs_observed",
@@ -40,22 +44,11 @@ __all__ = [
 #: cache key, so stale entries from older model versions simply miss.
 MODEL_VERSION = "fj93-model-1"
 
-#: Known simulation engines.  ``cascade`` is the fast rule-based
-#: implementation (bit-for-bit equivalent to the DES for the pure
-#: periodic model, see tests/test_core_fastsim.py); ``des`` is the
-#: event-driven reference implementation.
-ENGINES = ("cascade", "des")
-
 _DIRECTIONS = ("up", "down")
 
-
-def validate_engine(engine: str) -> str:
-    """Return ``engine`` if known, else raise a descriptive ValueError."""
-    if engine not in ENGINES:
-        raise ValueError(
-            f"unknown engine {engine!r}; known engines: {', '.join(ENGINES)}"
-        )
-    return engine
+#: Back-compat alias: engine validation now lives in
+#: :func:`repro.core.engines.resolve_engine`, the one shared check.
+validate_engine = resolve_engine
 
 
 @dataclass(frozen=True)
@@ -77,7 +70,10 @@ class SimulationJob:
         start, record first times the per-round largest cluster falls
         to each size (Figure 11).
     engine:
-        ``"cascade"`` or ``"des"``.
+        ``"des"``, ``"cascade"``, or ``"batch"`` (see
+        :mod:`repro.core.engines`).  Batch jobs stay one-seed specs —
+        the cache key, checkpoints, and dedup all keep working — and
+        the executors regroup them into shared kernels at run time.
     """
 
     n_nodes: int
@@ -238,22 +234,93 @@ def run_job(
             stop_on_full_unsync=not up,
         )
         tracker = des.tracker
+    elif job.engine == "batch":
+        # A batch of one: bit-identical to the grouped kernel because
+        # members are independent (tests/test_engine_differential.py).
+        return run_batch([job])[0]
     else:  # pragma: no cover - __post_init__ rejects unknown engines
         raise ValueError(f"unknown engine {job.engine!r}")
     mapping = tracker.first_time_at_least if up else tracker.first_time_at_most
     return JobResult(first_passages=dict(mapping))
 
 
+def batch_group_key(job: SimulationJob) -> tuple:
+    """Everything but the seed: jobs agreeing here share one kernel."""
+    return (job.n_nodes, job.tp, job.tc, job.tr, job.horizon, job.direction)
+
+
+def run_batch(
+    jobs: Sequence[SimulationJob], backend: str | None = None
+) -> list[JobResult]:
+    """Execute a group of same-parameter jobs through one batch kernel.
+
+    Every job must use ``engine="batch"`` and agree on
+    :func:`batch_group_key`; only the seeds differ.  Results come back
+    in job order and are bit-identical to running each job alone —
+    the jobs stay individually cacheable and checkpointable.
+    ``backend`` forces the RNG bank ("python"/"numpy"); None uses the
+    module default (:data:`repro.core.batch.BACKEND`).
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    first = jobs[0]
+    for job in jobs:
+        if job.engine != "batch":
+            raise ValueError(f"run_batch() requires engine='batch', got {job.engine!r}")
+        if batch_group_key(job) != batch_group_key(first):
+            raise ValueError("run_batch() requires jobs sharing one parameter point")
+    up = first.direction == "up"
+    batch = BatchCascade(
+        first.params,
+        seeds=[job.seed for job in jobs],
+        initial_phases="unsynchronized" if up else "synchronized",
+        backend=backend,
+    )
+    batch.run(
+        until=first.horizon,
+        stop_on_full_sync=up,
+        stop_on_full_unsync=not up,
+    )
+    return [
+        JobResult(
+            first_passages=dict(
+                member.first_time_at_least if up else member.first_time_at_most
+            )
+        )
+        for member in batch.members
+    ]
+
+
 def run_jobs(
     jobs: Sequence[SimulationJob], faults=None, attempt: int = 0
 ) -> list[JobResult]:
-    """Execute a chunk of jobs in order (the pool worker entry point).
+    """Execute a chunk of jobs (the pool worker entry point).
+
+    Batch-engine jobs in the chunk are regrouped by parameter point
+    and advanced through shared kernels — this is the "batch within a
+    worker" half of the fan-out; the runner's chunking is the other.
+    Results always come back in input order.
 
     The fault plan (picklable, stateless) travels to the worker with
     the chunk, so injected worker-side failures are as deterministic
-    as the simulations themselves.
+    as the simulations themselves.  When a plan is armed, batch jobs
+    run one by one through :func:`run_job` so the plan sees the same
+    per-job hook sequence on every engine.
     """
-    return [run_job(job, faults, attempt) for job in jobs]
+    jobs = list(jobs)
+    results: list[JobResult | None] = [None] * len(jobs)
+    groups: dict[tuple, list[int]] = {}
+    for i, job in enumerate(jobs):
+        if job.engine == "batch" and faults is None:
+            groups.setdefault(batch_group_key(job), []).append(i)
+        else:
+            results[i] = run_job(job, faults, attempt)
+    for indices in groups.values():
+        outcomes = run_batch([jobs[i] for i in indices])
+        for i, result in zip(indices, outcomes):
+            results[i] = result
+    return results
 
 
 def run_jobs_observed(
@@ -278,11 +345,16 @@ def run_jobs_observed(
 
     tracer = Tracer(enabled=trace)
     profile_rows: list[dict] = []
-    results: list[JobResult] = []
+    jobs = list(jobs)
+    slots: list[JobResult | None] = [None] * len(jobs)
 
     def execute() -> None:
         with tracer.span("worker.chunk", jobs=len(jobs), attempt=attempt):
-            for job in jobs:
+            groups: dict[tuple, list[int]] = {}
+            for i, job in enumerate(jobs):
+                if job.engine == "batch" and faults is None:
+                    groups.setdefault(batch_group_key(job), []).append(i)
+                    continue
                 with tracer.span(
                     "job.run",
                     key=job.cache_key()[:12],
@@ -292,7 +364,20 @@ def run_jobs_observed(
                     n_nodes=job.n_nodes,
                     attempt=attempt,
                 ):
-                    results.append(run_job(job, faults, attempt))
+                    slots[i] = run_job(job, faults, attempt)
+            for indices in groups.values():
+                members = [jobs[i] for i in indices]
+                with tracer.span(
+                    "batch.run",
+                    key=members[0].cache_key()[:12],
+                    members=len(members),
+                    engine="batch",
+                    direction=members[0].direction,
+                    n_nodes=members[0].n_nodes,
+                    attempt=attempt,
+                ):
+                    for i, result in zip(indices, run_batch(members)):
+                        slots[i] = result
 
     if profile:
         from ..obs.profile import profiled
@@ -301,4 +386,4 @@ def run_jobs_observed(
             execute()
     else:
         execute()
-    return results, tracer.drain(), profile_rows
+    return slots, tracer.drain(), profile_rows

@@ -52,6 +52,13 @@ class ServeConfig:
         recomputing.  Off by default — the write-through cache already
         makes completed *jobs* durable; journals additionally make
         partial *batches* resumable.
+    engine:
+        Simulation engine used for figure requests
+        (``des``/``cascade``/``batch``; see
+        :func:`repro.core.engines.resolve_engine`).  Job specs posted
+        to ``/v1/simulate``/``/v1/sweep`` carry their own per-spec
+        engine and ignore this.  Engines are bit-identical, so served
+        payloads do not depend on it.
     """
 
     host: str = "127.0.0.1"
@@ -63,8 +70,12 @@ class ServeConfig:
     drain_grace: float = 30.0
     cache_root: str | None = "results/cache"
     checkpoint: bool = False
+    engine: str = "cascade"
 
     def __post_init__(self) -> None:
+        from ..core.engines import resolve_engine
+
+        resolve_engine(self.engine)
         if not 0 <= self.port <= 65535:
             raise ValueError("port must be in [0, 65535]")
         if self.jobs < 1:

@@ -188,7 +188,11 @@ class SimulationServer:
 
     def _run_figure(self, figure_id: str):
         return run_figure(
-            figure_id, fast=True, jobs=self.config.jobs, cache=self.cache
+            figure_id,
+            fast=True,
+            jobs=self.config.jobs,
+            cache=self.cache,
+            engine=self.config.engine,
         )
 
     # -- lifecycle ------------------------------------------------------------

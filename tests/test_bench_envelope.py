@@ -82,7 +82,23 @@ class TestAllBenchmarksUseTheEnvelope:
         self.assert_framed(snapshot, "fig10_ensemble_obs_overhead")
         assert snapshot["results_identical_with_obs"]
 
-    def test_serve_bench(self, tmp_path):
+    def test_batch_bench(self, tmp_path):
+        from repro.parallel.bench_batch import (
+            format_batch_table,
+            run_batch_benchmark,
+        )
+
+        snapshot = run_batch_benchmark(
+            jobs=1,
+            horizon=2000.0,
+            seeds=(1, 2),
+            output=tmp_path / "BENCH_batch.json",
+        )
+        self.assert_framed(snapshot, "fig10_batch_kernel")
+        assert snapshot["results_identical_across_configs"]
+        assert (tmp_path / "BENCH_batch.json").exists()
+        table = format_batch_table(snapshot)
+        assert "baseline" in table and "batch" in table
         from repro.serve.bench import format_serve_table, run_serve_benchmark
 
         snapshot = run_serve_benchmark(

@@ -1,0 +1,201 @@
+"""The batched struct-of-arrays kernel: backends, grouping, resume.
+
+Bit-identity with the serial engines lives in
+``test_engine_differential.py``; this module covers the batch layer's
+own machinery — backend selection and forcing, constructor
+validation, the ``run_batch`` grouping contract, the runner's
+transparent regrouping (serial and pooled), and the per-job fallback
+when a whole group fails.
+"""
+
+import pytest
+
+import repro.core.batch as batch_mod
+from repro.core import BatchCascade, RouterTimingParameters
+from repro.core.batch import BACKEND
+from repro.core.sweeps import time_to_break_up, time_to_synchronize
+from repro.parallel import (
+    ParallelRunner,
+    SimulationJob,
+    batch_group_key,
+    run_batch,
+    run_job,
+)
+
+PARAMS = RouterTimingParameters(n_nodes=6, tp=20.0, tc=0.11, tr=0.3)
+
+
+def jobs_for(seeds, engine="batch", direction="up", horizon=2000.0, tr=0.3):
+    params = RouterTimingParameters(n_nodes=6, tp=20.0, tc=0.11, tr=tr)
+    return [
+        SimulationJob.from_params(
+            params, seed=s, horizon=horizon, direction=direction, engine=engine
+        )
+        for s in seeds
+    ]
+
+
+class TestConstruction:
+    def test_backend_constant_is_coherent(self):
+        assert BACKEND in ("python", "numpy")
+        assert (BACKEND == "numpy") == (batch_mod._np is not None)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown batch backend"):
+            BatchCascade(PARAMS, [1], backend="fortran")
+
+    def test_numpy_backend_requires_numpy(self, monkeypatch):
+        monkeypatch.setattr(batch_mod, "_np", None)
+        with pytest.raises(RuntimeError, match="numpy backend requested"):
+            BatchCascade(PARAMS, [1], backend="numpy")
+        # The pure-Python backend stays available.
+        BatchCascade(PARAMS, [1], backend="python").run(until=100.0)
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError, match="seeds must be non-empty"):
+            BatchCascade(PARAMS, [])
+
+    def test_phase_validation_matches_cascade(self):
+        with pytest.raises(ValueError, match="expected 6 phases, got 1"):
+            BatchCascade(PARAMS, [1], initial_phases=[0.0])
+        with pytest.raises(ValueError, match="must be non-negative"):
+            BatchCascade(PARAMS, [1], initial_phases=[0.0, 1.0, -2.0, 3.0, 4.0, 5.0])
+
+
+class TestRunBatch:
+    def test_matches_run_job_per_seed(self):
+        jobs = jobs_for([1, 2, 3, 11])
+        grouped = run_batch(jobs)
+        singles = [run_job(job) for job in jobs]
+        assert [r.first_passages for r in grouped] == [
+            r.first_passages for r in singles
+        ]
+
+    def test_backend_forcing_is_identical(self):
+        jobs = jobs_for([5, 6, 7], direction="down", tr=1.2)
+        python = run_batch(jobs, backend="python")
+        assert [r.first_passages for r in python] == [
+            r.first_passages for r in run_batch(jobs)
+        ]
+        if BACKEND == "numpy":
+            numpy = run_batch(jobs, backend="numpy")
+            assert [r.first_passages for r in numpy] == [
+                r.first_passages for r in python
+            ]
+
+    def test_rejects_non_batch_engines(self):
+        with pytest.raises(ValueError, match="requires engine='batch'"):
+            run_batch(jobs_for([1], engine="cascade"))
+
+    def test_rejects_mixed_parameter_points(self):
+        mixed = jobs_for([1]) + jobs_for([2], horizon=5000.0)
+        with pytest.raises(ValueError, match="sharing one parameter point"):
+            run_batch(mixed)
+
+    def test_empty_group_is_empty(self):
+        assert run_batch([]) == []
+
+    def test_group_key_excludes_the_seed(self):
+        a, b = jobs_for([1, 99])
+        assert batch_group_key(a) == batch_group_key(b)
+        (c,) = jobs_for([1], horizon=5000.0)
+        assert batch_group_key(a) != batch_group_key(c)
+
+
+class TestRunnerIntegration:
+    def test_serial_runner_groups_batch_jobs(self):
+        jobs = jobs_for([1, 2, 3, 4])
+        cascade = ParallelRunner(jobs=1, cache=None).run(
+            jobs_for([1, 2, 3, 4], engine="cascade")
+        )
+        batched = ParallelRunner(jobs=1, cache=None).run(jobs)
+        assert [r.first_passages for r in batched] == [
+            r.first_passages for r in cascade
+        ]
+
+    def test_pooled_runner_groups_batch_jobs(self):
+        jobs = jobs_for([1, 2, 3, 4, 5, 6])
+        serial = ParallelRunner(jobs=1, cache=None).run(jobs)
+        pooled = ParallelRunner(jobs=2, cache=None).run(jobs)
+        assert [r.first_passages for r in pooled] == [
+            r.first_passages for r in serial
+        ]
+
+    def test_mixed_parameter_points_regroup_correctly(self):
+        jobs = (
+            jobs_for([1, 2])
+            + jobs_for([1, 2], horizon=5000.0)
+            + jobs_for([3], direction="down", tr=1.2)
+            + jobs_for([9], engine="cascade")
+        )
+        got = ParallelRunner(jobs=1, cache=None).run(jobs)
+        expected = [run_job(job) for job in jobs]
+        assert [r.first_passages for r in got] == [
+            r.first_passages for r in expected
+        ]
+
+    def test_group_failure_falls_back_to_per_job(self, monkeypatch):
+        import repro.parallel.runner as runner_mod
+
+        def boom(jobs, backend=None):
+            raise RuntimeError("kernel exploded")
+
+        monkeypatch.setattr(runner_mod, "run_batch", boom)
+        jobs = jobs_for([1, 2, 3])
+        runner = ParallelRunner(jobs=1, cache=None)
+        results = runner.run(jobs)
+        assert [r.first_passages for r in results] == [
+            r.first_passages for r in [run_job(job) for job in jobs]
+        ]
+
+    def test_cache_round_trip(self, tmp_path):
+        from repro.parallel import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        jobs = jobs_for([1, 2, 3])
+        runner = ParallelRunner(jobs=1, cache=cache)
+        first = runner.run(jobs)
+        assert runner.stats.executed == 3
+        warm = ParallelRunner(jobs=1, cache=cache)
+        second = warm.run(jobs)
+        assert warm.stats.executed == 0
+        assert warm.stats.cache_hits == 3
+        assert [r.first_passages for r in second] == [
+            r.first_passages for r in first
+        ]
+
+
+class TestResume:
+    def test_resumed_horizons_match_one_shot(self):
+        one_shot = BatchCascade(PARAMS, [1, 2], keep_cluster_history=True)
+        one_shot.run(until=4000.0)
+        stepped = BatchCascade(PARAMS, [1, 2], keep_cluster_history=True)
+        for horizon in (1000.0, 2500.0, 4000.0):
+            stepped.run(until=horizon)
+        for k in range(2):
+            assert (
+                one_shot.members[k].round_times == stepped.members[k].round_times
+            )
+            assert one_shot.members[k].total_resets == (
+                stepped.members[k].total_resets
+            )
+            assert one_shot.rng_states(k) == stepped.rng_states(k)
+
+
+class TestSweepFastPath:
+    def test_single_seed_sweep_helpers_accept_batch(self):
+        sync_batch = time_to_synchronize(
+            PARAMS, horizon=50_000.0, seed=3, engine="batch"
+        )
+        sync_cascade = time_to_synchronize(
+            PARAMS, horizon=50_000.0, seed=3, engine="cascade"
+        )
+        assert sync_batch == sync_cascade
+        loose = PARAMS.with_tr(1.5)
+        break_batch = time_to_break_up(
+            loose, horizon=50_000.0, seed=3, engine="batch"
+        )
+        break_cascade = time_to_break_up(
+            loose, horizon=50_000.0, seed=3, engine="cascade"
+        )
+        assert break_batch == break_cascade

@@ -1,75 +1,14 @@
-"""Tests for the cascade-rule implementation, including exact
-equivalence with the discrete-event implementation.
+"""Tests for cascade-rule specifics: resumability and stop conditions.
 
-Two entirely different programs — an event queue with busy-period
-bookkeeping versus a heap of expiries with the cascade rule — must
-produce the *same floating-point trajectory* from the same seed.  Any
-divergence in either implementation's handling of the model semantics
-shows up here immediately.
+Exact DES/cascade/batch equivalence — the bit-for-bit trajectory
+claim — is enforced by the cross-engine matrix in
+``test_engine_differential.py``; this module keeps only the behaviors
+unique to :class:`~repro.core.CascadeModel` itself.
 """
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
-from repro.core import (
-    CascadeModel,
-    ModelConfig,
-    PeriodicMessagesModel,
-    RouterTimingParameters,
-)
-
-
-def run_both(params, seed, horizon, phases="unsynchronized"):
-    des = PeriodicMessagesModel(
-        ModelConfig.from_parameters(params, seed=seed, keep_cluster_history=True),
-        initial_phases=phases,
-    )
-    des.run(until=horizon)
-    cascade = CascadeModel(params, seed=seed, initial_phases=phases,
-                           keep_cluster_history=True)
-    cascade.run(until=horizon)
-    return des.tracker, cascade.tracker
-
-
-class TestExactEquivalence:
-    def test_paper_parameters_bit_for_bit(self):
-        params = RouterTimingParameters(n_nodes=20, tp=121.0, tc=0.11, tr=0.1)
-        des, cascade = run_both(params, seed=1, horizon=6e4)
-        assert des.total_resets == cascade.total_resets
-        assert des.round_times == cascade.round_times
-        assert des.round_largest == cascade.round_largest
-        assert des.synchronization_time == cascade.synchronization_time
-        assert [(g.time, g.size) for g in des.groups] == [
-            (g.time, g.size) for g in cascade.groups
-        ]
-
-    def test_synchronized_start_bit_for_bit(self):
-        params = RouterTimingParameters(n_nodes=10, tp=20.0, tc=0.11, tr=0.3)
-        des, cascade = run_both(params, seed=7, horizon=5000.0,
-                                phases="synchronized")
-        assert des.round_times == cascade.round_times
-        assert des.breakup_time == cascade.breakup_time
-
-    @given(
-        n=st.integers(2, 10),
-        tc=st.floats(0.01, 0.5),
-        tr=st.floats(0.0, 2.0),
-        seed=st.integers(1, 10_000),
-    )
-    @settings(max_examples=25, deadline=None)
-    def test_random_configurations_bit_for_bit(self, n, tc, tr, seed):
-        params = RouterTimingParameters(n_nodes=n, tp=20.0, tc=tc, tr=tr)
-        des, cascade = run_both(params, seed=seed, horizon=30 * 20.0)
-        assert des.total_resets == cascade.total_resets
-        assert des.round_times == cascade.round_times
-        assert des.round_largest == cascade.round_largest
-
-    def test_explicit_phases_bit_for_bit(self):
-        params = RouterTimingParameters(n_nodes=3, tp=20.0, tc=0.2, tr=0.1)
-        phases = [0.0, 0.05, 7.0]
-        des, cascade = run_both(params, seed=3, horizon=500.0, phases=phases)
-        assert des.round_times == cascade.round_times
+from repro.core import CascadeModel, RouterTimingParameters
 
 
 class TestCascadeSpecifics:

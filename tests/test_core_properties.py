@@ -138,3 +138,115 @@ def test_first_passage_records_are_ordered(n, seed):
     for k in range(1, n):
         if times[k] is not None:
             assert times[k - 1] is not None
+
+
+# -- seeded zero-dep fuzz (tests/_gen.py) ---------------------------------
+#
+# The cases below replay identically everywhere without Hypothesis:
+# tests/_gen.py is a self-contained splitmix64 case generator, so a
+# failing case is reproducible from the fixed seed in the test body.
+
+from repro.core import BatchCascade, CascadeModel, RouterTimingParameters
+from repro.rng import RandomSource
+from tests._gen import CaseGen, model_cases
+
+
+def test_timer_draws_stay_within_the_jitter_band():
+    # The paper's timer: every interval is uniform in [Tp - Tr, Tp + Tr].
+    gen = CaseGen(101)
+    for _ in range(40):
+        tp = gen.uniform(5.0, 200.0)
+        tr = gen.choice([0.0, gen.uniform(0.0, tp / 3)])
+        timer = UniformJitterTimer(tp, tr)
+        rng = RandomSource(seed=gen.randint(1, 10_000))
+        for node in range(5):
+            for _ in range(200):
+                draw = timer.interval(rng, node)
+                assert tp - tr <= draw <= tp + tr
+
+
+def test_busy_windows_are_disjoint_and_grow_by_exactly_tc():
+    # From the DES journal: each reset batch closes a busy window that
+    # opened at its first expiry and was extended by exactly Tc per
+    # swallowed message — and windows never overlap.
+    for n, tc, tr, seed, phases in model_cases(seed=202, count=12):
+        model = run_model(n, tc, tr, seed, rounds=20, phases=phases)
+        # The journal is time-ordered; every expire between two reset
+        # batches was swallowed by the window the later batch closes.
+        batches: list[tuple[float, list[float], int]] = []
+        pending: list[float] = []
+        for time, kind, _node in model.journal:
+            if kind == "expire":
+                pending.append(time)
+            elif pending:
+                batches.append((time, pending, 1))
+                pending = []
+            else:
+                close, window_expires, resets = batches[-1]
+                assert time == close  # same batch, same instant
+                batches[-1] = (close, window_expires, resets + 1)
+        previous_close = None
+        for close, window_expires, resets in batches:
+            assert resets == len(window_expires)
+            # Disjoint: this window opened after the last one closed.
+            if previous_close is not None:
+                assert window_expires[0] >= previous_close
+            # Growth: Tc per message, accumulated in arrival order.
+            window = window_expires[0] + tc
+            for _ in window_expires[1:]:
+                window += tc
+            assert close == window
+            previous_close = close
+
+
+def test_cluster_sizes_sum_to_n_and_round_series_is_consistent():
+    # Reconstruct the per-round largest-cluster series from the group
+    # history alone and check it against the tracker's own series.
+    for n, tc, tr, seed, phases in model_cases(seed=303, count=12):
+        params = RouterTimingParameters(n_nodes=n, tp=TP, tc=tc, tr=tr)
+        model = CascadeModel(
+            params, seed=seed, initial_phases=phases, keep_cluster_history=True
+        )
+        model.run(until=20 * (TP + tc))
+        tracker = model.tracker
+        assert sum(g.size for g in tracker.groups) == tracker.total_resets
+        assert all(1 <= g.size <= n for g in tracker.groups)
+        # Every full window of N messages is a partition of the N
+        # routers into clusters: flatten the groups into the per-reset
+        # running cluster size and re-derive each round's largest.
+        running = [
+            i + 1 for group in tracker.groups for i in range(group.size)
+        ]
+        rebuilt = [
+            max(running[r * n:(r + 1) * n])
+            for r in range(len(running) // n)
+        ]
+        assert rebuilt == list(tracker.round_largest)
+
+
+def test_batch_members_do_not_depend_on_their_neighbors():
+    # Member k's trajectory is a function of seeds[k] alone: shuffling
+    # the batch (or mixing in unrelated seeds) changes nothing.
+    gen = CaseGen(404)
+    for _ in range(6):
+        n = gen.randint(2, 8)
+        tc = gen.uniform(0.01, 0.5)
+        tr = gen.uniform(0.0, 2.0)
+        params = RouterTimingParameters(n_nodes=n, tp=TP, tc=tc, tr=tr)
+        seeds = [gen.randint(1, 10_000) for _ in range(6)]
+        horizon = 20 * (TP + tc)
+        straight = BatchCascade(params, seeds, keep_cluster_history=True)
+        straight.run(until=horizon)
+        shuffled = gen.shuffled(seeds)
+        permuted = BatchCascade(params, shuffled, keep_cluster_history=True)
+        permuted.run(until=horizon)
+        for k, seed in enumerate(seeds):
+            j = shuffled.index(seed)
+            a, b = straight.members[k], permuted.members[j]
+            assert a.round_times == b.round_times
+            assert a.first_time_at_least == b.first_time_at_least
+            assert a.first_time_at_most == b.first_time_at_most
+            assert [(g.time, g.size) for g in a.groups] == [
+                (g.time, g.size) for g in b.groups
+            ]
+            assert straight.rng_states(k) == permuted.rng_states(j)

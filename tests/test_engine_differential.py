@@ -1,0 +1,188 @@
+"""Cross-engine differential matrix: des == cascade == batch, byte for byte.
+
+Three (four, counting both batch backends) entirely different programs
+claim to produce the *same floating-point trajectory* from the same
+seed: the discrete-event queue, the cascade-rule heap, the pure-Python
+struct-of-arrays kernel, and the NumPy-banked kernel.  This module is
+the single place that claim is enforced — a parametrized grid over
+(N, Tp, Tc, Tr) x initial phases x censoring, comparing first-passage
+times, cluster histories, round series, and the *consumed positions of
+every RNG stream* with ``==``, never ``approx``.
+
+The ad-hoc pairwise DES/cascade checks that used to live in
+``test_core_fastsim.py`` are superseded by this matrix.
+"""
+
+import pytest
+
+from repro.core import (
+    BatchCascade,
+    CascadeModel,
+    ModelConfig,
+    PeriodicMessagesModel,
+    RouterTimingParameters,
+)
+from repro.core.batch import BACKEND
+
+from tests._gen import CaseGen, model_cases
+
+HAVE_NUMPY = BACKEND == "numpy"
+
+#: (n_nodes, tp, tc, tr) — paper parameters plus corners: no jitter,
+#: jitter past the Tc/2 lock threshold, and jitter wider than Tc.
+GRID = [
+    (5, 20.0, 0.11, 0.1),
+    (8, 20.0, 0.3, 1.0),
+    (3, 10.0, 0.05, 0.0),
+    (6, 20.0, 0.5, 2.0),
+    (20, 121.0, 0.11, 0.1),
+]
+PHASE_MODES = ["unsynchronized", "synchronized", "explicit"]
+CENSORING = [False, True]
+
+
+def _phases(mode, n, tp):
+    """Resolve a phase mode to what the engine constructors accept."""
+    if mode != "explicit":
+        return mode
+    gen = CaseGen(n)  # deterministic per-(n) explicit phases
+    return [gen.uniform(0.0, tp) for _ in range(n)]
+
+
+def _horizon(tp, tc):
+    return 30.0 * (tp + tc)
+
+
+def _stop_flags(phases, censor):
+    """Censoring on = stop at the matching terminal cluster state."""
+    if not censor:
+        return {}
+    if phases == "synchronized":
+        return {"stop_on_full_unsync": True}
+    return {"stop_on_full_sync": True}
+
+
+def _trace(tracker, end, rng_states, phase_state):
+    """Canonical comparison record for one engine run."""
+    return {
+        "end": end,
+        "total_resets": tracker.total_resets,
+        "first_at_least": dict(tracker.first_time_at_least),
+        "first_at_most": dict(tracker.first_time_at_most),
+        "round_times": list(tracker.round_times),
+        "round_largest": list(tracker.round_largest),
+        "groups": [(g.time, g.size) for g in tracker.groups],
+        "sync_time": tracker.synchronization_time,
+        "breakup_time": tracker.breakup_time,
+        "rng_states": rng_states,
+        "phase_state": phase_state,
+    }
+
+
+def run_des(params, seed, horizon, phases, stops):
+    model = PeriodicMessagesModel(
+        ModelConfig.from_parameters(params, seed=seed, keep_cluster_history=True),
+        initial_phases=phases,
+    )
+    end = model.run(until=horizon, **stops)
+    return _trace(
+        model.tracker,
+        end,
+        [router.rng._gen.state for router in model.routers],
+        model._phase_rng._gen.state,
+    )
+
+
+def run_cascade(params, seed, horizon, phases, stops):
+    model = CascadeModel(
+        params, seed=seed, initial_phases=phases, keep_cluster_history=True
+    )
+    end = model.run(until=horizon, **stops)
+    # CascadeModel does not retain its phase stream after __init__;
+    # the batch kernel's phase_rng_state is checked against DES.
+    return _trace(
+        model.tracker, end, [rng._gen.state for rng in model._rngs], None
+    )
+
+
+def run_batch(params, seed, horizon, phases, stops, backend):
+    batch = BatchCascade(
+        params,
+        [seed],
+        initial_phases=phases,
+        keep_cluster_history=True,
+        backend=backend,
+    )
+    ends = batch.run(until=horizon, **stops)
+    return _trace(
+        batch.members[0], ends[0], batch.rng_states(0), batch.phase_rng_state(0)
+    )
+
+
+def assert_matrix_identical(params, seed, horizon, phases, stops):
+    """Run every engine and compare the full traces with ``==``."""
+    des = run_des(params, seed, horizon, phases, stops)
+    cascade = run_cascade(params, seed, horizon, phases, stops)
+    rows = {"cascade": cascade, "batch-python": run_batch(
+        params, seed, horizon, phases, stops, "python")}
+    if HAVE_NUMPY:
+        rows["batch-numpy"] = run_batch(
+            params, seed, horizon, phases, stops, "numpy"
+        )
+    for name, row in rows.items():
+        for field in des:
+            if field == "phase_state" and name == "cascade":
+                continue
+            assert row[field] == des[field], (
+                f"{name} differs from des on {field!r} "
+                f"(params={params}, seed={seed}, phases={phases}, stops={stops})"
+            )
+
+
+@pytest.mark.parametrize("censor", CENSORING)
+@pytest.mark.parametrize("mode", PHASE_MODES)
+@pytest.mark.parametrize("n,tp,tc,tr", GRID)
+def test_engine_matrix(n, tp, tc, tr, mode, censor):
+    params = RouterTimingParameters(n_nodes=n, tp=tp, tc=tc, tr=tr)
+    phases = _phases(mode, n, tp)
+    for seed in (1, 7):
+        assert_matrix_identical(
+            params, seed, _horizon(tp, tc), phases, _stop_flags(phases, censor)
+        )
+
+
+def test_engine_matrix_fuzz():
+    """Seeded fuzz over the parameter space (see tests/_gen.py)."""
+    for n, tc, tr, seed, phases in model_cases(seed=2026, count=15):
+        params = RouterTimingParameters(n_nodes=n, tp=20.0, tc=tc, tr=tr)
+        assert_matrix_identical(params, seed, _horizon(20.0, tc), phases, {})
+
+
+def test_batch_members_match_singletons():
+    """A multi-member batch equals per-seed singleton batches."""
+    params = RouterTimingParameters(n_nodes=6, tp=20.0, tc=0.11, tr=0.3)
+    seeds = [1, 2, 3, 9, 40]
+    pooled = BatchCascade(params, seeds, keep_cluster_history=True)
+    pooled.run(until=2000.0)
+    for k, seed in enumerate(seeds):
+        solo = BatchCascade(params, [seed], keep_cluster_history=True)
+        solo.run(until=2000.0)
+        assert pooled.members[k].first_time_at_least == (
+            solo.members[0].first_time_at_least
+        )
+        assert pooled.members[k].round_times == solo.members[0].round_times
+        assert pooled.rng_states(k) == solo.rng_states(0)
+
+
+def test_batch_backends_identical_mid_run():
+    """Backends agree not just at the end but across resumed horizons."""
+    if not HAVE_NUMPY:
+        pytest.skip("numpy not importable")
+    params = RouterTimingParameters(n_nodes=8, tp=20.0, tc=0.3, tr=1.0)
+    py = BatchCascade(params, [5, 6], backend="python")
+    np_ = BatchCascade(params, [5, 6], backend="numpy")
+    for horizon in (500.0, 1500.0, 4000.0):
+        assert py.run(until=horizon) == np_.run(until=horizon)
+        for k in range(2):
+            assert py.rng_states(k) == np_.rng_states(k)
+            assert py.members[k].round_times == np_.members[k].round_times

@@ -263,3 +263,59 @@ class TestDrain:
             inflight.join(timeout=60)
         assert inflight_response[0].status == 200
         assert len(runner.calls) == 1
+
+
+class TestBatchEngine:
+    """engine="batch" through the serving layer, byte for byte."""
+
+    def test_batch_simulate_bytes_equal_direct_runner_path(self, tmp_path):
+        spec = spec_dict(seed=31, engine="batch")
+        job = SimulationJob.from_dict(spec)
+        direct = simulation_payload(job, ParallelRunner(jobs=1).run([job])[0])
+        with BackgroundServer(config(tmp_path)) as bg:
+            with ServeClient(bg.host, bg.port) as client:
+                served = client.simulate(spec)
+        assert served.status == 200
+        assert served.body == direct
+
+    def test_batch_figure_bytes_equal_cascade_figure_bytes(self, tmp_path):
+        from repro.experiments.registry import run_figure
+        from repro.serve import figure_payload
+
+        direct = figure_payload(run_figure("fig10", fast=True, jobs=1))
+        with BackgroundServer(config(tmp_path, engine="batch")) as bg:
+            with ServeClient(bg.host, bg.port) as client:
+                served = client.figure("fig10")
+        assert served.status == 200
+        assert served.body == direct
+
+    def test_batch_figure_survives_restart_from_warm_cache(self, tmp_path):
+        cfg = config(tmp_path, engine="batch")
+        with BackgroundServer(cfg) as bg:
+            with ServeClient(bg.host, bg.port) as client:
+                first = client.figure("fig10")
+        # A fresh process (new server, same cache dir) must serve the
+        # identical bytes, now assembled from the warm job cache.
+        with BackgroundServer(cfg) as bg:
+            with ServeClient(bg.host, bg.port) as client:
+                second = client.figure("fig10")
+        assert first.status == second.status == 200
+        assert second.body == first.body
+
+    def test_batch_sweep_specs_splice_identically(self, tmp_path):
+        specs = [
+            spec_dict(seed=41, engine="batch"),
+            spec_dict(seed=42, engine="batch"),
+        ]
+        jobs = [SimulationJob.from_dict(s) for s in specs]
+        results = ParallelRunner(jobs=1).run(jobs)
+        pieces = [
+            simulation_payload(job, result).rstrip(b"\n")
+            for job, result in zip(jobs, results)
+        ]
+        expected = b'{"results":[' + b",".join(pieces) + b"]}\n"
+        with BackgroundServer(config(tmp_path)) as bg:
+            with ServeClient(bg.host, bg.port) as client:
+                response = client.sweep(specs)
+        assert response.status == 200
+        assert response.body == expected
