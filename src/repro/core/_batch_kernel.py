@@ -1,0 +1,670 @@
+"""Optional compiled providers for the batch cascade kernel.
+
+:mod:`repro.core.batch`'s ``backend="compiled"`` runs the scalar
+cascade kernel as machine code.  Two providers, tried in order:
+
+``numba``
+    :func:`advance_member` below is written in the nopython subset —
+    packed flat arrays, no objects, no dicts — so when numba is
+    importable it is ``njit``-compiled as-is.  A warmup call at
+    resolve time forces compilation and demotes any numba failure to
+    "unavailable" instead of a crash mid-run.
+``c``
+    When numba is absent, the line-for-line C translation in
+    ``_batch_kernel.c`` (same directory) is built on demand with the
+    system compiler and loaded through :mod:`ctypes`.  The build
+    forbids FP contraction (``-ffp-contract=off -fno-fast-math``) so
+    no fused multiply-adds can perturb the float stream — the kernel
+    must stay byte-identical to the interpreted backends.
+
+Both providers expose the same callable signature as
+:func:`advance_member`; :func:`resolve_compiled` returns ``(provider
+name, callable)`` or None, cached for the process.  NumPy is required
+either way (the packed state lives in ndarrays); environments without
+it use the pure-Python backend.
+
+State packing
+-------------
+Per member (see :class:`MemberState`): ``expiry``/``rng`` are the
+router timers and Lehmer states; ``fstate = [now, open_time]``
+(NaN = no open group) and ``istate`` (indices :data:`I_OPEN_SIZE` …
+:data:`I_TOTAL_CASCADES`) carry the fused tracker's scalars; the
+sliding window deque becomes a ring buffer of ``[size, count]``
+columns with ``win_meta = [head, entries]``; the first-passage dicts
+become dense arrays (their keys are contiguous frontiers); round and
+group series are growable buffers with one-slot metas.  The kernel is
+*resumable*: it reserves buffer headroom at the top of every cascade
+(one round slot, two group slots) and returns
+:data:`STATUS_ROUNDS_FULL` / :data:`STATUS_GROUPS_FULL` before
+touching anything, so the Python driver can grow the buffer and call
+again with no state ambiguity.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - compiled backend needs numpy
+    _np = None
+
+__all__ = [
+    "MemberState",
+    "advance_member",
+    "drive_member",
+    "resolve_compiled",
+]
+
+_MOD = 2**31 - 1
+_MUL = 16807
+_INF = float("inf")
+_NAN = float("nan")
+
+# istate layout.
+I_OPEN_SIZE = 0
+I_WINDOW_RESETS = 1
+I_WMAX = 2
+I_FTAL_MAX = 3
+I_FTAM_MIN = 4
+I_ROUND_FILL = 5
+I_ROUND_MAX = 6
+I_TOTAL_RESETS = 7
+I_TOTAL_CASCADES = 8
+
+STATUS_HORIZON = 0
+STATUS_STOPPED = 1
+STATUS_ROUNDS_FULL = 2
+STATUS_GROUPS_FULL = 3
+
+
+def advance_member(
+    expiry,
+    rng,
+    n,
+    tc,
+    low,
+    span,
+    tol,
+    until,
+    stop_sync,
+    stop_unsync,
+    keep_history,
+    fstate,
+    istate,
+    win_sizes,
+    win_cnts,
+    win_meta,
+    ftal,
+    ftam,
+    round_times,
+    round_largest,
+    round_meta,
+    group_times,
+    group_sizes,
+    group_meta,
+    idx_scratch,
+    time_scratch,
+):
+    """Advance one packed member to ``until`` or a stop condition.
+
+    The exact arithmetic of ``BatchCascade._advance_slice`` over flat
+    arrays.  Returns a ``STATUS_*`` code; on ``ROUNDS_FULL`` /
+    ``GROUPS_FULL`` no state from the pending cascade has been
+    written, so the caller can grow the buffer and simply call again.
+    """
+    cap = n + 1  # window ring capacity
+    rt_cap = round_times.shape[0]
+    gt_cap = group_times.shape[0]
+
+    now = fstate[0]
+    open_time = fstate[1]
+    open_size = istate[I_OPEN_SIZE]
+    wres = istate[I_WINDOW_RESETS]
+    wmax = istate[I_WMAX]
+    ftal_max = istate[I_FTAL_MAX]
+    ftam_min = istate[I_FTAM_MIN]
+    rfill = istate[I_ROUND_FILL]
+    rmax = istate[I_ROUND_MAX]
+    head = win_meta[0]
+    count = win_meta[1]
+
+    status = -1
+    while True:
+        # Headroom reservation: one round slot, two group slots (one
+        # close during the cascade + one for the trailing finish).
+        if round_meta[0] + 1 > rt_cap:
+            status = STATUS_ROUNDS_FULL
+            break
+        if keep_history != 0 and group_meta[0] + 2 > gt_cap:
+            status = STATUS_GROUPS_FULL
+            break
+
+        # Earliest pending expiry; strict < keeps the first (lowest
+        # node id) minimum, matching the heap's (time, node) order.
+        e1 = expiry[0]
+        i1 = 0
+        for i in range(1, n):
+            if expiry[i] < e1:
+                e1 = expiry[i]
+                i1 = i
+        if e1 > until:
+            if now < until:
+                now = until
+            status = STATUS_HORIZON
+            break
+
+        expiry[i1] = _INF
+        idx_scratch[0] = i1
+        time_scratch[0] = e1
+        g = 1
+        window = e1 + tc
+        while True:
+            e = expiry[0]
+            ii = 0
+            for i in range(1, n):
+                if expiry[i] < e:
+                    e = expiry[i]
+                    ii = i
+            if e > window:
+                break
+            expiry[ii] = _INF
+            idx_scratch[g] = ii
+            time_scratch[g] = e
+            g += 1
+            window += tc
+        if window > until:
+            # Busy period outlives the horizon: restore and stop.
+            for j in range(g):
+                expiry[idx_scratch[j]] = time_scratch[j]
+            now = until
+            status = STATUS_HORIZON
+            break
+
+        istate[I_TOTAL_CASCADES] += 1
+        now = window
+        t = window
+
+        # -- fused tracker: record_reset x g at time t ----------------
+        if open_time == open_time and abs(t - open_time) <= tol:
+            s = open_size
+            li = head + count - 1
+            if li >= cap:
+                li -= cap
+        else:
+            if open_time == open_time:
+                if keep_history != 0:
+                    gi = group_meta[0]
+                    group_times[gi] = open_time
+                    group_sizes[gi] = open_size
+                    group_meta[0] = gi + 1
+            li = head + count
+            if li >= cap:
+                li -= cap
+            win_sizes[li] = 0
+            win_cnts[li] = 0
+            count += 1
+            s = 0
+        for _ in range(g):
+            s += 1
+            win_sizes[li] = s
+            win_cnts[li] += 1
+            wres += 1
+            if s > wmax:
+                wmax = s
+            while wres > n:
+                win_cnts[head] -= 1
+                wres -= 1
+                if win_cnts[head] == 0:
+                    esize = win_sizes[head]
+                    head += 1
+                    if head >= cap:
+                        head -= cap
+                    count -= 1
+                    if esize >= wmax and wmax > 1:
+                        wmax = 1
+                        q = head
+                        for _ in range(count):
+                            if win_sizes[q] > wmax:
+                                wmax = win_sizes[q]
+                            q += 1
+                            if q >= cap:
+                                q -= cap
+            if s > ftal_max:
+                ftal[s] = t
+                ftal_max = s
+            if wres >= n and wmax < ftam_min:
+                for v in range(wmax, ftam_min):
+                    ftam[v] = t
+                ftam_min = wmax
+            rfill += 1
+            if s > rmax:
+                rmax = s
+            if rfill >= n:
+                ri = round_meta[0]
+                round_times[ri] = t
+                round_largest[ri] = rmax
+                round_meta[0] = ri + 1
+                rfill = 0
+                rmax = 0
+        open_time = t
+        open_size = s
+        istate[I_TOTAL_RESETS] += g
+
+        # -- redraw, in pop order -------------------------------------
+        for j in range(g):
+            i = idx_scratch[j]
+            state = (_MUL * rng[i]) % _MOD
+            rng[i] = state
+            expiry[i] = window + (low + span * (state / _MOD))
+
+        if stop_sync != 0 and (s >= n or (wres >= n and wmax >= n)):
+            status = STATUS_STOPPED
+            break
+        if stop_unsync != 0 and wres >= n and wmax <= 1:
+            status = STATUS_STOPPED
+            break
+
+    if status == STATUS_HORIZON or status == STATUS_STOPPED:
+        # ClusterTracker.finish(): close the trailing open group.
+        if open_time == open_time:
+            if keep_history != 0:
+                gi = group_meta[0]
+                group_times[gi] = open_time
+                group_sizes[gi] = open_size
+                group_meta[0] = gi + 1
+            open_time = _NAN
+            open_size = 0
+
+    fstate[0] = now
+    fstate[1] = open_time
+    istate[I_OPEN_SIZE] = open_size
+    istate[I_WINDOW_RESETS] = wres
+    istate[I_WMAX] = wmax
+    istate[I_FTAL_MAX] = ftal_max
+    istate[I_FTAM_MIN] = ftam_min
+    istate[I_ROUND_FILL] = rfill
+    istate[I_ROUND_MAX] = rmax
+    win_meta[0] = head
+    win_meta[1] = count
+    return status
+
+
+class MemberState:
+    """One member's packed arrays for the compiled kernel."""
+
+    __slots__ = (
+        "n",
+        "keep_history",
+        "expiry",
+        "rng",
+        "fstate",
+        "istate",
+        "win_sizes",
+        "win_cnts",
+        "win_meta",
+        "ftal",
+        "ftam",
+        "round_times",
+        "round_largest",
+        "round_meta",
+        "group_times",
+        "group_sizes",
+        "group_meta",
+        "idx_scratch",
+        "time_scratch",
+    )
+
+    def __init__(self, expiry, rng, n, keep_history, rounds_cap=64):
+        np = _np
+        self.n = n
+        self.keep_history = 1 if keep_history else 0
+        self.expiry = np.array(expiry, dtype=np.float64)
+        self.rng = np.array(rng, dtype=np.int64)
+        self.fstate = np.array([0.0, _NAN], dtype=np.float64)
+        self.istate = np.zeros(9, dtype=np.int64)
+        self.istate[I_FTAM_MIN] = n + 1
+        self.win_sizes = np.zeros(n + 1, dtype=np.int64)
+        self.win_cnts = np.zeros(n + 1, dtype=np.int64)
+        self.win_meta = np.zeros(2, dtype=np.int64)
+        self.ftal = np.full(n + 1, _NAN, dtype=np.float64)
+        self.ftam = np.full(n + 1, _NAN, dtype=np.float64)
+        self.round_times = np.empty(rounds_cap, dtype=np.float64)
+        self.round_largest = np.empty(rounds_cap, dtype=np.int64)
+        self.round_meta = np.zeros(1, dtype=np.int64)
+        gcap = 64 if keep_history else 2
+        self.group_times = np.empty(gcap, dtype=np.float64)
+        self.group_sizes = np.empty(gcap, dtype=np.int64)
+        self.group_meta = np.zeros(1, dtype=np.int64)
+        self.idx_scratch = np.empty(n, dtype=np.int64)
+        self.time_scratch = np.empty(n, dtype=np.float64)
+
+    def _grow(self, values_attr, sizes_attr, meta):
+        for attr in (values_attr, sizes_attr):
+            old = getattr(self, attr)
+            new = _np.empty(max(2 * old.shape[0], 16), dtype=old.dtype)
+            new[: old.shape[0]] = old
+            setattr(self, attr, new)
+
+    def grow_rounds(self):
+        self._grow("round_times", "round_largest", self.round_meta)
+
+    def grow_groups(self):
+        self._grow("group_times", "group_sizes", self.group_meta)
+
+    def kernel_args(self, tc, low, span, tol, until, stop_sync, stop_unsync):
+        return (
+            self.expiry,
+            self.rng,
+            self.n,
+            tc,
+            low,
+            span,
+            tol,
+            until,
+            1 if stop_sync else 0,
+            1 if stop_unsync else 0,
+            self.keep_history,
+            self.fstate,
+            self.istate,
+            self.win_sizes,
+            self.win_cnts,
+            self.win_meta,
+            self.ftal,
+            self.ftam,
+            self.round_times,
+            self.round_largest,
+            self.round_meta,
+            self.group_times,
+            self.group_sizes,
+            self.group_meta,
+            self.idx_scratch,
+            self.time_scratch,
+        )
+
+    def sync_member(self, member):
+        """Unpack this state into a ``BatchMember``'s public fields."""
+        from .clusters import ClusterGroup  # local: avoid cycle at import
+
+        n = self.n
+        member.now = float(self.fstate[0])
+        open_time = float(self.fstate[1])
+        member._open_time = None if open_time != open_time else open_time
+        member._open_size = int(self.istate[I_OPEN_SIZE])
+        member._window_resets = int(self.istate[I_WINDOW_RESETS])
+        member._wmax = int(self.istate[I_WMAX])
+        member._ftal_max = int(self.istate[I_FTAL_MAX])
+        member._ftam_min = int(self.istate[I_FTAM_MIN])
+        member._round_fill = int(self.istate[I_ROUND_FILL])
+        member._round_max = int(self.istate[I_ROUND_MAX])
+        member.total_resets = int(self.istate[I_TOTAL_RESETS])
+        member.total_cascades = int(self.istate[I_TOTAL_CASCADES])
+        member.first_time_at_least = {
+            s: float(self.ftal[s]) for s in range(1, member._ftal_max + 1)
+        }
+        member.first_time_at_most = {
+            s: float(self.ftam[s]) for s in range(member._ftam_min, n + 1)
+        }
+        rc = int(self.round_meta[0])
+        member.round_times = self.round_times[:rc].tolist()
+        member.round_largest = self.round_largest[:rc].tolist()
+        if self.keep_history:
+            gc = int(self.group_meta[0])
+            times = self.group_times[:gc].tolist()
+            sizes = self.group_sizes[:gc].tolist()
+            member.groups = [
+                ClusterGroup(t, s) for t, s in zip(times, sizes)
+            ]
+
+
+def drive_member(kernel, state, tc, low, span, tol, until, stop_sync, stop_unsync):
+    """Run the kernel to completion, growing buffers as it asks."""
+    while True:
+        status = kernel(
+            *state.kernel_args(tc, low, span, tol, until, stop_sync, stop_unsync)
+        )
+        if status == STATUS_ROUNDS_FULL:
+            state.grow_rounds()
+        elif status == STATUS_GROUPS_FULL:
+            state.grow_groups()
+        else:
+            return status
+
+
+# -- provider resolution -------------------------------------------------
+
+_RESOLVED: object = "unset"
+
+
+def resolve_compiled(force: str | None = None):
+    """``(provider_name, kernel)`` or None, cached per process.
+
+    ``force`` (or the ``REPRO_COMPILED_PROVIDER`` env var) pins one
+    provider ("numba" / "c") instead of trying both — the hook the CI
+    compiled-backend job uses to assert which provider it exercised.
+    """
+    global _RESOLVED
+    if _RESOLVED == "unset":
+        _RESOLVED = _resolve(
+            force or os.environ.get("REPRO_COMPILED_PROVIDER", "").strip() or None
+        )
+    return _RESOLVED
+
+
+def _resolve(force):
+    if _np is None:
+        return None
+    if force not in (None, "numba", "c"):
+        raise ValueError(f"unknown compiled provider {force!r}")
+    if force in (None, "numba"):
+        kernel = _try_numba()
+        if kernel is not None:
+            return ("numba", kernel)
+    if force in (None, "c"):
+        kernel = _try_cmodule()
+        if kernel is not None:
+            return ("c", kernel)
+    return None
+
+
+def _warmup(kernel):
+    """Force-compile / smoke-test a candidate kernel on a tiny case."""
+    state = MemberState([0.25, 0.75], [11, 12], 2, True, rounds_cap=4)
+    status = drive_member(kernel, state, 0.1, 0.9, 0.2, 1e-7, 5.0, False, False)
+    if status != STATUS_HORIZON:
+        raise RuntimeError(f"warmup returned status {status}")
+
+
+def _try_numba():
+    try:
+        import numba
+    except ImportError:
+        return None
+    try:
+        # fastmath stays off: reassociation/contraction would break
+        # bit-identity with the interpreted backends.
+        kernel = numba.njit(cache=False, fastmath=False)(advance_member)
+        _warmup(kernel)
+    except Exception:  # pragma: no cover - depends on numba install health
+        return None
+    return kernel
+
+
+def _c_source_path():
+    return os.path.join(os.path.dirname(__file__), "_batch_kernel.c")
+
+
+def _cache_dir():
+    override = os.environ.get("REPRO_CKERNEL_CACHE", "").strip()
+    if override:
+        return override
+    return os.path.join(
+        os.environ.get("XDG_CACHE_HOME")
+        or os.path.join(os.path.expanduser("~"), ".cache"),
+        "repro-ckernel",
+    )
+
+
+def _build_clib():
+    """Compile ``_batch_kernel.c`` into a cached shared library."""
+    src = _c_source_path()
+    with open(src, "rb") as fh:
+        source = fh.read()
+    tag = hashlib.sha256(source).hexdigest()[:16]
+    cache = _cache_dir()
+    lib_path = os.path.join(cache, f"batch_kernel_{tag}.so")
+    if os.path.exists(lib_path):
+        return lib_path
+    cc = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+    if cc is None:
+        raise RuntimeError("no C compiler on PATH")
+    os.makedirs(cache, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(suffix=".so", dir=cache)
+    os.close(fd)
+    try:
+        subprocess.run(
+            [
+                cc,
+                "-O2",
+                "-fPIC",
+                "-shared",
+                # No FMA contraction, no fast-math value changes: the
+                # kernel must round exactly like the Python backends.
+                "-ffp-contract=off",
+                "-fno-fast-math",
+                src,
+                "-o",
+                tmp,
+                "-lm",
+            ],
+            check=True,
+            capture_output=True,
+        )
+        os.replace(tmp, lib_path)  # atomic publish; racers converge
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return lib_path
+
+
+def _try_cmodule():
+    try:
+        lib_path = _build_clib()
+        lib = ctypes.CDLL(lib_path)
+        kernel = _c_adapter(lib)
+        _warmup(kernel)
+    except Exception:
+        return None
+    return kernel
+
+
+def _c_adapter(lib):
+    """Wrap the C entry point behind the Python kernel's signature."""
+    fn = lib.repro_advance_member
+    c_ll = ctypes.c_longlong
+    c_d = ctypes.c_double
+    p_d = ctypes.POINTER(c_d)
+    p_ll = ctypes.POINTER(c_ll)
+    fn.restype = c_ll
+    fn.argtypes = [
+        p_d,  # expiry
+        p_ll,  # rng
+        c_ll,  # n
+        c_d,  # tc
+        c_d,  # low
+        c_d,  # span
+        c_d,  # tol
+        c_d,  # until
+        c_ll,  # stop_sync
+        c_ll,  # stop_unsync
+        c_ll,  # keep_history
+        p_d,  # fstate
+        p_ll,  # istate
+        p_ll,  # win_sizes
+        p_ll,  # win_cnts
+        p_ll,  # win_meta
+        p_d,  # ftal
+        p_d,  # ftam
+        p_d,  # round_times
+        p_ll,  # round_largest
+        p_ll,  # round_meta
+        c_ll,  # round_cap
+        p_d,  # group_times
+        p_ll,  # group_sizes
+        p_ll,  # group_meta
+        c_ll,  # group_cap
+        p_ll,  # idx_scratch
+        p_d,  # time_scratch
+    ]
+
+    def dp(a):
+        return a.ctypes.data_as(p_d)
+
+    def lp(a):
+        return a.ctypes.data_as(p_ll)
+
+    def kernel(
+        expiry,
+        rng,
+        n,
+        tc,
+        low,
+        span,
+        tol,
+        until,
+        stop_sync,
+        stop_unsync,
+        keep_history,
+        fstate,
+        istate,
+        win_sizes,
+        win_cnts,
+        win_meta,
+        ftal,
+        ftam,
+        round_times,
+        round_largest,
+        round_meta,
+        group_times,
+        group_sizes,
+        group_meta,
+        idx_scratch,
+        time_scratch,
+    ):
+        return fn(
+            dp(expiry),
+            lp(rng),
+            n,
+            tc,
+            low,
+            span,
+            tol,
+            until,
+            stop_sync,
+            stop_unsync,
+            keep_history,
+            dp(fstate),
+            lp(istate),
+            lp(win_sizes),
+            lp(win_cnts),
+            lp(win_meta),
+            dp(ftal),
+            dp(ftam),
+            dp(round_times),
+            lp(round_largest),
+            lp(round_meta),
+            round_times.shape[0],
+            dp(group_times),
+            lp(group_sizes),
+            lp(group_meta),
+            group_times.shape[0],
+            lp(idx_scratch),
+            dp(time_scratch),
+        )
+
+    return kernel

@@ -55,6 +55,7 @@ from .job import (
     validate_engine,
 )
 from .report import OUTCOMES, JobRecord, RunReport
+from .shm import ResultSlab, run_jobs_shm, shm_available
 from .runner import (
     JobTimeoutError,
     ParallelRunner,
@@ -79,6 +80,7 @@ __all__ = [
     "JobTimeoutError",
     "ParallelRunner",
     "ResultCache",
+    "ResultSlab",
     "RunReport",
     "RunnerStats",
     "SimulationJob",
@@ -93,5 +95,7 @@ __all__ = [
     "run_benchmark",
     "run_job",
     "run_jobs",
+    "run_jobs_shm",
+    "shm_available",
     "validate_engine",
 ]

@@ -37,6 +37,13 @@ Fault kinds
 ``cache_corrupt``
     Truncate the cache entry right after it is written — models a
     torn write / bit rot; recovery requires quarantine-and-recompute.
+``shm_torn``
+    Write the job's shared-memory result row but never set its commit
+    flag — models a torn slab write the parent must refuse to read.
+``shm_crash``
+    Write the row without committing, then hard-kill the worker —
+    models a worker dying mid-write to the shared segment.  Inert
+    outside a pool worker, like ``crash``.
 """
 
 from __future__ import annotations
@@ -62,6 +69,8 @@ FAULT_KINDS = (
     "hang",
     "cache_write_error",
     "cache_corrupt",
+    "shm_torn",
+    "shm_crash",
 )
 
 #: Exit status of a crash-injected worker (easy to spot in core dumps
@@ -184,6 +193,16 @@ class FaultPlan:
         """Corrupt the on-disk entry right after a matching put."""
         return FaultRule(kind="cache_corrupt", seeds=seeds)
 
+    @staticmethod
+    def shm_torn(seeds: tuple[int, ...] = ()) -> FaultRule:
+        """Leave the matching job's shm row written but uncommitted."""
+        return FaultRule(kind="shm_torn", seeds=seeds)
+
+    @staticmethod
+    def shm_crash(seeds: tuple[int, ...] = ()) -> FaultRule:
+        """Tear the matching row, then kill the worker mid-write."""
+        return FaultRule(kind="shm_crash", seeds=seeds)
+
     # -- hooks the execution layer calls -------------------------------------
 
     def on_job(self, job, attempt: int) -> None:
@@ -222,3 +241,18 @@ class FaultPlan:
             rule.kind == "cache_corrupt" and rule.matches(job, 0)
             for rule in self.rules
         )
+
+    def shm_fault(self, job) -> str | None:
+        """Which shm write fault (if any) fires for this job.
+
+        Called by :func:`repro.parallel.shm.run_jobs_shm` per result
+        row; returns ``"shm_torn"``, ``"shm_crash"`` or ``None``.
+        The crash variant wins when both match.
+        """
+        found: str | None = None
+        for rule in self.rules:
+            if rule.kind == "shm_crash" and rule.matches(job, 0):
+                return "shm_crash"
+            if rule.kind == "shm_torn" and rule.matches(job, 0):
+                found = "shm_torn"
+        return found

@@ -1,0 +1,242 @@
+"""Flag determinism hazards inside the simulation core.
+
+The reproduction's headline guarantee is byte-identity: every engine
+and backend produces the same float64 trajectory from the same seed,
+on every machine, forever.  Three numpy idioms quietly break that
+guarantee and belong nowhere in ``repro.core``:
+
+* ``np.random`` — any use.  The core's randomness is the paper's
+  31-bit Lehmer generator (``repro.rng.lehmer``), advanced explicitly
+  and snapshotted in results; ``np.random`` draws from hidden global
+  state with its own seeding semantics, so a single call desyncs the
+  consumed-RNG-position checks in the differential matrix.
+* ``float32`` dtypes — results are float64 end to end.  A float32
+  slab rounds differently per platform SIMD width and silently
+  poisons every comparison with the scalar paths.
+* axis-less ``np.sum``/``np.prod`` over float slabs — numpy's
+  full-array reductions use pairwise/SIMD association, so the result
+  depends on array layout and build flags.  The core's kernels sum
+  in an explicit, documented order (or over a stated axis); a bare
+  ``np.sum(slab)`` is an order-unstable reduction waiting to differ.
+
+This linter walks the AST of a source tree (default: the ``core``
+package next to this file's parent) and reports every such use.  Like
+the clock and except linters it is test-enforced
+(``tests/test_tools_lint_determinism.py`` scans the shipped package)
+and CI runs it directly.
+
+Escape hatch for single deliberate sites: a ``# lint:
+allow-nondeterminism`` comment on the offending line (or the line
+above) suppresses the finding — every exception stays a visible,
+reviewable annotation.  Integer reductions are a common legitimate
+case: ``np.sum`` over ints is exact in any order, so annotate those.
+
+Usage::
+
+    python -m repro.tools.lint_determinism [paths...]  # default: src/repro/core
+
+Exit status 1 when findings exist, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = [
+    "ALLOW_COMMENT",
+    "Finding",
+    "main",
+    "scan_file",
+    "scan_tree",
+]
+
+ALLOW_COMMENT = "lint: allow-nondeterminism"
+
+#: Names the linter treats as "the numpy module" in dotted chains.
+_NUMPY_ALIASES = ("np", "numpy", "_np")
+
+#: Axis-less calls of these numpy reductions are order-unstable.
+_UNSTABLE_REDUCTIONS = ("sum", "prod", "nansum", "nanprod", "dot", "einsum")
+
+
+class Finding:
+    """One flagged site: file, line, and a human-readable reason."""
+
+    def __init__(self, path: Path, line: int, reason: str) -> None:
+        self.path = path
+        self.line = line
+        self.reason = reason
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.reason}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Finding({str(self)!r})"
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for an attribute chain of plain names, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _reason_for_node(node: ast.AST) -> str | None:
+    """The violation message for one AST node, or None."""
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if alias.name == "numpy.random" or alias.name.startswith(
+                "numpy.random."
+            ):
+                return (
+                    f"import of {alias.name!r}: np.random's hidden global "
+                    "state breaks seed-derived byte-identity (use "
+                    "repro.rng.lehmer streams)"
+                )
+        return None
+    if isinstance(node, ast.ImportFrom):
+        module = node.module or ""
+        if module == "numpy.random" or module.startswith("numpy.random."):
+            return (
+                f"import from {module!r}: np.random's hidden global state "
+                "breaks seed-derived byte-identity (use repro.rng.lehmer "
+                "streams)"
+            )
+        if module == "numpy" and any(a.name == "random" for a in node.names):
+            return (
+                "import of numpy.random: use repro.rng.lehmer streams "
+                "instead"
+            )
+        if module == "numpy" and any(a.name == "float32" for a in node.names):
+            return "float32 import: core slabs are float64 end to end"
+        return None
+    if isinstance(node, ast.Attribute):
+        dotted = _dotted_name(node)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        if len(parts) >= 2 and parts[0] in _NUMPY_ALIASES:
+            # Flag only the exact ``np.random`` node: longer chains
+            # like ``np.random.seed`` contain it as a child, and
+            # flagging both would double-report every site.
+            if parts[1] == "random" and len(parts) == 2:
+                return (
+                    f"{dotted}: np.random's hidden global state breaks "
+                    "seed-derived byte-identity (use repro.rng.lehmer "
+                    "streams)"
+                )
+            if parts[-1] == "float32":
+                return (
+                    f"{dotted}: core slabs are float64 end to end; a "
+                    "float32 dtype rounds differently per platform"
+                )
+        return None
+    if isinstance(node, ast.keyword):
+        if (
+            node.arg == "dtype"
+            and isinstance(node.value, ast.Constant)
+            and node.value.value == "float32"
+        ):
+            return (
+                'dtype="float32": core slabs are float64 end to end; a '
+                "float32 dtype rounds differently per platform"
+            )
+        return None
+    if isinstance(node, ast.Call):
+        dotted = _dotted_name(node.func)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        if (
+            len(parts) == 2
+            and parts[0] in _NUMPY_ALIASES
+            and parts[1] in _UNSTABLE_REDUCTIONS
+        ):
+            has_axis = any(kw.arg == "axis" for kw in node.keywords)
+            if parts[1] in ("dot", "einsum") or not has_axis:
+                return (
+                    f"{dotted}() is an order-unstable reduction over a "
+                    "float slab (pairwise/SIMD association varies by "
+                    "build); reduce in an explicit order or over a "
+                    "stated axis, or annotate an integer reduction with "
+                    f"'# {ALLOW_COMMENT}'"
+                )
+        return None
+    return None
+
+
+def scan_file(path: Path) -> list[Finding]:
+    """All determinism hazards in one file."""
+    try:
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError) as error:
+        return [Finding(path, 1, f"could not scan: {error}")]
+    lines = source.splitlines()
+    findings = []
+    flagged: set[tuple[int, str]] = set()  # one finding per site
+    for node in ast.walk(tree):
+        reason = _reason_for_node(node)
+        if reason is None:
+            continue
+        lineno = getattr(node, "lineno", None)
+        if lineno is None or (lineno, reason) in flagged:  # pragma: no cover
+            continue
+        flagged.add((lineno, reason))
+        window = lines[max(0, lineno - 2) : lineno]
+        if any(ALLOW_COMMENT in line for line in window):
+            continue
+        findings.append(Finding(path, lineno, reason))
+    findings.sort(key=lambda f: f.line)
+    return findings
+
+
+def scan_tree(paths: Iterable[Path]) -> list[Finding]:
+    """Recursively scan files and directories for determinism hazards."""
+    findings: list[Finding] = []
+    for path in paths:
+        if path.is_dir():
+            for source in sorted(path.rglob("*.py")):
+                findings.extend(scan_file(source))
+        else:
+            findings.extend(scan_file(path))
+    return findings
+
+
+def default_target() -> Path:
+    """The simulation core this lint guards (``src/repro/core``)."""
+    return Path(__file__).resolve().parents[1] / "core"
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns 1 when findings exist."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.lint_determinism",
+        description="flag np.random, float32 dtypes, and order-unstable "
+        "reductions inside the simulation core",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path, help="files or directories to scan"
+    )
+    options = parser.parse_args(sys.argv[1:] if argv is None else list(argv))
+    targets = options.paths or [default_target()]
+    findings = scan_tree(targets)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} determinism hazard(s) found")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

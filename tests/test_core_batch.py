@@ -8,6 +8,8 @@ transparent regrouping (serial and pooled), and the per-job fallback
 when a whole group fails.
 """
 
+import os
+
 import pytest
 
 import repro.core.batch as batch_mod
@@ -35,10 +37,54 @@ def jobs_for(seeds, engine="batch", direction="up", horizon=2000.0, tr=0.3):
     ]
 
 
+class TestRngBankStreaming:
+    """The `_BLOCK_BUDGET` soft cap must stream, not degenerate.
+
+    Regression for the refill path at budget-exceeding ensemble sizes
+    (members x routers x draws beyond the soft cap): block length is
+    floored at ``_MIN_BLOCK`` instead of shrinking toward 1-draw
+    blocks, exhausted streams refill in vectorized groups, and none
+    of it may move a single float.
+    """
+
+    def test_budget_exceeding_ensemble_streams_blocks(self, monkeypatch):
+        if BACKEND != "numpy":
+            pytest.skip("numpy not importable")
+        params = RouterTimingParameters(n_nodes=5, tp=20.0, tc=0.11, tr=0.3)
+        seeds = list(range(1, 31))  # 30 members x 5 routers = 150 streams
+        horizon = 30_000.0
+        reference = BatchCascade(params, seeds, backend="numpy")
+        reference.run(until=horizon)
+
+        # 150 streams against a 600-float budget would naively mean
+        # 4-draw blocks; the floor must hold the block at _MIN_BLOCK
+        # and the bank must refill (stream) repeatedly instead.
+        monkeypatch.setattr(batch_mod, "_BLOCK_BUDGET", 600)
+        squeezed = BatchCascade(params, seeds, backend="numpy")
+        squeezed.run(until=horizon)
+        bank = squeezed._bank
+        assert bank is not None
+        assert bank.length == batch_mod._MIN_BLOCK
+        assert bank.refills >= 2
+
+        for k in range(len(seeds)):
+            ref = reference.members[k]
+            got = squeezed.members[k]
+            assert got.first_time_at_least == ref.first_time_at_least
+            assert got.round_times == ref.round_times
+            assert got.total_resets == ref.total_resets
+            assert squeezed.rng_states(k) == reference.rng_states(k)
+
+
 class TestConstruction:
     def test_backend_constant_is_coherent(self):
-        assert BACKEND in ("python", "numpy")
-        assert (BACKEND == "numpy") == (batch_mod._np is not None)
+        assert BACKEND in batch_mod.BACKENDS
+        # Vectorized/compiled defaults need numpy; without it the
+        # auto-detected (or env-forced) default can only be python.
+        if batch_mod._np is None:
+            assert BACKEND == "python"
+        elif "REPRO_BATCH_BACKEND" not in os.environ:
+            assert BACKEND == "numpy"
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown batch backend"):

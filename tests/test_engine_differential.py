@@ -13,6 +13,8 @@ The ad-hoc pairwise DES/cascade checks that used to live in
 ``test_core_fastsim.py`` are superseded by this matrix.
 """
 
+import os
+
 import pytest
 
 from repro.core import (
@@ -22,11 +24,17 @@ from repro.core import (
     PeriodicMessagesModel,
     RouterTimingParameters,
 )
-from repro.core.batch import BACKEND
+from repro.core.batch import BACKEND, compiled_backend_available
 
 from tests._gen import CaseGen, model_cases
 
 HAVE_NUMPY = BACKEND == "numpy"
+# The compiled backend joins the matrix automatically wherever it can
+# build (numba or a system C compiler); the dedicated CI job exports
+# REPRO_EXPECT_COMPILED=1 so "could not build" fails loudly there
+# instead of silently shrinking the matrix.
+HAVE_COMPILED = compiled_backend_available()
+EXPECT_COMPILED = os.environ.get("REPRO_EXPECT_COMPILED", "").strip() == "1"
 
 #: (n_nodes, tp, tc, tr) — paper parameters plus corners: no jitter,
 #: jitter past the Tc/2 lock threshold, and jitter wider than Tc.
@@ -129,6 +137,10 @@ def assert_matrix_identical(params, seed, horizon, phases, stops):
         rows["batch-numpy"] = run_batch(
             params, seed, horizon, phases, stops, "numpy"
         )
+    if HAVE_COMPILED:
+        rows["batch-compiled"] = run_batch(
+            params, seed, horizon, phases, stops, "compiled"
+        )
     for name, row in rows.items():
         for field in des:
             if field == "phase_state" and name == "cascade":
@@ -180,9 +192,29 @@ def test_batch_backends_identical_mid_run():
         pytest.skip("numpy not importable")
     params = RouterTimingParameters(n_nodes=8, tp=20.0, tc=0.3, tr=1.0)
     py = BatchCascade(params, [5, 6], backend="python")
-    np_ = BatchCascade(params, [5, 6], backend="numpy")
+    others = {"numpy": BatchCascade(params, [5, 6], backend="numpy")}
+    if HAVE_COMPILED:
+        others["compiled"] = BatchCascade(params, [5, 6], backend="compiled")
     for horizon in (500.0, 1500.0, 4000.0):
-        assert py.run(until=horizon) == np_.run(until=horizon)
-        for k in range(2):
-            assert py.rng_states(k) == np_.rng_states(k)
-            assert py.members[k].round_times == np_.members[k].round_times
+        ends = py.run(until=horizon)
+        for name, other in others.items():
+            assert other.run(until=horizon) == ends, name
+            for k in range(2):
+                assert py.rng_states(k) == other.rng_states(k), name
+                assert (
+                    py.members[k].round_times == other.members[k].round_times
+                ), name
+
+
+def test_compiled_backend_present_when_required():
+    """The compiled-backend CI job must actually test the compiled path.
+
+    REPRO_EXPECT_COMPILED=1 turns "backend could not be resolved"
+    from a silent matrix shrink into a hard failure.
+    """
+    if not EXPECT_COMPILED:
+        pytest.skip("REPRO_EXPECT_COMPILED not set")
+    assert HAVE_COMPILED, (
+        "REPRO_EXPECT_COMPILED=1 but no compiled kernel (numba or C) "
+        "could be resolved"
+    )
