@@ -258,6 +258,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serving.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "serve: worker processes; >= 2 runs the prefork supervisor "
+            "(bind once, crash-respawn, cross-process single-flight; "
+            "default 1)"
+        ),
+    )
+    serving.add_argument(
         "--clients",
         type=int,
         default=4,
@@ -300,6 +311,26 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "loadgen: actually sleep between ticks (threads + wall "
             "clock) instead of replaying the schedule as fast as possible"
+        ),
+    )
+    serving.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "loadgen: honor 429/503 Retry-After hints with up to N "
+            "deterministic retries per request (default 0: surface "
+            "backpressure)"
+        ),
+    )
+    serving.add_argument(
+        "--chaos",
+        action="store_true",
+        help=(
+            "loadgen: self-host a prefork fleet (--workers >= 2), kill and "
+            "respawn workers mid-load, inject claim-orphan/crash faults, "
+            "and audit the exactly-once claim ledger"
         ),
     )
     parser.add_argument(
@@ -369,6 +400,7 @@ def _run_serve(args) -> int:
         cache_root=None if args.no_cache else (args.cache_root or "results/cache"),
         checkpoint=bool(args.resume),
         engine=args.engine or "cascade",
+        workers=args.workers,
     )
 
     def announce(line: str) -> None:
@@ -378,7 +410,12 @@ def _run_serve(args) -> int:
 
 
 def _run_loadgen(args) -> int:
-    """The 'loadgen' target: seeded load against a running server."""
+    """The 'loadgen' target: seeded load against a running server.
+
+    ``--chaos`` self-hosts a prefork fleet instead and runs the load
+    while killing/respawning workers and injecting claim-protocol
+    faults — the CLI spelling of the chaos-under-load suite.
+    """
     from ..serve import LoadPlan, format_report, run_load
 
     plan = LoadPlan(
@@ -387,8 +424,11 @@ def _run_loadgen(args) -> int:
         jitter=args.load_jitter,
         duration=args.duration,
         seed=args.seed,
-        real_time=args.real_time,
+        real_time=args.real_time or args.chaos,
+        retries=args.retries if not args.chaos else max(args.retries, 3),
     )
+    if args.chaos:
+        return _run_chaos_loadgen(args, plan)
     try:
         report = run_load(plan, args.host, args.port)
     except (ConnectionError, OSError) as error:
@@ -399,6 +439,40 @@ def _run_loadgen(args) -> int:
         return 2
     print(format_report(report))
     return 0 if report["identical_payloads_per_key"] else 1
+
+
+def _run_chaos_loadgen(args, plan) -> int:
+    from ..parallel import FaultPlan
+    from ..serve import ServeConfig, format_report, run_chaos_load
+
+    seeds = tuple(
+        spec["seed"] for spec in plan.specs[: max(1, len(plan.specs) // 2)]
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=0,  # the fleet is self-hosted; never squat the real port
+        jobs=args.jobs or 1,
+        queue_depth=args.queue_depth,
+        deadline=args.deadline or 60.0,
+        cache_root=args.cache_root or "results/chaos_cache",
+        engine=args.engine or "cascade",
+        workers=max(2, args.workers),
+        claim_ttl=2.0,
+        faults=FaultPlan.of(
+            FaultPlan.serve_crash(seeds=seeds[:1]),
+            FaultPlan.claim_orphan(seeds=seeds[-1:]),
+        ),
+    )
+    report = run_chaos_load(plan, config)
+    print(format_report(report))
+    chaos = report["chaos"]
+    healthy = (
+        report["identical_payloads_per_key"]
+        and chaos["exactly_once_per_key"]
+        and chaos["no_request_lost"]
+        and chaos["drain_exit_code"] == 0
+    )
+    return 0 if healthy else 1
 
 
 def _run_bench(args) -> int:
@@ -418,9 +492,21 @@ def _run_bench(args) -> int:
         snapshot = run_serve_benchmark(jobs=args.jobs, output=output)
         print(format_serve_table(snapshot))
         print(f"snapshot written to {output}")
+        fleet = snapshot.get("fleet") or {}
         ok = (
             snapshot["payloads_identical_cold_vs_warm"]
             and snapshot["warm_served_entirely_from_cache"]
+            and all(
+                row["payloads_identical_cold_vs_warm"]
+                for row in fleet.get("sweep", ())
+            )
+            and (
+                not fleet
+                or (
+                    fleet["restart"]["exactly_once_per_key"]
+                    and fleet["restart"]["drain_exit_code"] == 0
+                )
+            )
         )
         return 0 if ok else 1
     if args.obs:

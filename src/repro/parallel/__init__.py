@@ -34,8 +34,10 @@ fallbacks and resumes preserve that identity (asserted in
 from .bench import format_table, run_benchmark
 from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .checkpoint import DEFAULT_CHECKPOINT_DIR, CheckpointJournal, resolve_checkpoint
+from .claims import DEFAULT_CLAIM_TTL, Claim, ClaimRegistry
 from .faults import (
     FAULT_KINDS,
+    SERVE_WORKER_ENV,
     DeterministicInjectedError,
     FaultPlan,
     FaultRule,
@@ -66,11 +68,15 @@ from .runner import (
 __all__ = [
     "DEFAULT_CACHE_DIR",
     "DEFAULT_CHECKPOINT_DIR",
+    "DEFAULT_CLAIM_TTL",
     "ENGINES",
     "FAULT_KINDS",
     "MODEL_VERSION",
     "OUTCOMES",
+    "SERVE_WORKER_ENV",
     "CheckpointJournal",
+    "Claim",
+    "ClaimRegistry",
     "DeterministicInjectedError",
     "FaultPlan",
     "FaultRule",

@@ -44,6 +44,31 @@ Fault kinds
     Write the row without committing, then hard-kill the worker —
     models a worker dying mid-write to the shared segment.  Inert
     outside a pool worker, like ``crash``.
+``serve_crash``
+    Hard-kill a prefork *serve worker* mid-request (before the job
+    executes) — models a worker process dying under load; the
+    supervisor must respawn it and the claim protocol must recover
+    the orphaned work.  Only fires inside a supervised worker
+    (``REPRO_SERVE_WORKER=1``), so in-process server harnesses are
+    safe, and at most ``attempts`` times across *all* workers and
+    respawns (marker-file accounting — see below).
+``serve_hang``
+    Sleep ``delay`` seconds in the serving path before executing —
+    models a slow worker; recovery requires the request deadline and
+    claim-heartbeat TTL.
+``claim_orphan``
+    Make the server plant an ownerless claim record for the job
+    before acquiring — the on-disk shape a claimant leaves when it
+    dies before its first heartbeat; exercises stale-claim takeover.
+
+The serving-path kinds differ from the pool kinds in one mechanical
+respect: a plan reaches every prefork worker (via the config
+environment), workers are *respawned* after crashes, and the plan
+itself is frozen — so "fire once" cannot live in process state.
+Those rules account their attempts with ``O_CREAT|O_EXCL`` marker
+files in a shared ``state_dir`` (the serving layer passes a directory
+next to its claim records): exactly one process wins each
+``(kind, seed, n)`` marker, across crashes and respawns.
 """
 
 from __future__ import annotations
@@ -52,9 +77,11 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 __all__ = [
     "FAULT_KINDS",
+    "SERVE_WORKER_ENV",
     "DeterministicInjectedError",
     "FaultPlan",
     "FaultRule",
@@ -71,7 +98,16 @@ FAULT_KINDS = (
     "cache_corrupt",
     "shm_torn",
     "shm_crash",
+    "serve_crash",
+    "serve_hang",
+    "claim_orphan",
 )
+
+#: Set to ``"1"`` by the prefork supervisor in each worker's
+#: environment; ``serve_crash`` only fires when it is present, so an
+#: in-process :class:`~repro.serve.lifecycle.BackgroundServer` can run
+#: chaos plans without killing the test process.
+SERVE_WORKER_ENV = "REPRO_SERVE_WORKER"
 
 #: Exit status of a crash-injected worker (easy to spot in core dumps
 #: and CI logs; any nonzero value breaks the pool identically).
@@ -98,6 +134,11 @@ class DeterministicInjectedError(ValueError):
 def _in_pool_worker() -> bool:
     """True when running inside a spawned/forked worker process."""
     return multiprocessing.parent_process() is not None
+
+
+def _in_serve_worker() -> bool:
+    """True when running inside a supervised prefork serve worker."""
+    return os.environ.get(SERVE_WORKER_ENV) == "1"
 
 
 @dataclass(frozen=True)
@@ -137,6 +178,24 @@ class FaultRule:
         if self.seeds and job.seed not in self.seeds:
             return False
         return attempt < self.attempts
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (for the supervisor's worker environment)."""
+        return {
+            "kind": self.kind,
+            "seeds": list(self.seeds),
+            "attempts": self.attempts,
+            "delay": self.delay,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultRule":
+        return cls(
+            kind=data["kind"],
+            seeds=tuple(data.get("seeds", ())),
+            attempts=int(data.get("attempts", 1)),
+            delay=float(data.get("delay", 0.0)),
+        )
 
 
 @dataclass(frozen=True)
@@ -203,6 +262,40 @@ class FaultPlan:
         """Tear the matching row, then kill the worker mid-write."""
         return FaultRule(kind="shm_crash", seeds=seeds)
 
+    @staticmethod
+    def serve_crash(seeds: tuple[int, ...] = (), attempts: int = 1) -> FaultRule:
+        """Kill a supervised serve worker mid-request, ``attempts`` times
+        total across every worker and respawn (marker-file accounted)."""
+        return FaultRule(kind="serve_crash", seeds=seeds, attempts=attempts)
+
+    @staticmethod
+    def serve_hang(
+        seeds: tuple[int, ...] = (), delay: float = 60.0, attempts: int = 1
+    ) -> FaultRule:
+        """Stall the serving path ``delay`` seconds before executing."""
+        return FaultRule(
+            kind="serve_hang", seeds=seeds, attempts=attempts, delay=delay
+        )
+
+    @staticmethod
+    def claim_orphan(seeds: tuple[int, ...] = (), attempts: int = 1) -> FaultRule:
+        """Plant an ownerless claim record before the server acquires."""
+        return FaultRule(kind="claim_orphan", seeds=seeds, attempts=attempts)
+
+    # -- serialization (for the supervisor's worker environment) -------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe form; inverse of :meth:`from_dict`."""
+        return {"rules": [rule.to_dict() for rule in self.rules]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(
+            rules=tuple(
+                FaultRule.from_dict(rule) for rule in data.get("rules", ())
+            )
+        )
+
     # -- hooks the execution layer calls -------------------------------------
 
     def on_job(self, job, attempt: int) -> None:
@@ -256,3 +349,72 @@ class FaultPlan:
             if rule.kind == "shm_torn" and rule.matches(job, 0):
                 found = "shm_torn"
         return found
+
+    # -- serving-path hooks ---------------------------------------------------
+
+    @staticmethod
+    def _claim_marker(
+        state_dir: str | os.PathLike, kind: str, seed: int, attempts: int
+    ) -> bool:
+        """Atomically win the right to fire one ``(kind, seed)`` attempt.
+
+        Serve rules must fire a bounded number of times across *all*
+        workers and respawns even though the plan object is frozen, so
+        attempt state lives on disk: ``attempts`` marker slots per
+        ``(kind, seed)``, each claimed by exactly one process via
+        ``O_CREAT | O_EXCL``.  Returns True when a slot was won.
+        """
+        root = Path(state_dir)
+        root.mkdir(parents=True, exist_ok=True)
+        for n in range(attempts):
+            try:
+                fd = os.open(
+                    root / f"{kind}.{seed}.{n}",
+                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                )
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return True
+        return False
+
+    def on_serve_job(self, job, state_dir: str | os.PathLike | None) -> None:
+        """Called by the serving layer before executing a job as leader.
+
+        ``serve_hang`` sleeps ``delay`` seconds; ``serve_crash``
+        hard-kills the worker process — but only inside a supervised
+        prefork worker (:data:`SERVE_WORKER_ENV`), so in-process test
+        harnesses survive their own chaos plans.
+        """
+        if state_dir is None:
+            return
+        for rule in self.rules:
+            if rule.seeds and job.seed not in rule.seeds:
+                continue
+            if rule.kind == "serve_hang":
+                if self._claim_marker(
+                    state_dir, rule.kind, job.seed, rule.attempts
+                ):
+                    time.sleep(rule.delay)
+            elif rule.kind == "serve_crash" and _in_serve_worker():
+                if self._claim_marker(
+                    state_dir, rule.kind, job.seed, rule.attempts
+                ):
+                    os._exit(CRASH_EXIT_STATUS)
+
+    def wants_claim_orphan(
+        self, job, state_dir: str | os.PathLike | None
+    ) -> bool:
+        """Whether the server should plant an orphaned claim record
+        for this job before acquiring (at most ``attempts`` times per
+        matching rule, marker-file accounted)."""
+        if state_dir is None:
+            return False
+        for rule in self.rules:
+            if rule.kind != "claim_orphan":
+                continue
+            if rule.seeds and job.seed not in rule.seeds:
+                continue
+            if self._claim_marker(state_dir, rule.kind, job.seed, rule.attempts):
+                return True
+        return False

@@ -17,6 +17,13 @@ way ``repro.net`` hand-rolls its packet layer) with
   is a ``504``, never a wedged event loop;
 * **graceful drain** on SIGTERM (:mod:`repro.serve.lifecycle`) —
   ``/readyz`` flips to 503, in-flight work finishes, exit 0;
+* **prefork multi-worker serving** (:mod:`repro.serve.supervisor`) —
+  ``workers >= 2`` binds the socket once in a parent that spawns,
+  monitors, and crash-respawns asyncio workers (deterministic
+  key-seeded backoff), with single-flight promoted to cross-process
+  claim records next to the cache
+  (:class:`~repro.parallel.ClaimRegistry`) and SIGTERM performing a
+  coordinated whole-fleet drain;
 * a stdlib **client** and a seeded, deterministic **load generator**
   whose periodic clients jitter their timers with the paper's own
   ``[Tp - Tr, Tp + Tr]`` rule (:mod:`repro.serve.loadgen`);
@@ -33,7 +40,7 @@ from __future__ import annotations
 
 from .bench import run_serve_benchmark
 from .client import ApiResponse, ServeClient
-from .coalesce import Coalescer
+from .coalesce import CoalesceCancelledError, Coalescer
 from .config import ServeConfig
 from .lifecycle import BackgroundServer, serve_forever
 from .loadgen import (
@@ -41,27 +48,34 @@ from .loadgen import (
     build_schedule,
     default_specs,
     format_report,
+    run_chaos_load,
     run_load,
 )
 from .queue import AdmissionQueue, QueueFullError
 from .server import SimulationServer, figure_payload, simulation_payload
+from .supervisor import SupervisedServer, Supervisor, supervise
 
 __all__ = [
     "AdmissionQueue",
     "ApiResponse",
     "BackgroundServer",
+    "CoalesceCancelledError",
     "Coalescer",
     "LoadPlan",
     "QueueFullError",
     "ServeClient",
     "ServeConfig",
     "SimulationServer",
+    "SupervisedServer",
+    "Supervisor",
     "build_schedule",
     "default_specs",
     "figure_payload",
     "format_report",
+    "run_chaos_load",
     "run_load",
     "run_serve_benchmark",
     "serve_forever",
     "simulation_payload",
+    "supervise",
 ]

@@ -1,0 +1,16 @@
+"""Diagnosable ``-m`` entry for prefork serve workers.
+
+The supervisor boots workers through :data:`~repro.serve.supervisor
+.WORKER_BOOT` (a ``python -c`` shim whose signal latch must precede
+the package imports), but this module remains as the inspectable
+``python -m repro.serve._workermain`` entry: with the worker
+environment set it runs a worker, bare it prints how fleets are
+actually started.  Deliberately *not* imported by the package
+``__init__`` so runpy never warns about the ``-m`` target already
+being in ``sys.modules``.
+"""
+
+from .supervisor import main
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    raise SystemExit(main())

@@ -11,6 +11,15 @@ through two passes of the same seeded plan:
   snapshot, and the payload hashes must match the cold pass exactly
   (restart-warmth and byte-identity in one number).
 
+PR-7 adds a **prefork fleet sweep**: the same plan driven through
+:class:`~repro.serve.supervisor.SupervisedServer` at ``workers`` ∈
+{1, 2, 4} (cold + warm per width), plus a **restart-overhead row** —
+a 2-worker fleet with one worker SIGKILLed mid-load, reporting the
+throughput paid for the crash, the respawn count, and the drain exit
+code.  Per-worker ``/metrics`` deltas are meaningless across a fleet
+(each scrape may land on a different worker), so fleet rows assert
+byte-identity via payload hashes and the claim ledger instead.
+
 The snapshot is written as ``BENCH_serve.json`` in the shared
 ``repro.benchio`` envelope, next to ``BENCH_parallel.json`` and
 ``BENCH_obs.json``.
@@ -41,6 +50,7 @@ def run_serve_benchmark(
     jobs: int | None = None,
     cache_root: str | os.PathLike | None = None,
     output: str | os.PathLike | None = None,
+    workers_sweep: tuple[int, ...] = (1, 2, 4),
 ) -> dict:
     """Run the loopback load test; return (optionally write) the snapshot.
 
@@ -57,6 +67,9 @@ def run_serve_benchmark(
         ``results/cache/serve-bench`` (cleared first).
     output:
         If given, the enveloped snapshot JSON is written there.
+    workers_sweep:
+        Prefork fleet widths to sweep (empty disables the fleet
+        section and the restart-overhead row).
     """
     jobs = jobs or os.cpu_count() or 1
     cache = Path(cache_root) if cache_root is not None else DEFAULT_BENCH_CACHE
@@ -81,6 +94,12 @@ def run_serve_benchmark(
         cold = run_load(plan, bg.host, bg.port)
         warm = run_load(plan, bg.host, bg.port)
 
+    fleet = (
+        _run_fleet_sweep(plan, jobs, cache, workers_sweep)
+        if workers_sweep
+        else None
+    )
+
     payload = {
         "workload": {
             "clients": clients,
@@ -98,10 +117,136 @@ def run_serve_benchmark(
             and warm["identical_payloads_per_key"]
         ),
     }
+    if fleet is not None:
+        payload["fleet"] = fleet
     snapshot = bench_envelope("serve_loopback_load", payload)
     if output is not None:
         write_bench_json(output, snapshot)
     return snapshot
+
+
+def _row(report: dict) -> dict:
+    """Trim a run_load report to the numbers a sweep row needs."""
+    latency = report["latency_seconds"]
+    return {
+        "requests": report["requests"],
+        "throughput_rps": report["throughput_rps"],
+        "mean_latency_ms": round(latency.get("mean", 0.0) * 1000, 3),
+        "by_status": report["by_status"],
+        "identical_payloads_per_key": report["identical_payloads_per_key"],
+        "payload_sha256": report["payload_sha256"],
+    }
+
+
+def _run_fleet_sweep(
+    plan: LoadPlan, jobs: int, cache: Path, widths: tuple[int, ...]
+) -> dict:
+    """Sweep prefork widths, then measure one crash's overhead.
+
+    Every width gets a fresh cache (cold pass really cold) and its own
+    :class:`SupervisedServer`; the restart row repeats the 2-worker
+    run (or the largest width available) with one SIGKILL mid-load via
+    :func:`~repro.serve.loadgen.run_chaos_load`, so the overhead is
+    the throughput delta against that width's own clean run.
+    """
+    from .loadgen import run_chaos_load, run_load as _run_load
+    from .supervisor import SupervisedServer
+
+    def fleet_config(workers: int, tag: str) -> ServeConfig:
+        root = cache.parent / f"{cache.name}-fleet-{tag}"
+        shutil.rmtree(root, ignore_errors=True)
+        return ServeConfig(
+            host="127.0.0.1",
+            port=0,
+            jobs=jobs,
+            queue_depth=max(64, plan.clients * 4),
+            cache_root=str(root),
+            workers=workers,
+            claim_ttl=2.0,
+            restart_backoff=0.05,
+        )
+
+    sweep = []
+    for workers in widths:
+        config = fleet_config(workers, f"w{workers}")
+        with SupervisedServer(config) as fleet:
+            _await_fleet(fleet)
+            cold = _run_load(plan, fleet.host, fleet.port)
+            warm = _run_load(plan, fleet.host, fleet.port)
+        sweep.append(
+            {
+                "workers": workers,
+                "cold": _row(cold),
+                "warm": _row(warm),
+                "payloads_identical_cold_vs_warm": (
+                    cold["payload_sha256"] == warm["payload_sha256"]
+                ),
+            }
+        )
+
+    # The restart row runs in *real* time (workers must be killable
+    # mid-load), so its baseline must too — a clean real-time pass of
+    # the identical plan, not the virtual sweep numbers above.
+    restart_workers = 2 if 2 in widths else max(widths)
+    chaos_plan = LoadPlan(
+        clients=plan.clients,
+        period=plan.period,
+        jitter=plan.jitter,
+        duration=plan.duration,
+        seed=plan.seed,
+        specs=plan.specs,
+        real_time=True,
+        retries=3,
+    )
+    clean_config = fleet_config(restart_workers, "restart-clean")
+    with SupervisedServer(clean_config) as fleet:
+        _await_fleet(fleet)
+        clean = _run_load(chaos_plan, fleet.host, fleet.port)
+    chaos = run_chaos_load(
+        chaos_plan,
+        fleet_config(restart_workers, "restart"),
+        kills=1,
+        kill_after=0.3,
+    )
+    clean_rps = clean["throughput_rps"]
+    chaos_rps = chaos["throughput_rps"]
+    return {
+        "sweep": sweep,
+        "restart": {
+            "workers": restart_workers,
+            "kills": chaos["chaos"]["kills"],
+            "restarts": chaos["chaos"]["restarts"],
+            "drain_exit_code": chaos["chaos"]["drain_exit_code"],
+            "exactly_once_per_key": chaos["chaos"]["exactly_once_per_key"],
+            "load": _row(chaos),
+            "clean": _row(clean),
+            "clean_throughput_rps": clean_rps,
+            "throughput_overhead_pct": (
+                round(100.0 * (1.0 - chaos_rps / clean_rps), 1)
+                if clean_rps > 0
+                else 0.0
+            ),
+        },
+    }
+
+
+def _await_fleet(fleet, timeout: float = 30.0) -> None:
+    from time import monotonic as _monotonic
+    from time import sleep as _sleep
+
+    from .client import ServeClient
+
+    deadline = _monotonic() + timeout
+    while True:
+        try:
+            with ServeClient(fleet.host, fleet.port, timeout=5.0) as probe:
+                if probe.healthz().status == 200:
+                    return
+        except OSError:
+            pass  # lint: allow-swallow — workers still booting
+        if _monotonic() >= deadline:
+            raise TimeoutError("bench fleet never became healthy")
+        _sleep(0.05)
 
 
 def format_serve_table(snapshot: dict) -> str:
@@ -142,4 +287,40 @@ def format_serve_table(snapshot: dict) -> str:
         "payloads identical cold vs warm: "
         + ("yes" if snapshot["payloads_identical_cold_vs_warm"] else "NO")
     )
+    fleet = snapshot.get("fleet")
+    if fleet:
+        lines.append("")
+        lines.append("prefork fleet sweep (real worker processes):")
+        frows = [("workers", "cold req/s", "warm req/s", "warm mean (ms)", "identical")]
+        for row in fleet["sweep"]:
+            frows.append(
+                (
+                    str(row["workers"]),
+                    f"{row['cold']['throughput_rps']:.1f}",
+                    f"{row['warm']['throughput_rps']:.1f}",
+                    f"{row['warm']['mean_latency_ms']:.2f}",
+                    "yes" if row["payloads_identical_cold_vs_warm"] else "NO",
+                )
+            )
+        fwidths = [
+            max(len(row[col]) for row in frows) for col in range(len(frows[0]))
+        ]
+        for i, row in enumerate(frows):
+            lines.append(
+                "  ".join(cell.ljust(fwidths[col]) for col, cell in enumerate(row))
+            )
+            if i == 0:
+                lines.append("  ".join("-" * w for w in fwidths))
+        restart = fleet["restart"]
+        lines.append(
+            f"restart overhead ({restart['workers']} workers, "
+            f"{restart['kills']} kill): "
+            f"{restart['load']['throughput_rps']:.1f} req/s vs "
+            f"{restart['clean_throughput_rps']:.1f} clean "
+            f"({restart['throughput_overhead_pct']:+.1f}% overhead), "
+            f"{restart['restarts']} respawn(s), "
+            "exactly-once "
+            + ("held" if restart["exactly_once_per_key"] else "VIOLATED")
+            + f", drain exit {restart['drain_exit_code']}"
+        )
     return "\n".join(lines)

@@ -6,6 +6,15 @@ the load generator's periodic clients reuse their connection exactly
 like long-lived routing peers reuse a session), JSON in/out, and the
 raw response bytes preserved so byte-identity can be asserted
 end-to-end.
+
+Backpressure-aware by choice: the server sheds with ``429`` (queue
+full) or ``503`` (draining / computation cancelled) and a
+*deterministic jittered* ``Retry-After`` — construct the client with
+``retries > 0`` and it honors that hint instead of surfacing the
+error, sleeping exactly what the server prescribed (bounded
+attempts, no client-side randomness, so a retrying fleet inherits
+the server's anti-synchronization jitter and a rerun retries on the
+same schedule).
 """
 
 from __future__ import annotations
@@ -13,8 +22,15 @@ from __future__ import annotations
 import http.client
 import json
 from dataclasses import dataclass, field
+from time import sleep as _sleep
 
-__all__ = ["ApiResponse", "ServeClient"]
+__all__ = ["RETRYABLE_STATUSES", "ApiResponse", "ServeClient"]
+
+#: Statuses that carry a Retry-After worth honoring: 429 (admission
+#: queue full) and 503 (draining, or a computation cancelled
+#: mid-flight).  504 is excluded — a deadline exceeded once will
+#: likely be exceeded again.
+RETRYABLE_STATUSES = (429, 503)
 
 
 @dataclass
@@ -46,11 +62,21 @@ class ServeClient:
 
     Not thread-safe: give each load-generating client its own
     instance (exactly what :mod:`repro.serve.loadgen` does).
+
+    Construct with ``retries > 0`` to honor 429/503 ``Retry-After``
+    hints: each such response sleeps the server's (deterministic,
+    job-keyed) hint and re-sends, up to ``retries`` extra attempts;
+    the last response is returned either way.  ``retries=0`` (the
+    default) preserves the PR-4 behavior exactly — backpressure is
+    surfaced, never absorbed.
     """
 
     host: str = "127.0.0.1"
     port: int = 8793
     timeout: float = 60.0
+    retries: int = 0
+    max_retry_after: float = 60.0
+    retried: int = field(default=0, init=False)
     _conn: http.client.HTTPConnection | None = field(
         default=None, init=False, repr=False
     )
@@ -76,6 +102,29 @@ class ServeClient:
         self.close()
 
     def request(
+        self, method: str, path: str, payload=None
+    ) -> ApiResponse:
+        """One request, honoring Retry-After when ``retries > 0``.
+
+        A 429/503 carrying a ``Retry-After`` header sleeps exactly
+        the server's hint (capped at ``max_retry_after``) and
+        re-sends, up to ``retries`` extra attempts; the final
+        response — success or not — is returned.  Retries performed
+        are counted in :attr:`retried`.
+        """
+        response = self._exchange(method, path, payload)
+        for _ in range(self.retries):
+            if response.status not in RETRYABLE_STATUSES:
+                break
+            hint = response.retry_after
+            if hint is None:
+                break
+            self.retried += 1
+            _sleep(min(hint, self.max_retry_after))
+            response = self._exchange(method, path, payload)
+        return response
+
+    def _exchange(
         self, method: str, path: str, payload=None
     ) -> ApiResponse:
         """One exchange; reconnects once if the kept-alive peer hung up."""

@@ -19,7 +19,20 @@ from __future__ import annotations
 
 import asyncio
 
-__all__ = ["Coalescer"]
+__all__ = ["CoalesceCancelledError", "Coalescer"]
+
+
+class CoalesceCancelledError(RuntimeError):
+    """The in-flight computation a follower was awaiting got cancelled.
+
+    Raised *instead of* a bare ``asyncio.CancelledError`` so a
+    follower's handler keeps running and can answer its client with a
+    retryable 503 + Retry-After — a cancelled leader must never
+    silently drop the followers' connections.  The leader settles the
+    shared future with this error on its way out (see
+    ``SimulationServer._lead_async``); ``_await_body`` also maps a
+    directly-cancelled future to it for the same reason.
+    """
 
 
 class Coalescer:

@@ -59,6 +59,33 @@ class ServeConfig:
         to ``/v1/simulate``/``/v1/sweep`` carry their own per-spec
         engine and ignore this.  Engines are bit-identical, so served
         payloads do not depend on it.
+    workers:
+        Serve processes.  ``1`` (default) runs the single asyncio
+        process exactly as before; ``>= 2`` selects the prefork
+        supervisor (:mod:`repro.serve.supervisor`): the parent binds
+        the socket once, workers inherit the fd, crashed workers are
+        respawned with deterministic backoff.
+    claims:
+        Cross-process single-flight.  ``None`` (default) enables claim
+        records automatically when ``workers >= 2`` and a cache is
+        configured; True/False force it.  Claims require a cache —
+        they coordinate *who publishes to it*.
+    claim_ttl:
+        Lease length for claim records: a claim whose heartbeat is
+        older than this is stale and takeable.
+    claim_poll:
+        Interval at which a waiter re-polls cache + claim state while
+        another process computes its job.
+    restart_limit:
+        Consecutive respawns of one worker slot before the supervisor
+        gives up on it (guards against crash loops).
+    restart_backoff:
+        Base of the deterministic key-seeded backoff between respawns
+        of the same worker slot: respawn ``n`` waits
+        ``base * 2^n * deterministic_jitter(slot, n)`` seconds.
+    faults:
+        Optional :class:`~repro.parallel.FaultPlan` threaded into the
+        serving path (chaos testing); ``None`` in production.
     """
 
     host: str = "127.0.0.1"
@@ -71,6 +98,13 @@ class ServeConfig:
     cache_root: str | None = "results/cache"
     checkpoint: bool = False
     engine: str = "cascade"
+    workers: int = 1
+    claims: bool | None = None
+    claim_ttl: float = 10.0
+    claim_poll: float = 0.05
+    restart_limit: int = 5
+    restart_backoff: float = 0.1
+    faults: object | None = None
 
     def __post_init__(self) -> None:
         from ..core.engines import resolve_engine
@@ -88,3 +122,56 @@ class ServeConfig:
             raise ValueError("retry_after_base must be positive")
         if self.drain_grace <= 0:
             raise ValueError("drain_grace must be positive")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.claims and self.cache_root is None:
+            raise ValueError("claims require a cache_root")
+        if self.claim_ttl <= 0:
+            raise ValueError("claim_ttl must be positive")
+        if self.claim_poll <= 0:
+            raise ValueError("claim_poll must be positive")
+        if self.restart_limit < 0:
+            raise ValueError("restart_limit must be >= 0")
+        if self.restart_backoff <= 0:
+            raise ValueError("restart_backoff must be positive")
+
+    @property
+    def claims_enabled(self) -> bool:
+        """Whether this config runs the cross-process claim protocol."""
+        if self.claims is not None:
+            return bool(self.claims) and self.cache_root is not None
+        return self.workers >= 2 and self.cache_root is not None
+
+    def to_dict(self) -> dict:
+        """JSON-safe form the supervisor ships to each worker's env."""
+        data = {
+            "host": self.host,
+            "port": self.port,
+            "jobs": self.jobs,
+            "queue_depth": self.queue_depth,
+            "deadline": self.deadline,
+            "retry_after_base": self.retry_after_base,
+            "drain_grace": self.drain_grace,
+            "cache_root": self.cache_root,
+            "checkpoint": self.checkpoint,
+            "engine": self.engine,
+            "workers": self.workers,
+            "claims": self.claims,
+            "claim_ttl": self.claim_ttl,
+            "claim_poll": self.claim_poll,
+            "restart_limit": self.restart_limit,
+            "restart_backoff": self.restart_backoff,
+            "faults": None if self.faults is None else self.faults.to_dict(),
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServeConfig":
+        from ..parallel import FaultPlan
+
+        data = dict(data)
+        faults = data.pop("faults", None)
+        return cls(
+            **data,
+            faults=None if faults is None else FaultPlan.from_dict(faults),
+        )

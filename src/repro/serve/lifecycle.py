@@ -30,14 +30,25 @@ from .server import SimulationServer
 __all__ = ["BackgroundServer", "serve_forever"]
 
 
-async def _serve(config: ServeConfig, announce, install_signals: bool) -> int:
+async def _serve(
+    config: ServeConfig,
+    announce,
+    install_signals: bool,
+    sock=None,
+    early_signals=(),
+) -> int:
     server = SimulationServer(config)
-    await server.start()
+    await server.start(sock=sock)
     loop = asyncio.get_running_loop()
     if install_signals:
         for signum in (signal.SIGTERM, signal.SIGINT):
             with suppress(NotImplementedError, RuntimeError):
                 loop.add_signal_handler(signum, server.begin_drain)
+    if early_signals:
+        # A drain signal beat the event loop into existence (prefork
+        # workers latch these during boot); honor it now — the server
+        # still answers whatever slipped in, then exits 0.
+        server.begin_drain()
     if announce is not None:
         announce(f"serving on http://{server.host}:{server.port}")
     try:
@@ -49,14 +60,38 @@ async def _serve(config: ServeConfig, announce, install_signals: bool) -> int:
     return 0
 
 
-def serve_forever(config: ServeConfig, announce=None) -> int:
+def serve_forever(
+    config: ServeConfig, announce=None, sock=None, early_signals=()
+) -> int:
     """Run the server until a signal drains it; returns the exit code.
 
     ``announce`` is called with human-readable status lines (the CLI
     passes a flushing ``print``; the bound port is announced so
-    ``port=0`` callers can discover it).
+    ``port=0`` callers can discover it).  ``sock`` is an already-bound
+    listening socket to serve on instead of binding ``host:port`` —
+    the prefork supervisor's workers pass their inherited fd this way.
+    ``early_signals`` is non-empty when a drain signal was latched
+    before the event loop existed (the worker boot shim); the server
+    then starts already draining and exits 0 instead of dying to the
+    signal's default action.
+
+    With ``config.workers >= 2`` this entry point delegates to the
+    prefork :func:`~repro.serve.supervisor.supervise` (unless a
+    ``sock`` marks this process as already being a worker).
     """
-    return asyncio.run(_serve(config, announce, install_signals=True))
+    if config.workers >= 2 and sock is None:
+        from .supervisor import supervise
+
+        return supervise(config, announce=announce)
+    return asyncio.run(
+        _serve(
+            config,
+            announce,
+            install_signals=True,
+            sock=sock,
+            early_signals=early_signals,
+        )
+    )
 
 
 class BackgroundServer:

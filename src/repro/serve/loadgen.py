@@ -39,6 +39,7 @@ __all__ = [
     "build_schedule",
     "default_specs",
     "format_report",
+    "run_chaos_load",
     "run_load",
 ]
 
@@ -82,6 +83,11 @@ class LoadPlan:
     neighbouring clients request the same jobs at different times —
     cache hits — and occasionally the same job at the same time —
     coalescing.
+
+    ``retries`` is forwarded to each :class:`ServeClient`: with
+    ``retries > 0`` the fleet honors 429/503 ``Retry-After`` hints
+    (sleeping the server's own deterministic jitter) instead of
+    booking backpressure as terminal errors.
     """
 
     clients: int = 4
@@ -91,10 +97,13 @@ class LoadPlan:
     seed: int = 1
     specs: tuple[dict, ...] = field(default_factory=default_specs)
     real_time: bool = False
+    retries: int = 0
 
     def __post_init__(self) -> None:
         if self.clients < 1:
             raise ValueError("clients must be >= 1")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
         if self.period <= 0:
             raise ValueError("period must be positive")
         if not 0 <= self.jitter <= self.period:
@@ -176,10 +185,12 @@ def _issue(client: ServeClient, plan: LoadPlan, tick: Tick):
 
 def _run_virtual(plan: LoadPlan, host: str, port: int, schedule):
     records = []
-    with ServeClient(host, port) as client:
+    retried = 0
+    with ServeClient(host, port, retries=plan.retries) as client:
         for tick in schedule:
             records.append(_issue(client, plan, tick))
-    return records
+        retried = client.retried
+    return records, retried
 
 
 def _run_real(plan: LoadPlan, host: str, port: int, schedule):
@@ -187,16 +198,18 @@ def _run_real(plan: LoadPlan, host: str, port: int, schedule):
     for tick in schedule:
         per_client.setdefault(tick.client, []).append(tick)
     results: dict[int, list] = {}
+    retried_by_client: dict[int, int] = {}
 
     def worker(client_id: int, ticks: list[Tick]) -> None:
         mine: list = []
         start = _monotonic()
-        with ServeClient(host, port) as client:
+        with ServeClient(host, port, retries=plan.retries) as client:
             for tick in ticks:
                 delay = tick.time - (_monotonic() - start)
                 if delay > 0:
                     _sleep(delay)
                 mine.append(_issue(client, plan, tick))
+            retried_by_client[client_id] = client.retried
         results[client_id] = mine
 
     threads = [
@@ -207,7 +220,8 @@ def _run_real(plan: LoadPlan, host: str, port: int, schedule):
         thread.start()
     for thread in threads:
         thread.join()
-    return [record for cid in sorted(results) for record in results[cid]]
+    records = [record for cid in sorted(results) for record in results[cid]]
+    return records, sum(retried_by_client.values())
 
 
 def run_load(plan: LoadPlan, host: str, port: int) -> dict:
@@ -223,9 +237,9 @@ def run_load(plan: LoadPlan, host: str, port: int) -> dict:
         before = probe.metrics()
     t0 = _monotonic()
     if plan.real_time:
-        records = _run_real(plan, host, port, schedule)
+        records, retried = _run_real(plan, host, port, schedule)
     else:
-        records = _run_virtual(plan, host, port, schedule)
+        records, retried = _run_virtual(plan, host, port, schedule)
     elapsed = _monotonic() - t0
     with ServeClient(host, port) as probe:
         after = probe.metrics()
@@ -264,8 +278,10 @@ def run_load(plan: LoadPlan, host: str, port: int) -> dict:
             "seed": plan.seed,
             "specs": len(plan.specs),
             "mode": "real" if plan.real_time else "virtual",
+            "retries": plan.retries,
         },
         "requests": len(records),
+        "retried": retried,
         "by_status": dict(sorted(by_status.items())),
         "elapsed_seconds": round(elapsed, 4),
         "throughput_rps": round(len(records) / elapsed, 2) if elapsed > 0 else 0.0,
@@ -275,6 +291,90 @@ def run_load(plan: LoadPlan, host: str, port: int) -> dict:
         "identical_payloads_per_key": identical,
         "server": server_delta,
     }
+
+
+def run_chaos_load(
+    plan: LoadPlan,
+    config,
+    kills: int = 1,
+    kill_after: float = 0.5,
+) -> dict:
+    """Run a load plan against a self-hosted prefork fleet under chaos.
+
+    Starts a :class:`~repro.serve.supervisor.SupervisedServer` from
+    ``config`` (``workers >= 2``; any serving-path
+    :class:`~repro.parallel.FaultPlan` rides along in
+    ``config.faults``), runs the plan against it while SIGKILLing
+    ``kills`` worker(s) mid-run (round-robin over slots, the first
+    after ``kill_after`` seconds), waits for each respawn, drains the
+    fleet, and audits the claim ledger.
+
+    The returned report is :func:`run_load`'s, extended with a
+    ``chaos`` section: supervisor restarts, publish-log accounting
+    (``exactly_once_per_key`` — the cross-worker single-flight
+    invariant), whether any request was lost outright
+    (``no_request_lost``: every record carries an HTTP status, none
+    died as a transport error), and the drain exit code.
+    """
+    from pathlib import Path
+
+    from ..parallel import ClaimRegistry
+    from .supervisor import SupervisedServer
+
+    if config.workers < 2:
+        raise ValueError("chaos load needs workers >= 2")
+    report_box: dict = {}
+    with SupervisedServer(config) as fleet:
+        _await_ready(fleet.host, fleet.port)
+
+        def body() -> None:
+            report_box["report"] = run_load(plan, fleet.host, fleet.port)
+
+        load_thread = threading.Thread(target=body, daemon=True)
+        load_thread.start()
+        for kill in range(kills):
+            _sleep(kill_after if kill == 0 else 0.2)
+            if not load_thread.is_alive():
+                break  # the load outran the chaos; stop killing
+            fleet.kill_worker(kill % config.workers)
+            fleet.wait_respawn(kill + 1, timeout=30.0)
+        load_thread.join(timeout=600.0)
+        restarts = fleet.supervisor.restarts
+    report = report_box.get("report")
+    if report is None:
+        raise RuntimeError("chaos load produced no report")
+    registry = ClaimRegistry(
+        Path(config.cache_root) / "claims", ttl=config.claim_ttl
+    )
+    publishes = registry.publishes()
+    keys = [key for key, _pid in publishes]
+    report["chaos"] = {
+        "workers": config.workers,
+        "kills": kills,
+        "restarts": restarts,
+        "publishes": len(publishes),
+        "distinct_published_keys": len(set(keys)),
+        "exactly_once_per_key": len(keys) == len(set(keys)),
+        "publisher_pids": sorted({pid for _key, pid in publishes}),
+        "no_request_lost": "error" not in report["by_status"],
+        "drain_exit_code": fleet.exit_code,
+    }
+    return report
+
+
+def _await_ready(host: str, port: int, timeout: float = 30.0) -> None:
+    """Poll ``/healthz`` until a worker answers (fleet startup)."""
+    deadline = _monotonic() + timeout
+    while True:
+        try:
+            with ServeClient(host, port, timeout=5.0) as probe:
+                if probe.healthz().status == 200:
+                    return
+        except OSError:
+            pass  # lint: allow-swallow — workers still booting
+        if _monotonic() >= deadline:
+            raise TimeoutError(f"no worker ready on {host}:{port}")
+        _sleep(0.05)
 
 
 def format_report(report: dict) -> str:
@@ -297,4 +397,18 @@ def format_report(report: dict) -> str:
         "  payloads identical per job: "
         + ("yes" if report["identical_payloads_per_key"] else "NO"),
     ]
+    if report.get("retried"):
+        lines.append(
+            f"  client retries honoring Retry-After: {report['retried']}"
+        )
+    chaos = report.get("chaos")
+    if chaos is not None:
+        lines.append(
+            f"  chaos: {chaos['workers']} worker(s), {chaos['kills']} "
+            f"kill(s), {chaos['restarts']} respawn(s); "
+            f"{chaos['publishes']} publish(es) over "
+            f"{chaos['distinct_published_keys']} key(s) -> exactly-once "
+            + ("held" if chaos["exactly_once_per_key"] else "VIOLATED")
+            + f"; drain exit {chaos['drain_exit_code']}"
+        )
     return "\n".join(lines)

@@ -39,13 +39,17 @@ the determinism acceptance test is stated in exactly those terms.
 from __future__ import annotations
 
 import asyncio
+import os
 from contextlib import suppress
+from pathlib import Path
 from time import monotonic as _monotonic
+from time import sleep as _sleep
 
 from ..experiments.registry import figure_ids, run_figure
 from ..obs import WARNING, obs
 from ..obs.metrics import MetricsRegistry
 from ..parallel import (
+    ClaimRegistry,
     JobResult,
     JobTimeoutError,
     ParallelRunner,
@@ -54,7 +58,7 @@ from ..parallel import (
     resolve_checkpoint,
 )
 from ..parallel.job import MODEL_VERSION
-from .coalesce import Coalescer
+from .coalesce import CoalesceCancelledError, Coalescer
 from .config import ServeConfig
 from .http import (
     BadRequestError,
@@ -143,12 +147,34 @@ class SimulationServer:
         self.cache = (
             ResultCache(config.cache_root) if config.cache_root is not None else None
         )
+        #: Cross-process single-flight (prefork mode): claim records
+        #: living next to the shared cache.  The in-process Coalescer
+        #: above stays the fast path — claims only arbitrate between
+        #: the leaders of *different* worker processes.
+        self.claims = (
+            ClaimRegistry(
+                Path(config.cache_root) / "claims",
+                ttl=config.claim_ttl,
+                metrics=self.metrics,
+                prefix="serve.claims",
+            )
+            if config.claims_enabled
+            else None
+        )
+        #: Shared attempt-slot directory for serving-path fault rules
+        #: (``FaultPlan._claim_marker``); None disables the hooks.
+        self._fault_state = (
+            Path(config.cache_root) / "fault_state"
+            if config.faults is not None and config.cache_root is not None
+            else None
+        )
         self._job_runner = job_runner or self._run_specs
         self._figure_runner = figure_runner or self._run_figure
         self.draining = False
         self._asgi_server: asyncio.AbstractServer | None = None
         self._stopped: asyncio.Event | None = None
         self._tasks: set[asyncio.Task] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
         self._active_requests = 0
         #: Memoized figure payload bytes (figures are deterministic,
         #: so a computed figure never needs recomputing).
@@ -186,6 +212,100 @@ class SimulationServer:
         self.metrics.counter("serve.jobs.cache_hits").inc(stats.cache_hits)
         return results
 
+    def _execute_specs(self, specs: list[SimulationJob]) -> list[JobResult]:
+        """Executor-thread entry for job batches.
+
+        Applies the serving-path fault hooks, then routes through the
+        cross-process claim protocol when enabled, or straight to the
+        job runner (the PR-4 single-process path, unchanged).
+        """
+        if self.claims is None:
+            self._inject_serve_faults(specs)
+            return self._job_runner(specs)
+        return self._execute_claimed(specs)
+
+    def _inject_serve_faults(self, specs) -> None:
+        faults = self.config.faults
+        if faults is not None and self._fault_state is not None:
+            for spec in specs:
+                faults.on_serve_job(spec, self._fault_state)
+
+    def _execute_claimed(self, specs: list[SimulationJob]) -> list[JobResult]:
+        """Cross-process single-flight execution of one batch.
+
+        Runs synchronously on an executor thread.  Each round splits
+        the still-unresolved specs three ways — already published
+        (cache hit), claimed by us (we compute), claimed by a live
+        peer (we poll) — until every spec has a result:
+
+        * The cache is checked *before* acquiring, so a peer's publish
+          resolves a waiter without ever contending for the claim.
+        * :meth:`ClaimRegistry.acquire` transparently takes over stale
+          claims, so a claimant that died mid-compute delays its
+          waiters by at most the claim TTL — never forever.
+        * Owned specs heartbeat while computing and are journaled to
+          the publish log afterwards: the log is the cross-worker
+          exactly-one-execution ledger the chaos suite audits.
+
+        A *live* but wedged claimant is bounded by the request
+        deadline (``JobTimeoutError`` → 504), matching the
+        single-process hang story.
+        """
+        faults = self.config.faults
+        results: dict[int, JobResult] = {}
+        pending = list(enumerate(specs))
+        deadline = (
+            _monotonic() + self.config.deadline
+            if self.config.deadline is not None
+            else None
+        )
+        while pending:
+            waiting: list[tuple[int, SimulationJob]] = []
+            owned: list[tuple[int, SimulationJob]] = []
+            claims = []
+            for idx, spec in pending:
+                cached = self.cache.get(spec)
+                if cached is not None:
+                    self.metrics.counter("serve.claims.peer_hits").inc()
+                    results[idx] = cached
+                    continue
+                key = spec.cache_key()
+                if faults is not None and faults.wants_claim_orphan(
+                    spec, self._fault_state
+                ):
+                    self.claims.plant_orphan(key)
+                claim = self.claims.acquire(key)
+                if claim is None:
+                    waiting.append((idx, spec))
+                else:
+                    owned.append((idx, spec))
+                    claims.append(claim)
+            if owned:
+                try:
+                    # Crash/hang injection fires *while holding the
+                    # claims* — the scenario the takeover path exists
+                    # for.  A killed worker leaves them orphaned.
+                    self._inject_serve_faults([spec for _, spec in owned])
+                    for claim in claims:
+                        claim.keep_beating()
+                    batch = self._job_runner([spec for _, spec in owned])
+                    for (idx, spec), result in zip(owned, batch):
+                        results[idx] = result
+                        self.claims.record_publish(spec.cache_key())
+                finally:
+                    for claim in claims:
+                        claim.release()
+            pending = waiting
+            if pending:
+                if deadline is not None and _monotonic() >= deadline:
+                    raise JobTimeoutError(
+                        f"gave up waiting on {len(pending)} job(s) claimed "
+                        f"by live peer process(es) after "
+                        f"{self.config.deadline}s"
+                    )
+                _sleep(self.config.claim_poll)
+        return [results[idx] for idx in range(len(specs))]
+
     def _run_figure(self, figure_id: str):
         return run_figure(
             figure_id,
@@ -208,11 +328,19 @@ class SimulationServer:
             return self._asgi_server.sockets[0].getsockname()[1]
         return self.config.port
 
-    async def start(self) -> None:
+    async def start(self, sock=None) -> None:
+        """Start listening — on ``config.host:port``, or on an
+        already-bound socket (prefork workers inherit the parent's
+        listening fd and pass it here)."""
         self._stopped = asyncio.Event()
-        self._asgi_server = await asyncio.start_server(
-            self._on_connection, self.config.host, self.config.port
-        )
+        if sock is not None:
+            self._asgi_server = await asyncio.start_server(
+                self._on_connection, sock=sock
+            )
+        else:
+            self._asgi_server = await asyncio.start_server(
+                self._on_connection, self.config.host, self.config.port
+            )
 
     def begin_drain(self) -> None:
         """Start a graceful drain (idempotent; the SIGTERM handler).
@@ -251,15 +379,39 @@ class SimulationServer:
         await self._stopped.wait()
 
     async def close(self) -> None:
+        # Whatever the drain grace could not finish is cancelled *before*
+        # the loop dies: cancelling a leader task settles its coalesced
+        # followers with CoalesceCancelledError, so their handlers flush
+        # a retryable 503 instead of dropping connections on the floor.
+        pending = [task for task in self._tasks if not task.done()]
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        deadline = _monotonic() + 5.0
+        while self._active_requests > 0 and _monotonic() < deadline:
+            await asyncio.sleep(0.02)  # let handlers flush their 503s
         if self._asgi_server is not None:
             self._asgi_server.close()
             with suppress(Exception):
                 await self._asgi_server.wait_closed()
+        # Idle keep-alive connections are still parked in read_request;
+        # cancel their handlers *while the loop lives* so each closes
+        # its transport cleanly instead of being reaped by the GC.
+        lingering = [task for task in self._conn_tasks if not task.done()]
+        for task in lingering:
+            task.cancel()
+        if lingering:
+            await asyncio.gather(*lingering, return_exceptions=True)
 
     # -- connection handling ---------------------------------------------------
 
     async def _on_connection(self, reader, writer) -> None:
         self.metrics.counter("serve.connections").inc()
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
         try:
             while True:
                 try:
@@ -296,7 +448,11 @@ class SimulationServer:
         except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
             pass
         finally:
-            writer.close()
+            # RuntimeError covers a handler reaped *after* its loop
+            # closed (an idle keep-alive connection at shutdown) —
+            # transport.close() would otherwise raise into the GC.
+            with suppress(RuntimeError):
+                writer.close()
             with suppress(Exception):
                 await writer.wait_closed()
 
@@ -337,7 +493,9 @@ class SimulationServer:
         if path == "/healthz":
             if method != "GET":
                 return json_response(405, {"error": "use GET"})
-            return json_response(200, {"status": "ok"})
+            # pid identifies *which* worker answered — behind a
+            # prefork fleet every fresh connection may land elsewhere.
+            return json_response(200, {"status": "ok", "pid": os.getpid()})
         if path == "/readyz":
             if method != "GET":
                 return json_response(405, {"error": "use GET"})
@@ -440,6 +598,8 @@ class SimulationServer:
             )
         except QueueFullError as error:
             return self._shed_response(error)
+        except CoalesceCancelledError:
+            return self._cancelled_response(batch_key if led_specs else "")
         except (asyncio.TimeoutError, JobTimeoutError):
             return self._timeout_response()
         # Splice the canonical per-job payloads into one canonical
@@ -485,7 +645,7 @@ class SimulationServer:
 
         async def produce() -> list[bytes]:
             results = await loop.run_in_executor(
-                None, self._job_runner, list(specs)
+                None, self._execute_specs, list(specs)
             )
             return to_payloads(results)
 
@@ -512,6 +672,20 @@ class SimulationServer:
             try:
                 with admission:
                     payloads = await produce()
+            except asyncio.CancelledError:
+                # The leader task was cancelled mid-flight (drain-grace
+                # expiry, shutdown).  A bare CancelledError set on the
+                # shared future would unwind every follower's handler
+                # and silently drop their connections — settle them
+                # with a retryable error instead, then keep unwinding.
+                cancelled = CoalesceCancelledError(
+                    f"computation for {admission_key[:12]} was cancelled "
+                    f"mid-flight; safe to retry"
+                )
+                for future in futures:
+                    if not future.done():
+                        future.set_exception(cancelled)
+                raise
             except BaseException as error:  # settle followers, always
                 for future in futures:
                     if not future.done():
@@ -533,6 +707,15 @@ class SimulationServer:
             )
         except QueueFullError as error:
             return self._shed_response(error)
+        except CoalesceCancelledError:
+            return self._cancelled_response(key)
+        except asyncio.CancelledError:
+            # The shared future itself was cancelled (not this
+            # handler): answer retryably instead of unwinding the
+            # connection.  A genuine handler cancellation propagates.
+            if future.cancelled():
+                return self._cancelled_response(key)
+            raise
         except (asyncio.TimeoutError, JobTimeoutError):
             return self._timeout_response(key)
         return HttpResponse(200, body)
@@ -557,6 +740,24 @@ class SimulationServer:
                 "retry_after": round(error.retry_after, 3),
             },
             headers={"retry-after": f"{error.retry_after:.3f}"},
+        )
+
+    def _cancelled_response(self, key: str = "") -> HttpResponse:
+        """Retryable 503 for a computation cancelled mid-flight.
+
+        Carries the same deterministic job-keyed Retry-After as a 429
+        shed, so retrying clients spread out instead of re-stampeding.
+        """
+        self.metrics.counter("serve.cancelled").inc()
+        retry_after = self.queue.retry_after(key or "cancelled")
+        return json_response(
+            503,
+            {
+                "error": "computation cancelled; safe to retry",
+                "key": key,
+                "retry_after": round(retry_after, 3),
+            },
+            headers={"retry-after": f"{retry_after:.3f}"},
         )
 
     def _timeout_response(self, key: str = "") -> HttpResponse:

@@ -21,15 +21,18 @@ they cannot leak the date into a result, only measure how long
 something took.
 
 The allowlist is an explicit mechanism, not a hardcoded carve-out:
-:data:`DEFAULT_ALLOWLIST` names the package directories with a
-legitimate claim on real time — ``obs`` (the measurement plane, whose
-clock module wraps the raw calls) and ``serve`` (the serving layer:
-HTTP ``Date`` headers and drain deadlines are wall-clock concepts by
-definition, and nothing in ``serve`` feeds a simulation result).
-Callers can extend or replace it: ``scan_file``/``scan_tree`` take an
-``allow=`` sequence, and the CLI takes repeated ``--allow NAME``
-flags (each adds to the default) or ``--no-default-allow`` to start
-from an empty list.
+:data:`WALL_CLOCK_ALLOWLIST` names the code with a legitimate claim
+on real time — ``obs`` (the measurement plane, whose clock module
+wraps the raw calls), ``serve`` (the serving layer: HTTP ``Date``
+headers and drain deadlines are wall-clock concepts by definition,
+and nothing in ``serve`` feeds a simulation result), and
+``parallel/claims.py`` (cross-process claim heartbeats are wall-clock
+stamps read by other processes).  Entries are either bare package
+directory names (``obs``) or ``pkg/file.py`` path suffixes for a
+single-module grant.  Callers can extend or replace it:
+``scan_file``/``scan_tree`` take an ``allow=`` sequence, and the CLI
+takes repeated ``--allow NAME`` flags (each adds to the default) or
+``--no-default-allow`` to start from an empty list.
 
 Escape hatch for single sites elsewhere: a ``# lint:
 allow-wallclock`` comment on the offending line (or the line above)
@@ -57,6 +60,7 @@ from typing import Iterable, Sequence
 __all__ = [
     "ALLOW_COMMENT",
     "DEFAULT_ALLOWLIST",
+    "WALL_CLOCK_ALLOWLIST",
     "Finding",
     "main",
     "scan_file",
@@ -74,13 +78,18 @@ _FORBIDDEN_ATTRS = {
     "date": ("today",),
 }
 
-#: Directory (package) names whose files may read the wall clock.
-#: ``obs`` wraps the raw clocks once for everyone else; ``serve``
-#: speaks HTTP, where Date headers and Retry-After/drain deadlines
-#: are wall-clock concepts — and neither can leak time into a
-#: simulation result (enforced by the obs-inert and serve
-#: byte-identity suites).
-DEFAULT_ALLOWLIST = ("obs", "serve")
+#: Code allowed to read the wall clock.  Bare names exempt a whole
+#: package directory; ``pkg/file.py`` entries exempt one module by
+#: path suffix.  ``obs`` wraps the raw clocks once for everyone else;
+#: ``serve`` speaks HTTP, where Date headers and Retry-After/drain
+#: deadlines are wall-clock concepts; ``parallel/claims.py`` stamps
+#: claim-record heartbeats that other processes judge for staleness.
+#: None of these can leak time into a simulation result (enforced by
+#: the obs-inert and serve byte-identity suites).
+WALL_CLOCK_ALLOWLIST = ("obs", "serve", "parallel/claims.py")
+
+#: Backward-compatible alias (pre-PR-7 name).
+DEFAULT_ALLOWLIST = WALL_CLOCK_ALLOWLIST
 
 
 class Finding:
@@ -135,8 +144,20 @@ def _wallclock_call(node: ast.Call) -> str | None:
 
 
 def _is_exempt(path: Path, allow: Sequence[str]) -> bool:
-    """True when any path component names an allowlisted package."""
-    return any(part in allow for part in path.parts)
+    """True when the path matches an allowlist entry.
+
+    Entries containing ``/`` match as path suffixes (single-module
+    grants like ``parallel/claims.py``); bare entries match any path
+    component (whole-package grants like ``obs``).
+    """
+    posix = path.as_posix()
+    for entry in allow:
+        if "/" in entry:
+            if posix.endswith(entry):
+                return True
+        elif entry in path.parts:
+            return True
+    return False
 
 
 def scan_file(

@@ -107,10 +107,37 @@ class TestAllBenchmarksUseTheEnvelope:
             jobs=1,
             cache_root=tmp_path / "cache",
             output=tmp_path / "BENCH_serve.json",
+            workers_sweep=(),  # the fleet path has its own test below
         )
         self.assert_framed(snapshot, "serve_loopback_load")
         assert snapshot["payloads_identical_cold_vs_warm"]
         assert snapshot["warm_served_entirely_from_cache"]
+        assert "fleet" not in snapshot
         assert (tmp_path / "BENCH_serve.json").exists()
         table = format_serve_table(snapshot)
         assert "cold" in table and "warm" in table
+        assert "prefork" not in table
+
+    def test_serve_benchmark_fleet_sweep_and_restart_row(self, tmp_path):
+        from repro.serve.bench import format_serve_table, run_serve_benchmark
+
+        snapshot = run_serve_benchmark(
+            clients=2,
+            duration=0.5,
+            jobs=1,
+            cache_root=tmp_path / "cache",
+            output=tmp_path / "BENCH_serve.json",
+            workers_sweep=(1, 2),
+        )
+        fleet = snapshot["fleet"]
+        assert [row["workers"] for row in fleet["sweep"]] == [1, 2]
+        for row in fleet["sweep"]:
+            assert row["payloads_identical_cold_vs_warm"]
+            assert row["cold"]["throughput_rps"] > 0
+        restart = fleet["restart"]
+        assert restart["workers"] == 2
+        assert restart["drain_exit_code"] == 0
+        assert restart["exactly_once_per_key"]
+        table = format_serve_table(snapshot)
+        assert "prefork fleet sweep" in table
+        assert "restart overhead" in table

@@ -1,0 +1,188 @@
+"""Unit tests for the cross-process claim-record protocol.
+
+The protocol under test (``repro.parallel.claims``)::
+
+    free -> claimed -> published (cache) ; stale -> takeover -> claimed
+
+Everything here runs in-process (subprocesses only where a genuinely
+dead owner pid is needed); the end-to-end multi-worker behaviour is
+covered by ``tests/test_serve_supervisor.py``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel import ClaimRegistry
+from repro.parallel import claims as claims_module
+
+
+def registry(tmp_path, **kw):
+    kw.setdefault("ttl", 30.0)
+    return ClaimRegistry(tmp_path / "claims", **kw)
+
+
+class TestAcquireRelease:
+    def test_acquire_creates_record_and_release_frees_it(self, tmp_path):
+        reg = registry(tmp_path)
+        claim = reg.acquire("k1")
+        assert claim is not None
+        assert reg.status("k1") == "live"
+        record = reg.read("k1")
+        assert record["pid"] == os.getpid() and record["key"] == "k1"
+        claim.release()
+        assert reg.status("k1") == "free"
+        assert reg.acquired == 1 and reg.released == 1
+
+    def test_second_acquire_of_live_claim_returns_none(self, tmp_path):
+        reg = registry(tmp_path)
+        with reg.acquire("k"):
+            other = ClaimRegistry(tmp_path / "claims", ttl=30.0)
+            assert other.acquire("k") is None
+            assert other.contested == 1
+        assert ClaimRegistry(tmp_path / "claims").acquire("k") is not None
+
+    def test_release_is_idempotent_and_context_managed(self, tmp_path):
+        reg = registry(tmp_path)
+        with reg.acquire("k") as claim:
+            pass
+        claim.release()  # second release is a no-op
+        assert reg.released == 1
+
+    def test_different_keys_do_not_contend(self, tmp_path):
+        reg = registry(tmp_path)
+        a, b = reg.acquire("a"), reg.acquire("b")
+        assert a is not None and b is not None
+        a.release(), b.release()
+
+
+class TestStaleness:
+    def test_old_heartbeat_is_stale_even_with_live_pid(self, tmp_path):
+        reg = registry(tmp_path, ttl=0.05)
+        reg.plant_orphan("k")  # heartbeat 0.0, pid -1
+        assert reg.status("k") == "stale"
+        # A claim by *this* live process with an ancient heartbeat is
+        # stale too: the TTL is the lease, pid liveness only shortens it.
+        reg._write_record(reg.path_for("k"), "k", heartbeat=1.0)
+        assert reg.status("k") == "stale"
+
+    def test_dead_owner_pid_is_stale_despite_fresh_heartbeat(self, tmp_path):
+        reg = registry(tmp_path, ttl=1e6)
+        reg.root.mkdir(parents=True, exist_ok=True)
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        reg._write_record(
+            reg.path_for("k"), "k", heartbeat=claims_module._wall_time(),
+            pid=proc.pid,
+        )
+        assert reg.status("k") == "stale"
+
+    def test_heartbeat_keeps_claim_live(self, tmp_path):
+        reg = registry(tmp_path, ttl=0.3)
+        claim = reg.acquire("k")
+        for _ in range(3):
+            claim.beat()
+        assert reg.status("k") == "live"
+        claim.release()
+
+    def test_keep_beating_thread_refreshes_and_stops(self, tmp_path):
+        reg = registry(tmp_path, ttl=10.0)
+        claim = reg.acquire("k")
+        claim.keep_beating(interval=0.01)
+        before = reg.read("k")["heartbeat"]
+        deadline = threading.Event()
+        for _ in range(200):
+            if reg.read("k")["heartbeat"] > before:
+                break
+            deadline.wait(0.01)
+        assert reg.read("k")["heartbeat"] > before
+        claim.release()
+        assert claim._beat_thread is not None
+        assert not claim._beat_thread.is_alive()
+
+    def test_corrupt_record_reads_as_maximally_stale(self, tmp_path):
+        reg = registry(tmp_path)
+        reg.root.mkdir(parents=True, exist_ok=True)
+        reg.path_for("k").write_text("{torn json")
+        assert reg.status("k") == "stale"
+        assert reg.acquire("k") is not None  # takeover proceeds
+
+
+class TestTakeover:
+    def test_acquire_takes_over_stale_claim_and_counts_it(self, tmp_path):
+        metrics = MetricsRegistry(enabled=True)
+        reg = registry(tmp_path, metrics=metrics, prefix="serve.claims")
+        reg.plant_orphan("k")
+        claim = reg.acquire("k")
+        assert claim is not None
+        assert reg.stale_takeovers == 1
+        assert metrics.counter("serve.claims.stale_takeovers").value == 1
+        assert reg.read("k")["pid"] == os.getpid()
+        claim.release()
+
+    def test_takeover_rename_race_has_exactly_one_winner(self, tmp_path):
+        reg_a = registry(tmp_path)
+        reg_b = ClaimRegistry(tmp_path / "claims", ttl=30.0)
+        reg_a.plant_orphan("k")
+        path = reg_a.path_for("k")
+        record = reg_a.read("k")
+        won_a = reg_a._take_over(path, record)
+        won_b = reg_b._take_over(path, record)
+        assert won_a and not won_b
+        assert reg_a.stale_takeovers == 1 and reg_b.stale_takeovers == 0
+
+    def test_concurrent_acquires_yield_one_owner(self, tmp_path):
+        reg = registry(tmp_path)
+        reg.plant_orphan("k")
+        winners = []
+        barrier = threading.Barrier(8)
+
+        def contend():
+            local = ClaimRegistry(tmp_path / "claims", ttl=30.0)
+            barrier.wait()
+            claim = local.acquire("k")
+            if claim is not None:
+                winners.append(claim)
+
+        threads = [threading.Thread(target=contend) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(winners) == 1
+        winners[0].release()
+
+
+class TestPublishLog:
+    def test_record_publish_appends_and_parses(self, tmp_path):
+        reg = registry(tmp_path)
+        reg.record_publish("k1")
+        reg.record_publish("k2")
+        assert reg.publishes() == [("k1", os.getpid()), ("k2", os.getpid())]
+
+    def test_publish_log_ignores_torn_lines(self, tmp_path):
+        reg = registry(tmp_path)
+        reg.record_publish("k1")
+        with open(reg.publish_log, "a") as fh:
+            fh.write("torn-line-no-pid")
+        assert reg.publishes() == [("k1", os.getpid())]
+
+    def test_missing_log_reads_empty(self, tmp_path):
+        assert registry(tmp_path).publishes() == []
+
+
+class TestValidation:
+    def test_bad_ttl_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ClaimRegistry(tmp_path, ttl=0)
+
+    def test_plant_orphan_shape(self, tmp_path):
+        reg = registry(tmp_path)
+        path = reg.plant_orphan("k")
+        record = json.loads(path.read_text())
+        assert record == {"key": "k", "pid": -1, "heartbeat": 0.0}

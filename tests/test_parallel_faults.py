@@ -299,3 +299,84 @@ class TestReportAccounting:
         assert sum(counts.values()) == len(specs) == runner.report.submitted
         assert runner.report.fully_accounted(len(specs))
         assert runner.report.summary().startswith("ok=4")
+
+
+class TestServePathFaults:
+    """The serving-path kinds: marker-file accounting, env gating,
+    and round-trip serialization (the supervisor ships plans to its
+    workers as JSON in the environment)."""
+
+    def test_round_trips_through_dict(self):
+        plan = FaultPlan.of(
+            FaultPlan.serve_crash(seeds=(3,), attempts=2),
+            FaultPlan.serve_hang(seeds=(4,), delay=1.5),
+            FaultPlan.claim_orphan(seeds=(5,)),
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        assert FaultPlan.from_dict(FaultPlan().to_dict()) == FaultPlan()
+
+    def test_claim_orphan_fires_attempts_times_then_stops(self, tmp_path):
+        plan = FaultPlan.of(FaultPlan.claim_orphan(seeds=(3,), attempts=2))
+        job = specs_for([3])[0]
+        other = specs_for([4])[0]
+        assert plan.wants_claim_orphan(job, tmp_path)
+        assert plan.wants_claim_orphan(job, tmp_path)
+        assert not plan.wants_claim_orphan(job, tmp_path)  # slots spent
+        assert not plan.wants_claim_orphan(other, tmp_path)  # wrong seed
+        assert not plan.wants_claim_orphan(job, None)  # no state dir
+
+    def test_marker_accounting_is_shared_across_plan_copies(self, tmp_path):
+        # Two frozen copies of the plan (as two workers would hold)
+        # share the on-disk attempt slots: one firing total.
+        a = FaultPlan.of(FaultPlan.claim_orphan(seeds=(3,)))
+        b = FaultPlan.from_dict(a.to_dict())
+        job = specs_for([3])[0]
+        assert a.wants_claim_orphan(job, tmp_path)
+        assert not b.wants_claim_orphan(job, tmp_path)
+
+    def test_serve_crash_is_inert_outside_supervised_worker(self, tmp_path):
+        plan = FaultPlan.of(FaultPlan.serve_crash(seeds=(3,)))
+        job = specs_for([3])[0]
+        plan.on_serve_job(job, tmp_path)  # would os._exit in a worker
+        # Inert: no marker slot is consumed either.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_serve_hang_sleeps_once_per_slot(self, tmp_path, monkeypatch):
+        naps = []
+        monkeypatch.setattr(time, "sleep", lambda s: naps.append(s))
+        plan = FaultPlan.of(FaultPlan.serve_hang(seeds=(3,), delay=0.7))
+        job = specs_for([3])[0]
+        plan.on_serve_job(job, tmp_path)
+        plan.on_serve_job(job, tmp_path)  # slot already spent
+        assert naps == [0.7]
+
+    def test_serve_crash_kills_supervised_worker(self, tmp_path):
+        # Subprocess stands in for a prefork worker: env flag set, the
+        # hook must hard-exit with CRASH_EXIT_STATUS.
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        from repro.parallel import SERVE_WORKER_ENV
+        from repro.parallel.faults import CRASH_EXIT_STATUS
+
+        root = Path(__file__).resolve().parents[1]
+
+        code = (
+            "from repro.parallel import FaultPlan, SimulationJob\n"
+            "from repro.core import RouterTimingParameters\n"
+            "params = RouterTimingParameters(n_nodes=5, tp=20.0, tc=0.3, tr=0.1)\n"
+            "job = SimulationJob.from_params(params, seed=3, horizon=100.0,"
+            " direction='up')\n"
+            "plan = FaultPlan.of(FaultPlan.serve_crash(seeds=(3,)))\n"
+            f"plan.on_serve_job(job, {str(tmp_path)!r})\n"
+            "raise SystemExit(9)  # unreachable when the crash fires\n"
+        )
+        env = dict(os.environ, **{SERVE_WORKER_ENV: "1"})
+        env["PYTHONPATH"] = "src"
+        proc = subprocess.run(
+            [sys.executable, "-c", code], env=env, cwd=str(root)
+        )
+        assert proc.returncode == CRASH_EXIT_STATUS
+        assert len(list(tmp_path.iterdir())) == 1  # one slot spent

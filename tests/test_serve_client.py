@@ -1,0 +1,151 @@
+"""Unit tests for the ServeClient Retry-After retry policy.
+
+A scripted stub HTTP server answers a fixed sequence of responses, so
+the tests pin down exactly which statuses retry (429/503 with a
+Retry-After), which never do (504, hintless errors), how the sleeps
+follow the server's hint (capped), and that ``retries=0`` preserves
+surface-the-error behavior.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.serve import ServeClient
+from repro.serve.client import RETRYABLE_STATUSES
+
+
+class ScriptedServer:
+    """Answers a scripted list of (status, headers, body) responses.
+
+    Once the script is exhausted every request answers 200 ``{}``.
+    """
+
+    def __init__(self, script):
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def _reply(self):
+                length = int(self.headers.get("Content-Length") or 0)
+                self.rfile.read(length)
+                with outer._lock:
+                    outer.requests.append(self.path)
+                    step = outer.script.pop(0) if outer.script else None
+                status, headers, body = step or (200, {}, b"{}")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                for name, value in headers.items():
+                    self.send_header(name, value)
+                self.end_headers()
+                self.wfile.write(body)
+
+            do_GET = do_POST = _reply
+
+            def log_message(self, *args):
+                pass
+
+        self.script = list(script)
+        self.requests = []
+        self._lock = threading.Lock()
+        self._httpd = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=10)
+
+    @property
+    def port(self):
+        return self._httpd.server_address[1]
+
+
+def shed(retry_after, status=429):
+    body = json.dumps({"error": "queue full"}).encode()
+    return (status, {"Retry-After": f"{retry_after:.3f}"}, body)
+
+
+@pytest.fixture
+def sleeps(monkeypatch):
+    """Record the client's retry sleeps instead of performing them."""
+    recorded = []
+    monkeypatch.setattr(
+        "repro.serve.client._sleep", lambda seconds: recorded.append(seconds)
+    )
+    return recorded
+
+
+class TestRetryPolicy:
+    def test_429_with_hint_retries_until_success(self, sleeps):
+        with ScriptedServer([shed(0.25), shed(0.5)]) as stub:
+            with ServeClient("127.0.0.1", stub.port, retries=3) as client:
+                response = client.request("GET", "/thing")
+        assert response.status == 200
+        assert sleeps == [0.25, 0.5]
+        assert client.retried == 2
+        assert len(stub.requests) == 3
+
+    def test_503_is_retryable_504_is_not(self, sleeps):
+        assert 429 in RETRYABLE_STATUSES and 503 in RETRYABLE_STATUSES
+        assert 504 not in RETRYABLE_STATUSES
+        with ScriptedServer([shed(0.1, status=503)]) as stub:
+            with ServeClient("127.0.0.1", stub.port, retries=2) as client:
+                assert client.request("GET", "/x").status == 200
+        assert sleeps == [0.1]
+        with ScriptedServer([shed(0.1, status=504)]) as stub:
+            with ServeClient("127.0.0.1", stub.port, retries=2) as client:
+                # A deadline exceeded once will be exceeded again —
+                # surfaced immediately, no sleep burned.
+                assert client.request("GET", "/x").status == 504
+        assert sleeps == [0.1]  # unchanged: the 504 never slept
+
+    def test_retries_exhausted_returns_last_error(self, sleeps):
+        with ScriptedServer([shed(0.1)] * 5) as stub:
+            with ServeClient("127.0.0.1", stub.port, retries=2) as client:
+                response = client.request("GET", "/x")
+        assert response.status == 429
+        assert client.retried == 2
+        assert len(stub.requests) == 3  # initial + 2 retries, then stop
+
+    def test_no_hint_means_no_retry(self, sleeps):
+        body = json.dumps({"error": "queue full"}).encode()
+        with ScriptedServer([(429, {}, body)]) as stub:
+            with ServeClient("127.0.0.1", stub.port, retries=3) as client:
+                response = client.request("GET", "/x")
+        assert response.status == 429
+        assert sleeps == []
+        assert client.retried == 0
+
+    def test_retries_zero_surfaces_backpressure(self, sleeps):
+        with ScriptedServer([shed(0.1)]) as stub:
+            with ServeClient("127.0.0.1", stub.port) as client:
+                response = client.request("GET", "/x")
+        assert response.status == 429
+        assert response.retry_after == pytest.approx(0.1)
+        assert sleeps == []
+
+    def test_hint_is_capped_at_max_retry_after(self, sleeps):
+        with ScriptedServer([shed(120.0)]) as stub:
+            with ServeClient(
+                "127.0.0.1", stub.port, retries=1, max_retry_after=2.0
+            ) as client:
+                assert client.request("GET", "/x").status == 200
+        assert sleeps == [2.0]
+
+    def test_retry_resends_the_same_payload(self, sleeps):
+        with ScriptedServer([shed(0.05)]) as stub:
+            with ServeClient("127.0.0.1", stub.port, retries=1) as client:
+                response = client.request("POST", "/v1/simulate", {"seed": 9})
+        assert response.status == 200
+        assert stub.requests == ["/v1/simulate", "/v1/simulate"]

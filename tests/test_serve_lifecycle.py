@@ -125,3 +125,128 @@ class TestBackgroundServer:
         with BackgroundServer(config) as bg:
             thread = bg._thread
         assert not thread.is_alive()
+
+
+class GatedRunner:
+    """A job runner that blocks until the test releases it."""
+
+    def __init__(self):
+        import threading
+
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def __call__(self, specs):
+        from repro.parallel import ParallelRunner
+
+        self.started.set()
+        assert self.release.wait(timeout=30), "test never released the runner"
+        return ParallelRunner(jobs=1).run(specs)
+
+
+def _spec(seed=61):
+    from repro.parallel import SimulationJob
+
+    return SimulationJob(
+        n_nodes=5,
+        tp=121.0,
+        tc=0.11,
+        tr=2.0,
+        seed=seed,
+        horizon=1500.0,
+        direction="up",
+        engine="cascade",
+    ).to_dict()
+
+
+class TestStopUnderLoad:
+    """``BackgroundServer.stop()`` with requests still in flight."""
+
+    def test_stop_completes_inflight_request_first(self, tmp_path):
+        import threading
+
+        runner = GatedRunner()
+        config = ServeConfig(port=0, cache_root=str(tmp_path / "cache"))
+        bg = BackgroundServer(config, job_runner=runner).start()
+        responses = []
+
+        def fire():
+            with ServeClient(bg.host, bg.port, timeout=60) as client:
+                responses.append(client.simulate(_spec()))
+
+        thread = threading.Thread(target=fire)
+        thread.start()
+        assert runner.started.wait(timeout=30)
+        stopper = threading.Thread(target=bg.stop)
+        stopper.start()
+        time.sleep(0.1)  # the drain is now waiting on the gated job
+        runner.release.set()
+        thread.join(timeout=60)
+        stopper.join(timeout=60)
+        assert not bg._thread.is_alive()
+        assert responses and responses[0].status == 200
+
+    def test_drain_grace_expiry_answers_retryable_503_not_a_dropped_socket(
+        self, tmp_path
+    ):
+        import threading
+
+        runner = GatedRunner()
+        config = ServeConfig(
+            port=0, cache_root=str(tmp_path / "cache"), drain_grace=0.2
+        )
+        bg = BackgroundServer(config, job_runner=runner).start()
+        responses = []
+        try:
+            def fire():
+                with ServeClient(bg.host, bg.port, timeout=60) as client:
+                    responses.append(client.simulate(_spec(seed=62)))
+
+            thread = threading.Thread(target=fire)
+            thread.start()
+            assert runner.started.wait(timeout=30)
+            bg.stop()  # grace expires with the job still gated
+            thread.join(timeout=60)
+        finally:
+            runner.release.set()  # let the executor thread exit
+        assert responses, "the in-flight request was dropped outright"
+        response = responses[0]
+        assert response.status == 503
+        assert "cancelled" in response.json()["error"]
+        assert response.retry_after is not None  # deterministic, retryable
+
+    def test_drain_racing_new_connections_refuses_503_draining(self, tmp_path):
+        import threading
+
+        runner = GatedRunner()
+        config = ServeConfig(port=0, cache_root=str(tmp_path / "cache"))
+        bg = BackgroundServer(config, job_runner=runner).start()
+        inflight = []
+
+        def fire():
+            with ServeClient(bg.host, bg.port, timeout=60) as client:
+                inflight.append(client.simulate(_spec(seed=63)))
+
+        thread = threading.Thread(target=fire)
+        thread.start()
+        assert runner.started.wait(timeout=30)
+        stopper = threading.Thread(target=bg.stop)
+        stopper.start()
+        # A brand-new connection arriving mid-drain is refused
+        # crisply: 503 draining, connection: close — never queued
+        # behind a drain that will not admit it.
+        deadline = time.monotonic() + 10.0
+        while True:
+            with ServeClient(bg.host, bg.port, timeout=10) as late:
+                ready = late.readyz()
+                if ready.status == 503:
+                    refused = late.simulate(_spec(seed=64))
+                    break
+            assert time.monotonic() < deadline, "drain never flipped readyz"
+            time.sleep(0.02)
+        assert refused.status == 503
+        assert refused.json()["error"] == "server is draining"
+        runner.release.set()
+        thread.join(timeout=60)
+        stopper.join(timeout=60)
+        assert inflight and inflight[0].status == 200  # drained, not dropped

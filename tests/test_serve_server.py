@@ -319,3 +319,75 @@ class TestBatchEngine:
                 response = client.sweep(specs)
         assert response.status == 200
         assert response.body == expected
+
+
+class TestCancellationPropagation:
+    """A cancelled leader must settle its followers retryably.
+
+    Regression for the ``Coalescer`` retire path: before PR-7, a
+    leader task cancelled mid-flight (drain-grace expiry, shutdown)
+    set a bare ``CancelledError`` on the shared future, unwinding
+    every follower's handler and silently dropping their connections.
+    Now followers receive :class:`CoalesceCancelledError` and answer
+    a retryable 503 with the deterministic job-keyed Retry-After.
+    """
+
+    def test_cancelled_leader_settles_followers_with_coalesce_error(
+        self, tmp_path
+    ):
+        import asyncio
+
+        from repro.serve import CoalesceCancelledError, SimulationServer
+
+        async def go():
+            server = SimulationServer(config(tmp_path))
+            loop = asyncio.get_running_loop()
+            futures = [loop.create_future() for _ in range(3)]
+            started = asyncio.Event()
+
+            async def produce():
+                started.set()
+                await asyncio.sleep(60)
+
+            server._lead_async(futures, "ab" * 32, produce)
+            await started.wait()
+            (task,) = server._tasks
+            task.cancel()
+            await asyncio.gather(task, return_exceptions=True)
+            return futures
+
+        futures = asyncio.run(go())
+        for future in futures:
+            error = future.exception()
+            assert isinstance(error, CoalesceCancelledError)
+            assert "safe to retry" in str(error)
+
+    def test_await_body_maps_cancellation_to_retryable_503(self, tmp_path):
+        import asyncio
+
+        from repro.parallel import deterministic_jitter
+        from repro.serve import CoalesceCancelledError, SimulationServer
+
+        async def go():
+            server = SimulationServer(config(tmp_path))
+            loop = asyncio.get_running_loop()
+            settled = loop.create_future()
+            settled.set_exception(CoalesceCancelledError("boom"))
+            first = await server._await_body(settled, "k1")
+            torn = loop.create_future()
+            torn.cancel()
+            second = await server._await_body(torn, "k1")
+            return server, first, second
+
+        server, first, second = asyncio.run(go())
+        for response in (first, second):
+            assert response.status == 503
+            assert "retry-after" in response.headers
+            assert b"safe to retry" in response.body
+        # Retry-After is the queue's deterministic job-keyed jitter.
+        expected = server.config.retry_after_base * deterministic_jitter("k1", 0)
+        assert float(first.headers["retry-after"]) == pytest.approx(
+            expected, abs=1e-3
+        )
+        assert first.headers["retry-after"] == second.headers["retry-after"]
+        assert server.metrics.counter("serve.cancelled").value == 2

@@ -1,0 +1,419 @@
+"""Prefork supervisor tests: the PR-7 chaos acceptance criteria.
+
+The headline invariant, proven here end to end: with ``workers >= 2``
+and a :class:`FaultPlan` that kills a worker mid-request *and*
+orphans a claim record, every accepted request still returns bytes
+identical to the direct ``ParallelRunner`` path, each job hash is
+executed exactly once across the fleet (publish-log accounting), the
+crashed worker respawns within its deterministic backoff budget, and
+SIGTERM drains the whole fleet to exit 0.
+
+Process taxonomy: :class:`SupervisedServer` keeps the supervisor on
+an in-process daemon thread while workers are real subprocesses
+inheriting the listening fd, so tests can kill workers and read
+``supervisor.restarts`` directly; the CLI tests spawn the full
+``python -m repro serve --workers N`` tree and signal the parent.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.parallel import (
+    ClaimRegistry,
+    FaultPlan,
+    ParallelRunner,
+    SimulationJob,
+    deterministic_jitter,
+)
+from repro.serve import supervisor as supervisor_mod
+from repro.serve import (
+    LoadPlan,
+    ServeClient,
+    ServeConfig,
+    SupervisedServer,
+    format_report,
+    run_chaos_load,
+    simulation_payload,
+)
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+def spec_dict(seed=1, horizon=1500.0, **overrides):
+    base = dict(
+        n_nodes=5,
+        tp=121.0,
+        tc=0.11,
+        tr=2.0,
+        seed=seed,
+        horizon=horizon,
+        direction="up",
+        engine="cascade",
+    )
+    base.update(overrides)
+    return SimulationJob(**base).to_dict()
+
+
+def fleet_config(tmp_path, **overrides):
+    defaults = dict(
+        port=0,
+        workers=2,
+        cache_root=str(tmp_path / "cache"),
+        claim_ttl=2.0,
+        restart_backoff=0.05,
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+def direct_payload(spec: dict) -> bytes:
+    job = SimulationJob.from_dict(spec)
+    return simulation_payload(job, ParallelRunner(jobs=1).run([job])[0])
+
+
+def backoff_budget(config: ServeConfig, crashes: int) -> float:
+    """The worst-case deterministic respawn budget for one slot.
+
+    Mirrors the supervisor's ``restart_backoff * 2^n * jitter`` law
+    with the jitter factor at its [0.5, 1.5) ceiling, plus monitor
+    poll and process-spawn margin per crash.
+    """
+    return sum(
+        config.restart_backoff * (2**n) * 1.5 + 1.0 for n in range(crashes)
+    )
+
+
+class TestSupervisorConfig:
+    def test_round_trips_through_dict_with_faults(self):
+        plan = FaultPlan.of(
+            FaultPlan.serve_crash(seeds=(3,)),
+            FaultPlan.claim_orphan(seeds=(4,)),
+        )
+        config = ServeConfig(
+            port=0, workers=3, cache_root="c", claim_ttl=1.5, faults=plan
+        )
+        rebuilt = ServeConfig.from_dict(
+            json.loads(json.dumps(config.to_dict(), sort_keys=True))
+        )
+        assert rebuilt.workers == 3
+        assert rebuilt.claims_enabled
+        assert rebuilt.faults is not None
+        assert rebuilt.faults.to_dict() == plan.to_dict()
+
+    def test_claims_default_on_for_multiworker_with_cache(self):
+        assert ServeConfig(port=0, workers=2, cache_root="c").claims_enabled
+        assert not ServeConfig(port=0, workers=1, cache_root="c").claims_enabled
+        assert ServeConfig(
+            port=0, workers=1, cache_root="c", claims=True
+        ).claims_enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(workers=0),
+            dict(claims=True, cache_root=None),
+            dict(claim_ttl=0.0),
+            dict(claim_poll=0.0),
+            dict(restart_limit=-1),
+            dict(restart_backoff=-0.1),
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServeConfig(port=0, **kwargs)
+
+
+class TestSupervisedFleet:
+    def test_two_workers_serve_identical_bytes_and_drain_zero(self, tmp_path):
+        spec = spec_dict(seed=21)
+        expected = direct_payload(spec)
+        fleet = SupervisedServer(fleet_config(tmp_path)).start()
+        try:
+            _await_healthz(fleet)
+            pids = set()
+            for _ in range(6):
+                with ServeClient(fleet.host, fleet.port) as client:
+                    response = client.simulate(spec)
+                    assert response.status == 200
+                    assert response.body == expected
+                    health = client.healthz().json()
+                    pids.add(health["pid"])
+        finally:
+            code = fleet.stop()
+        assert code == 0
+        # Fresh connections are load-balanced by the kernel; both
+        # workers existed even if accept order favored one.
+        assert fleet.supervisor.restarts == 0
+        assert pids  # at least one worker answered /healthz
+
+    def test_killed_worker_respawns_within_deterministic_budget(self, tmp_path):
+        config = fleet_config(tmp_path)
+        fleet = SupervisedServer(config).start()
+        try:
+            _await_healthz(fleet)
+            before = fleet.supervisor.worker_pids()
+            killed = fleet.kill_worker(0, signal.SIGKILL)
+            t0 = time.monotonic()
+            fleet.wait_respawn(1, timeout=backoff_budget(config, 1) + 5.0)
+            waited = time.monotonic() - t0
+            after = fleet.supervisor.worker_pids()
+            assert after[0] is not None and after[0] != killed
+            assert after[1] == before[1]  # the other slot untouched
+            assert waited <= backoff_budget(config, 1) + 5.0
+            # The fleet still answers after the respawn.
+            with ServeClient(fleet.host, fleet.port) as client:
+                assert client.simulate(spec_dict(seed=22)).status == 200
+            assert fleet.supervisor.metrics.counter(
+                "serve.workers.restarts"
+            ).value == 1
+        finally:
+            code = fleet.stop()
+        assert code == 0
+
+    def test_crash_loop_abandons_slot_after_restart_limit(self, tmp_path):
+        config = fleet_config(tmp_path, restart_limit=1, restart_backoff=0.01)
+        fleet = SupervisedServer(config).start()
+        try:
+            _await_healthz(fleet)
+            # Slot 0 crashes faster than STABLE_AFTER resets it:
+            # crash 0 -> respawn (n=0), crash 1 -> n=1 == limit -> abandon.
+            fleet.kill_worker(0, signal.SIGKILL)
+            fleet.wait_respawn(1, timeout=10.0)
+            deadline = time.monotonic() + 10.0
+            fleet.kill_worker(0, signal.SIGKILL)
+            while fleet.supervisor.abandoned < 1:
+                assert time.monotonic() < deadline, "slot never abandoned"
+                time.sleep(0.02)
+            assert fleet.supervisor.worker_pids()[0] is None
+            # Slot 1 keeps serving alone.
+            with ServeClient(fleet.host, fleet.port) as client:
+                assert client.healthz().status == 200
+        finally:
+            code = fleet.stop()
+        assert code == 0
+
+
+@pytest.mark.faults
+class TestChaosUnderLoad:
+    """The tentpole invariant, stated as one test.
+
+    FaultPlan kills a worker mid-request (``serve_crash``) and
+    plants an orphaned claim record (``claim_orphan``); the load
+    generator's retrying clients must still see byte-identical
+    payloads, the publish log must show exactly one execution per
+    job hash, and the fleet must drain to exit 0.
+    """
+
+    def test_chaos_load_holds_every_invariant(self, tmp_path):
+        specs = (spec_dict(seed=31), spec_dict(seed=32), spec_dict(seed=33))
+        plan = LoadPlan(
+            clients=3,
+            period=0.4,
+            jitter=0.1,
+            duration=3.0,
+            seed=7,
+            specs=specs,
+            real_time=True,
+            retries=4,
+        )
+        config = fleet_config(
+            tmp_path,
+            deadline=60.0,
+            faults=FaultPlan.of(
+                FaultPlan.serve_crash(seeds=(31,)),
+                FaultPlan.claim_orphan(seeds=(33,)),
+            ),
+        )
+        report = run_chaos_load(plan, config, kills=1, kill_after=0.4)
+        chaos = report["chaos"]
+
+        # No request lost: every record carries an HTTP status.
+        assert chaos["no_request_lost"], report["by_status"]
+        # At least one crash was induced (fault or SIGKILL) and every
+        # crashed worker was respawned.
+        assert chaos["restarts"] >= 1
+        assert chaos["drain_exit_code"] == 0
+        # Cross-worker single-flight: exactly one publish per hash.
+        assert chaos["exactly_once_per_key"]
+        assert chaos["publishes"] == chaos["distinct_published_keys"]
+        assert chaos["publishes"] >= 1
+
+        # Byte-identity against the direct runner path, per spec.
+        expected = {
+            SimulationJob.from_dict(spec).cache_key(): direct_payload(spec)
+            for spec in specs
+        }
+        import hashlib
+
+        for key, sha in report["payload_sha256"].items():
+            assert key in expected
+            assert sha == hashlib.sha256(expected[key]).hexdigest()
+        assert report["identical_payloads_per_key"]
+
+        # The rendered report names the chaos outcome.
+        text = format_report(report)
+        assert "exactly-once held" in text
+        assert "drain exit 0" in text
+
+    def test_orphaned_claim_is_taken_over_and_published_once(self, tmp_path):
+        # claim_orphan plants a dead-owner record before the worker
+        # acquires; the claims path must detect the stale claim, take
+        # it over, and publish exactly once.
+        spec = spec_dict(seed=41)
+        config = fleet_config(
+            tmp_path,
+            deadline=30.0,
+            faults=FaultPlan.of(FaultPlan.claim_orphan(seeds=(41,))),
+        )
+        expected = direct_payload(spec)
+        fleet = SupervisedServer(config).start()
+        try:
+            _await_healthz(fleet)
+            with ServeClient(fleet.host, fleet.port, retries=3) as client:
+                response = client.simulate(spec)
+            assert response.status == 200
+            assert response.body == expected
+        finally:
+            code = fleet.stop()
+        assert code == 0
+        registry = ClaimRegistry(
+            Path(config.cache_root) / "claims", ttl=config.claim_ttl
+        )
+        keys = [key for key, _pid in registry.publishes()]
+        assert len(keys) == len(set(keys)) == 1
+
+
+class TestCliFleet:
+    def spawn(self, tmp_path, *extra_args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(REPO_SRC)
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--cache-root",
+                str(tmp_path / "cache"),
+                *extra_args,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+            cwd=str(tmp_path),
+        )
+
+    def test_sigterm_drains_whole_fleet_to_exit_zero(self, tmp_path):
+        proc = self.spawn(tmp_path, "--workers", "2")
+        try:
+            announce = proc.stdout.readline().strip()
+            assert announce.startswith("supervisor: serving on http://")
+            assert "2 worker(s)" in announce
+            port = int(announce.split("with")[0].strip().rsplit(":", 1)[1])
+            deadline = time.monotonic() + 30.0
+            while True:
+                try:
+                    with ServeClient("127.0.0.1", port, timeout=5.0) as client:
+                        if client.healthz().status == 200:
+                            break
+                except OSError:
+                    pass  # lint: allow-swallow — workers still booting
+                assert time.monotonic() < deadline, "fleet never came up"
+                time.sleep(0.05)
+            with ServeClient("127.0.0.1", port) as client:
+                assert client.simulate(spec_dict(seed=51)).status == 200
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, err
+        assert "supervisor: drained; exiting 0" in out
+
+    def test_worker_entry_refuses_to_run_bare(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(REPO_SRC)
+        env.pop("REPRO_SERVE_CONFIG", None)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.serve._workermain"],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=60,
+        )
+        assert proc.returncode == 2
+        assert "--workers N" in proc.stderr
+
+
+class TestBackoffLaw:
+    def test_delay_schedule_is_deterministic_and_slot_spread(self):
+        # The same (slot, n) always yields the same delay; distinct
+        # slots de-synchronize (the paper's jitter rule applied to
+        # respawns).
+        d0 = deterministic_jitter("serve-worker-0", 0)
+        d1 = deterministic_jitter("serve-worker-1", 0)
+        assert d0 == deterministic_jitter("serve-worker-0", 0)
+        assert d0 != d1
+        for slot in range(4):
+            for n in range(3):
+                factor = deterministic_jitter(f"serve-worker-{slot}", n)
+                assert 0.5 <= factor < 1.5
+
+
+def _await_healthz(fleet, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            with ServeClient(fleet.host, fleet.port, timeout=5.0) as probe:
+                if probe.healthz().status == 200:
+                    return
+        except OSError:
+            pass  # lint: allow-swallow — workers still booting
+        if time.monotonic() >= deadline:
+            raise TimeoutError("fleet never became healthy")
+        time.sleep(0.05)
+
+
+class TestBlockingEntryPoints:
+    """In-process coverage for ``Supervisor.run`` and ``main``."""
+
+    def test_run_off_main_thread_serves_and_drains_to_zero(self, tmp_path):
+        # run() on a non-main thread exercises the ValueError fallback
+        # (signal handlers can only be installed on the main thread);
+        # the fleet must still serve and drain cleanly via begin_drain.
+        sup = supervisor_mod.Supervisor(fleet_config(tmp_path, workers=1))
+        codes: list[int] = []
+        thread = threading.Thread(
+            target=lambda: codes.append(sup.run(install_signals=True)),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.monotonic() + 30.0
+        while sup.port == 0:
+            assert time.monotonic() < deadline, "supervisor never bound"
+            time.sleep(0.02)
+        _await_healthz(sup)
+        sup.begin_drain()
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert codes == [0]
+
+    def test_main_without_worker_env_explains_and_exits_2(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.delenv(supervisor_mod.CONFIG_ENV, raising=False)
+        monkeypatch.delenv(supervisor_mod.SOCKET_FD_ENV, raising=False)
+        assert supervisor_mod.main() == 2
+        assert "--workers N" in capsys.readouterr().err

@@ -11,6 +11,7 @@ import textwrap
 from repro.tools.lint_clocks import (
     ALLOW_COMMENT,
     DEFAULT_ALLOWLIST,
+    WALL_CLOCK_ALLOWLIST,
     default_target,
     main,
     scan_file,
@@ -119,12 +120,19 @@ class TestDetection:
 class TestAllowlist:
     WALLCLOCK = "import time\nx = time.time()\n"
 
-    def test_default_allowlist_names_obs_and_serve(self):
-        assert DEFAULT_ALLOWLIST == ("obs", "serve")
+    def test_default_allowlist_names_obs_serve_and_claims(self):
+        assert WALL_CLOCK_ALLOWLIST == ("obs", "serve", "parallel/claims.py")
+        assert DEFAULT_ALLOWLIST == WALL_CLOCK_ALLOWLIST  # pre-PR-7 alias
 
     def test_serve_package_is_allowlisted_by_default(self, tmp_path):
         path = write(tmp_path, "serve/http.py", self.WALLCLOCK)
         assert scan_file(path) == []
+
+    def test_file_suffix_entry_exempts_one_module_only(self, tmp_path):
+        claims = write(tmp_path, "parallel/claims.py", self.WALLCLOCK)
+        sibling = write(tmp_path, "parallel/runner.py", self.WALLCLOCK)
+        assert scan_file(claims) == []
+        assert scan_file(sibling) != []
 
     def test_custom_allowlist_replaces_default(self, tmp_path):
         obs = write(tmp_path, "obs/clock.py", self.WALLCLOCK)
