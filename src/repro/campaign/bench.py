@@ -1,0 +1,174 @@
+"""The campaign-dispatch benchmark (``repro-sync bench --campaign``).
+
+Runs one fixed small grid through both dispatchers and the warm
+cache, so ``BENCH_campaign.json`` answers three questions the
+campaign layer lives on:
+
+* **local_cold** — what the orchestrator + :class:`LocalDispatcher`
+  cost over raw simulation (chunking, cache/journal commits);
+* **serve_cold** — the same grid fanned out to a loopback serve
+  instance through :class:`ServeDispatcher` (HTTP + JSON framing per
+  batch), with report byte-identity against the local run asserted
+  into the snapshot;
+* **warm** — the identical campaign re-run against the filled cache:
+  zero jobs executed, pure memo-read throughput (the resume path's
+  fixed cost).
+
+The grid is deliberately tiny and fixed — this benchmark measures the
+*orchestration* overhead, not the simulator (``BENCH_parallel.json``
+owns that).  The snapshot uses the shared :mod:`repro.benchio`
+envelope next to its siblings.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from pathlib import Path
+
+from ..benchio import bench_envelope, write_bench_json
+from ..obs.clock import perf_counter
+from ..parallel import ResultCache
+from .dispatch import LocalDispatcher, ServeDispatcher
+from .report import build_report, report_json
+from .run import run_campaign
+from .spec import CampaignSpec
+
+__all__ = ["bench_spec", "format_campaign_table", "run_campaign_benchmark"]
+
+#: Default bench cache root (cleared per row so cold rows are cold).
+DEFAULT_BENCH_CACHE = Path("results") / "cache" / "campaign-bench"
+
+
+def bench_spec(seed_count: int = 8, horizon: float = 4000.0) -> CampaignSpec:
+    """The fixed small grid every benchmark row runs (paper-flavored:
+    a Tr sweep at reduced N so a row costs seconds, not minutes)."""
+    return CampaignSpec(
+        name="campaign-bench",
+        n_nodes=(5,),
+        tp=(121.0,),
+        tc=(0.11,),
+        tr=(0.055, 0.099, 0.165),
+        seed_count=seed_count,
+        horizon=horizon,
+        engine="cascade",
+    )
+
+
+def run_campaign_benchmark(
+    seed_count: int = 8,
+    horizon: float = 4000.0,
+    jobs: int | None = None,
+    cache_root: str | os.PathLike | None = None,
+    output: str | os.PathLike | None = None,
+) -> dict:
+    """Run the three rows; return (optionally write) the snapshot."""
+    jobs = jobs or os.cpu_count() or 1
+    root = Path(cache_root) if cache_root is not None else DEFAULT_BENCH_CACHE
+    shutil.rmtree(root, ignore_errors=True)
+    spec = bench_spec(seed_count=seed_count, horizon=horizon)
+    local_cache = ResultCache(root / "local")
+    serve_cache = ResultCache(root / "serve")
+    checkpoints = root / "checkpoints"
+
+    def timed(dispatcher, cache) -> dict:
+        t0 = perf_counter()
+        summary = run_campaign(
+            spec,
+            dispatcher=dispatcher,
+            cache=cache,
+            checkpoint_root=checkpoints,
+        )
+        seconds = perf_counter() - t0
+        return {
+            "seconds": round(seconds, 4),
+            "jobs_per_s": round(summary.total / seconds, 2) if seconds else None,
+            "executed": summary.executed,
+            "cached": summary.cached,
+            "dispatcher": summary.dispatcher,
+        }
+
+    local_cold = timed(LocalDispatcher(jobs=jobs), local_cache)
+
+    from ..serve.config import ServeConfig
+    from ..serve.lifecycle import BackgroundServer
+
+    server_config = ServeConfig(
+        host="127.0.0.1",
+        port=0,
+        jobs=jobs,
+        cache_root=str(root / "server"),
+    )
+    with BackgroundServer(server_config) as bg:
+        serve_cold = timed(
+            ServeDispatcher(
+                endpoints=((bg.host, bg.port),),
+                batch_size=8,
+                connect_timeout=5.0,
+                retries=3,
+            ),
+            serve_cache,
+        )
+
+    warm = timed(LocalDispatcher(jobs=jobs), local_cache)
+
+    identical = report_json(build_report(spec, local_cache)) == report_json(
+        build_report(spec, serve_cache)
+    )
+    payload = {
+        "workload": {
+            "grid_points": spec.point_count,
+            "seed_count": spec.seed_count,
+            "total_jobs": spec.total_jobs,
+            "horizon": spec.horizon,
+            "engine": spec.engine,
+            "jobs": jobs,
+        },
+        "local_cold": local_cold,
+        "serve_cold": serve_cold,
+        "warm": warm,
+        "warm_served_entirely_from_cache": warm["executed"] == 0,
+        "reports_identical_local_vs_serve": identical,
+    }
+    snapshot = bench_envelope("campaign_dispatch", payload)
+    if output is not None:
+        write_bench_json(output, snapshot)
+    return snapshot
+
+
+def format_campaign_table(snapshot: dict) -> str:
+    """Render the snapshot as the CLI's campaign table."""
+    workload = snapshot["workload"]
+    rows = [("row", "seconds", "jobs/s", "executed", "cached")]
+    for name in ("local_cold", "serve_cold", "warm"):
+        row = snapshot[name]
+        rows.append(
+            (
+                name,
+                f"{row['seconds']:.3f}",
+                f"{row['jobs_per_s']:.1f}" if row["jobs_per_s"] else "-",
+                str(row["executed"]),
+                str(row["cached"]),
+            )
+        )
+    widths = [max(len(row[col]) for row in rows) for col in range(len(rows[0]))]
+    lines = [
+        f"campaign dispatch: {workload['grid_points']} grid point(s) x "
+        f"{workload['seed_count']} seed(s) = {workload['total_jobs']} job(s), "
+        f"engine={workload['engine']}, jobs={workload['jobs']}"
+    ]
+    for i, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.ljust(widths[col]) for col, cell in enumerate(row))
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    lines.append(
+        "warm pass served entirely from cache: "
+        + ("yes" if snapshot["warm_served_entirely_from_cache"] else "NO")
+    )
+    lines.append(
+        "reports identical local vs serve: "
+        + ("yes" if snapshot["reports_identical_local_vs_serve"] else "NO")
+    )
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Campaign reports: the completed grid as tables and figure arrays.
+
+``campaign report`` never simulates — it assembles the study straight
+from the :class:`~repro.parallel.ResultCache` (the memo the
+orchestrator filled), one row per grid point with its full seed
+family.  Because cache entries are canonical JSON and the report is
+serialized with sorted keys, the same completed campaign renders the
+same report **byte for byte** no matter which dispatcher (local pool,
+serve fleet, or a mix of shards) computed the entries — the
+acceptance check the cross-dispatcher tests and the CI smoke job
+assert.
+
+Censoring discipline follows the tracker convention: a seed whose run
+never reached the terminal cluster size within the horizon appears as
+``null`` in the per-seed array and is excluded from the mean/median —
+absence is data, not an error.  A seed *missing from the cache* is
+counted separately (``missing``): a nonzero count means the campaign
+has not finished and the summary statistics are provisional.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from statistics import fmean, median
+
+from ..parallel import ResultCache
+from ..parallel.job import MODEL_VERSION
+from .spec import CampaignSpec
+
+__all__ = [
+    "build_report",
+    "format_report",
+    "report_json",
+    "write_report",
+]
+
+#: Bump when the report payload shape changes.
+REPORT_SCHEMA = 1
+
+
+def build_report(spec: CampaignSpec, cache: ResultCache | None = None) -> dict:
+    """Assemble the study's result table from the cache alone.
+
+    One row per grid point (canonical axis order), carrying the
+    per-seed terminal times (``None`` = censored at the horizon) and
+    the summary statistics over the observed ones; plus flat
+    figure-ready arrays aligned with the rows so a plot is one zip
+    away.
+    """
+    if cache is None:
+        cache = ResultCache()
+    rows = []
+    missing_total = 0
+    for params in spec.points():
+        terminals: list[float | None] = []
+        missing = censored = 0
+        for job in spec.jobs_for_point(params):
+            result = cache.get(job)
+            if result is None:
+                missing += 1
+                terminals.append(None)
+                continue
+            t = result.terminal_time(job)
+            if t is None:
+                censored += 1
+            terminals.append(t)
+        observed = [t for t in terminals if t is not None]
+        missing_total += missing
+        rows.append(
+            {
+                "n_nodes": params.n_nodes,
+                "tp": params.tp,
+                "tc": params.tc,
+                "tr": params.tr,
+                "seeds": spec.seed_count,
+                "missing": missing,
+                "censored": censored,
+                "observed": len(observed),
+                "terminal_times": terminals,
+                "mean": fmean(observed) if observed else None,
+                "median": median(observed) if observed else None,
+                "min": min(observed) if observed else None,
+                "max": max(observed) if observed else None,
+            }
+        )
+    # Figure-ready columns: arrays aligned with ``rows`` so e.g.
+    # Fig-12-style curves are plot(arrays["tr"], arrays["mean"]).
+    arrays = {
+        key: [row[key] for row in rows]
+        for key in (
+            "n_nodes", "tp", "tc", "tr", "mean", "median", "censored",
+        )
+    }
+    return {
+        "schema": REPORT_SCHEMA,
+        "campaign_id": spec.campaign_id(),
+        "name": spec.name,
+        "model_version": MODEL_VERSION,
+        "spec": spec.to_dict(),
+        "total_jobs": spec.total_jobs,
+        "missing": missing_total,
+        "complete": missing_total == 0,
+        "rows": rows,
+        "arrays": arrays,
+    }
+
+
+def report_json(report: dict) -> str:
+    """The canonical serialization (sorted keys — the byte-identity
+    surface the cross-dispatcher acceptance tests compare)."""
+    return json.dumps(report, sort_keys=True, indent=1) + "\n"
+
+
+def write_report(report: dict, path: str | os.PathLike) -> Path:
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(report_json(report))
+    return target
+
+
+def _fmt(value: float | None) -> str:
+    return f"{value:.6g}" if value is not None else "-"
+
+
+def format_report(report: dict) -> str:
+    """Render the report as a console table (one line per grid point)."""
+    lines = [
+        f"campaign {report['campaign_id']} name={report['name']} "
+        f"jobs={report['total_jobs'] - report['missing']}"
+        f"/{report['total_jobs']} "
+        f"complete={str(report['complete']).lower()}",
+        f"{'N':>4} {'Tp':>10} {'Tc':>10} {'Tr':>10} "
+        f"{'obs':>5} {'cens':>5} {'miss':>5} "
+        f"{'mean':>12} {'median':>12}",
+    ]
+    for row in report["rows"]:
+        lines.append(
+            f"{row['n_nodes']:>4} {row['tp']:>10g} {row['tc']:>10g} "
+            f"{row['tr']:>10g} {row['observed']:>5} {row['censored']:>5} "
+            f"{row['missing']:>5} {_fmt(row['mean']):>12} "
+            f"{_fmt(row['median']):>12}"
+        )
+    return "\n".join(lines)

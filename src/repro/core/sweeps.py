@@ -138,10 +138,22 @@ def _run_sweep(
     cache,
     checkpoint=None,
     on_error: str = "raise",
+    dispatcher=None,
 ) -> list[SweepResult]:
-    """Execute a (parameter, seed) grid through the parallel layer."""
+    """Execute a (parameter, seed) grid through a dispatcher.
+
+    By default the grid runs on a
+    :class:`~repro.campaign.dispatch.LocalDispatcher` built from the
+    ``jobs``/``cache``/``checkpoint``/``on_error`` knobs — exactly the
+    pre-campaign runner behavior, journal lifecycle included.  Passing
+    an explicit ``dispatcher`` routes execution elsewhere (e.g. a
+    :class:`~repro.campaign.dispatch.ServeDispatcher` fleet); the
+    runner knobs then stay with whoever built the dispatcher, and
+    journaling is the caller's concern.
+    """
+    from ..campaign.dispatch import LocalDispatcher
     from ..obs import obs
-    from ..parallel import ParallelRunner, SimulationJob, resolve_checkpoint
+    from ..parallel import SimulationJob, resolve_checkpoint
 
     if direction not in ("synchronize", "break_up"):
         raise ValueError(f"unknown direction {direction!r}")
@@ -159,10 +171,12 @@ def _run_sweep(
         )
         for _value, seed, params in grid
     ]
-    journal = resolve_checkpoint(checkpoint, specs)
-    runner = ParallelRunner(
-        jobs=jobs, cache=cache, checkpoint=journal, on_error=on_error
-    )
+    journal = None
+    if dispatcher is None:
+        journal = resolve_checkpoint(checkpoint, specs)
+        dispatcher = LocalDispatcher(
+            jobs=jobs, cache=cache, checkpoint=journal, on_error=on_error
+        )
     try:
         with obs().span(
             "sweep.run",
@@ -172,12 +186,14 @@ def _run_sweep(
             grid=len(specs),
             engine=engine,
             jobs=jobs,
+            dispatcher=dispatcher.describe(),
         ):
-            results = runner.run(specs)
+            results = dispatcher.run(specs)
     finally:
         if journal is not None:
-            if runner.report.fully_accounted(len(specs)) and (
-                runner.report.incomplete == 0
+            report = dispatcher.report
+            if report is not None and report.fully_accounted(len(specs)) and (
+                report.incomplete == 0
             ):
                 journal.complete()  # clean finish: no resume marker to keep
             else:
@@ -204,6 +220,7 @@ def sweep_tr(
     cache=None,
     checkpoint=None,
     on_error: str = "raise",
+    dispatcher=None,
 ) -> list[SweepResult]:
     """First-passage times across a range of random components.
 
@@ -215,11 +232,13 @@ def sweep_tr(
     ``results/checkpoints/`` so an interrupted sweep resumes without
     re-simulating; ``on_error="censor"`` harvests partial grids
     (failed points read as censored) instead of aborting.
+    ``dispatcher`` overrides where the grid executes (see
+    :func:`_run_sweep`); the default is the local pool.
     """
     points = [(tr, base.with_tr(tr)) for tr in tr_values]
     return _run_sweep(
         points, horizon, direction, seeds, engine, jobs, cache,
-        checkpoint=checkpoint, on_error=on_error,
+        checkpoint=checkpoint, on_error=on_error, dispatcher=dispatcher,
     )
 
 
@@ -234,15 +253,16 @@ def sweep_nodes(
     cache=None,
     checkpoint=None,
     on_error: str = "raise",
+    dispatcher=None,
 ) -> list[SweepResult]:
     """First-passage times across a range of network sizes (Figure 15's axis).
 
-    See :func:`sweep_tr` for ``checkpoint``/``on_error``.
+    See :func:`sweep_tr` for ``checkpoint``/``on_error``/``dispatcher``.
     """
     points = [(float(n), base.with_nodes(n)) for n in n_values]
     return _run_sweep(
         points, horizon, direction, seeds, engine, jobs, cache,
-        checkpoint=checkpoint, on_error=on_error,
+        checkpoint=checkpoint, on_error=on_error, dispatcher=dispatcher,
     )
 
 

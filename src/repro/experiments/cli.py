@@ -18,6 +18,15 @@ Usage::
     repro-sync cache verify            # audit results/cache/ entries
     repro-sync cache repair            # quarantine corrupt, sweep stale tmp
     repro-sync cache clear             # drop every cached result
+    repro-sync claims list             # inventory single-flight claim files
+    repro-sync claims gc               # prune stale claims + tombstones
+    repro-sync campaign run study.toml           # run a parameter study
+    repro-sync campaign run study.toml --shard 0/4   # one shard of it
+    repro-sync campaign run study.toml --dispatch serve --endpoints host:8793
+    repro-sync campaign status study.toml --shard 0/4    # progress per shard
+    repro-sync campaign report study.toml -o report.json # tables from cache
+    repro-sync campaign shard study.toml --shard 0/4     # shard manifest
+    repro-sync bench --campaign        # dispatch-overhead snapshot (BENCH_campaign.json)
     repro-sync fig10 --trace results/trace.jsonl   # record a trace
     repro-sync obs summary results/trace.jsonl     # aggregate it
     repro-sync obs export-trace results/trace.jsonl  # -> Perfetto JSON
@@ -87,7 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
         "target",
         help=(
             "a figure id (fig01..fig15), 'all', 'list', 'bench', 'cache', "
-            "'obs', 'serve', or 'loadgen'"
+            "'claims', 'campaign', 'obs', 'serve', or 'loadgen'"
         ),
     )
     parser.add_argument(
@@ -96,6 +105,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "for 'cache': verify (default) | repair | clear; "
+            "for 'claims': list (default) | gc; "
+            "for 'campaign': run (default) | status | report | shard; "
             "for 'obs': summary (default) | export-trace | top"
         ),
     )
@@ -105,7 +116,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "for the 'obs' target: the JSONL trace log to read "
-            "(default results/trace.jsonl)"
+            "(default results/trace.jsonl); for 'campaign': the "
+            "campaign spec file (.toml or .json)"
         ),
     )
     parser.add_argument(
@@ -221,6 +233,66 @@ def build_parser() -> argparse.ArgumentParser:
             "for the 'bench' target: benchmark the batched kernel "
             "(engine=batch, both backends) against the serial cascade "
             "engine and write BENCH_batch.json"
+        ),
+    )
+    parser.add_argument(
+        "--campaign",
+        action="store_true",
+        help=(
+            "for the 'bench' target: benchmark campaign dispatch (local "
+            "pool vs loopback serve fleet, warm-cache row) and write "
+            "BENCH_campaign.json"
+        ),
+    )
+    campaign = parser.add_argument_group(
+        "campaign options (the 'campaign' target)"
+    )
+    campaign.add_argument(
+        "--shard",
+        default=None,
+        metavar="K/M",
+        help=(
+            "campaign: run/inspect shard K of M (0-based; default 0/1, "
+            "the whole campaign); the shard map is a pure function of "
+            "the spec, so any host can claim any shard"
+        ),
+    )
+    campaign.add_argument(
+        "--dispatch",
+        choices=("local", "serve"),
+        default="local",
+        help=(
+            "campaign run: execute on the local process pool (default) "
+            "or fan out to serve endpoints (see --endpoints)"
+        ),
+    )
+    campaign.add_argument(
+        "--endpoints",
+        default=None,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help=(
+            "campaign run --dispatch serve: the serve endpoints to fan "
+            "out to (default 127.0.0.1:8793)"
+        ),
+    )
+    campaign.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "campaign run: jobs per commit chunk — the most compute a "
+            "kill can lose (default 256)"
+        ),
+    )
+    campaign.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "claims gc: prune claim files/tombstones older than this "
+            "(default: the claim TTL)"
         ),
     )
     serving = parser.add_argument_group(
@@ -364,6 +436,14 @@ def _run_cache(args) -> int:
             print(f"  corrupt: {name}: {why}")
         for name in report["stale_tmp"]:
             print(f"  stale tmp: {name}")
+        claims = report["claims"]
+        if any(claims.values()):
+            print(
+                f"  claims/: {claims['records']} record(s), "
+                f"{claims['tombstones']} tombstone(s), "
+                f"{claims['beats']} beat temp(s) "
+                "(prune with 'claims gc')"
+            )
         if report["corrupt"] or report["stale_tmp"]:
             print("run 'cache repair' to quarantine/sweep")
             return 1
@@ -385,6 +465,158 @@ def _run_cache(args) -> int:
         file=sys.stderr,
     )
     return 2
+
+
+def _run_claims(args) -> int:
+    """The 'claims' target: inventory / gc single-flight claim files."""
+    from pathlib import Path
+
+    from ..parallel import ClaimRegistry
+
+    root = Path(args.cache_root or "results/cache") / "claims"
+    registry = ClaimRegistry(root)
+    action = args.action or "list"
+    if action == "list":
+        inv = registry.inventory()
+        print(
+            f"claims {registry.root}: {len(inv['claims'])} record(s), "
+            f"{len(inv['tombstones'])} tombstone(s), "
+            f"{len(inv['beats'])} beat temp(s), "
+            f"{inv['publishes']} publish(es)"
+        )
+        for record in inv["claims"]:
+            age = record["heartbeat_age"]
+            age_text = f"{age:.1f}s" if age is not None else "?"
+            print(
+                f"  {record['status']:>5}: {record['key'][:16]} "
+                f"pid={record['pid']} heartbeat_age={age_text}"
+            )
+        return 0
+    if action == "gc":
+        done = registry.gc(max_age=args.max_age)
+        print(
+            f"claims {registry.root}: removed {len(done['removed_claims'])} "
+            f"stale claim(s), {len(done['removed_tombstones'])} "
+            f"tombstone(s), {len(done['removed_beats'])} beat temp(s)"
+        )
+        return 0
+    print(
+        f"error: unknown claims action {action!r} (use list or gc)",
+        file=sys.stderr,
+    )
+    return 2
+
+
+def _run_campaign(args) -> int:
+    """The 'campaign' target: run / status / report / shard a study."""
+    from ..campaign import (
+        LocalDispatcher,
+        ServeDispatcher,
+        build_report,
+        campaign_status,
+        format_report,
+        format_status,
+        load_spec,
+        parse_endpoints,
+        parse_shard,
+        run_campaign,
+        shard_manifest,
+        write_report,
+    )
+    from ..parallel import ResultCache
+
+    action = args.action or "run"
+    if action not in ("run", "status", "report", "shard"):
+        print(
+            f"error: unknown campaign action {action!r} "
+            "(use run, status, report, or shard)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.path is None:
+        print(
+            "error: the campaign target needs a spec file path "
+            "(e.g. campaign run study.toml)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        spec = load_spec(args.path)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot load campaign spec {args.path}: {error}", file=sys.stderr)
+        return 2
+    try:
+        shard, num_shards = parse_shard(args.shard or "0/1")
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache_root)
+
+    if action == "shard":
+        counts = shard_manifest(spec, num_shards)
+        print(
+            f"campaign {spec.campaign_id()} name={spec.name} "
+            f"total={spec.total_jobs} shards={num_shards}"
+        )
+        for k, count in enumerate(counts):
+            marker = " <- selected" if (k == shard and num_shards > 1) else ""
+            print(f"  shard {k}/{num_shards}: {count} job(s){marker}")
+        return 0
+
+    if action == "status":
+        status = campaign_status(spec, num_shards=num_shards, cache=cache)
+        print(format_status(status))
+        return 0 if status["complete"] else 1
+
+    if action == "report":
+        report = build_report(spec, cache)
+        if args.output:
+            target = write_report(report, args.output)
+            print(f"report written to {target}")
+        else:
+            print(format_report(report))
+        if not report["complete"]:
+            print(
+                f"warning: {report['missing']} job(s) missing from the "
+                "cache; statistics are provisional (run the campaign to "
+                "completion)",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    # action == "run"
+    if args.dispatch == "serve":
+        try:
+            endpoints = parse_endpoints(args.endpoints or "127.0.0.1:8793")
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        dispatcher = ServeDispatcher(endpoints=endpoints)
+    else:
+        dispatcher = LocalDispatcher(jobs=args.jobs or 1)
+
+    def console(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
+    kwargs = {}
+    if args.chunk_size is not None:
+        kwargs["chunk_size"] = args.chunk_size
+    try:
+        summary = run_campaign(
+            spec,
+            shard=shard,
+            num_shards=num_shards,
+            dispatcher=dispatcher,
+            cache=cache,
+            console=console,
+            **kwargs,
+        )
+    except (OSError, RuntimeError, ValueError) as error:
+        print(f"error: campaign run failed: {error}", file=sys.stderr)
+        return 1
+    print(summary.summary_line())
+    return 0 if summary.complete else 1
 
 
 def _run_serve(args) -> int:
@@ -477,6 +709,18 @@ def _run_chaos_loadgen(args, plan) -> int:
 
 def _run_bench(args) -> int:
     """The 'bench' target: emit and print the parallel perf snapshot."""
+    if args.campaign:
+        from ..campaign.bench import format_campaign_table, run_campaign_benchmark
+
+        output = "BENCH_campaign.json"
+        snapshot = run_campaign_benchmark(jobs=args.jobs, output=output)
+        print(format_campaign_table(snapshot))
+        print(f"snapshot written to {output}")
+        ok = (
+            snapshot["reports_identical_local_vs_serve"]
+            and snapshot["warm_served_entirely_from_cache"]
+        )
+        return 0 if ok else 1
     if args.batch:
         from ..parallel import format_batch_table, run_batch_benchmark
 
@@ -624,6 +868,10 @@ def _dispatch(args) -> int:
     """Route one parsed invocation to its target handler."""
     if args.target == "cache":
         return _run_cache(args)
+    if args.target == "claims":
+        return _run_claims(args)
+    if args.target == "campaign":
+        return _run_campaign(args)
     if args.target == "obs":
         return _run_obs(args)
     if args.target == "list":
@@ -673,9 +921,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.quiet and args.verbose:
         print("error: --quiet and --verbose are mutually exclusive", file=sys.stderr)
         return 2
-    if sum((args.obs, args.serve, args.batch)) > 1:
+    if sum((args.obs, args.serve, args.batch, args.campaign)) > 1:
         print(
-            "error: --obs, --serve, and --batch are mutually exclusive",
+            "error: --obs, --serve, --batch, and --campaign are "
+            "mutually exclusive",
             file=sys.stderr,
         )
         return 2
@@ -687,16 +936,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
-    if args.action is not None and args.target not in ("cache", "obs"):
+    if args.action is not None and args.target not in (
+        "cache", "claims", "campaign", "obs"
+    ):
         print(
             "error: an action argument is only valid with the "
-            "'cache' or 'obs' targets",
+            "'cache', 'claims', 'campaign', or 'obs' targets",
             file=sys.stderr,
         )
         return 2
-    if args.path is not None and args.target != "obs":
+    if args.path is not None and args.target not in ("obs", "campaign"):
         print(
-            "error: a path argument is only valid with the 'obs' target",
+            "error: a path argument is only valid with the 'obs' or "
+            "'campaign' targets",
             file=sys.stderr,
         )
         return 2

@@ -236,8 +236,12 @@ class ResultCache:
         """Audit every entry without changing anything.
 
         Returns ``{"entries", "valid", "corrupt": {name: why},
-        "stale_tmp": [names], "quarantined"}`` — ``corrupt`` covers
-        unreadable files, version mismatches, and key/content drift.
+        "stale_tmp": [names], "quarantined", "claims"}`` — ``corrupt``
+        covers unreadable files, version mismatches, and key/content
+        drift; ``claims`` counts leftover single-flight files in the
+        conventional ``claims/`` subdirectory (records, tombstones,
+        heartbeat temps) so registry debris is at least *visible*
+        here — pruning it is ``claims gc``'s job, not verify's.
         """
         report: dict = {
             "entries": 0,
@@ -245,6 +249,7 @@ class ResultCache:
             "corrupt": {},
             "stale_tmp": [],
             "quarantined": 0,
+            "claims": {"records": 0, "tombstones": 0, "beats": 0},
         }
         if not self.root.is_dir():
             return report
@@ -257,6 +262,13 @@ class ResultCache:
                 report["corrupt"][path.name] = defect
         report["stale_tmp"] = [p.name for p in self._stale_tmps(max_tmp_age)]
         report["quarantined"] = sum(1 for _ in self.root.glob("*.corrupt"))
+        claims_dir = self.root / "claims"
+        if claims_dir.is_dir():
+            report["claims"] = {
+                "records": sum(1 for _ in claims_dir.glob("*.claim")),
+                "tombstones": sum(1 for _ in claims_dir.glob("*.stale")),
+                "beats": sum(1 for _ in claims_dir.glob("*.beat")),
+            }
         return report
 
     def repair(self, max_tmp_age: float = STALE_TMP_AGE) -> dict:

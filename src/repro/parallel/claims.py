@@ -311,6 +311,117 @@ class ClaimRegistry:
         self._write_record(path, key, heartbeat=0.0, pid=-1)
         return path
 
+    # -- maintenance ---------------------------------------------------------
+
+    def inventory(self) -> dict:
+        """What the registry directory holds right now (read-only).
+
+        Returns ``{"claims": [{key, pid, status, heartbeat_age}...],
+        "tombstones": [names], "beats": [names], "publishes": N}`` —
+        the ``claims gc`` CLI's "list" view and the test suite's
+        assertion surface.
+        """
+        report: dict = {"claims": [], "tombstones": [], "beats": [], "publishes": 0}
+        if not self.root.is_dir():
+            return report
+        now = _wall_time()
+        for path in sorted(self.root.glob("*.claim")):
+            record = self.read(path.stem) or {}
+            try:
+                age = max(0.0, now - float(record.get("heartbeat", 0.0)))
+            except (TypeError, ValueError):
+                age = None
+            report["claims"].append(
+                {
+                    "key": path.stem,
+                    "pid": record.get("pid"),
+                    "status": self.status(path.stem),
+                    "heartbeat_age": age,
+                }
+            )
+        report["tombstones"] = sorted(p.name for p in self.root.glob("*.stale"))
+        report["beats"] = sorted(p.name for p in self.root.glob("*.beat"))
+        report["publishes"] = len(self.publishes())
+        return report
+
+    def gc(self, max_age: float | None = None) -> dict:
+        """Prune registry debris older than ``max_age`` seconds.
+
+        Three kinds of leftovers accumulate in a long-lived registry
+        directory and are invisible to ``ResultCache.verify``:
+
+        * ``*.stale`` tombstones — a contender that crashed between
+          the takeover rename and its unlink;
+        * ``*.beat`` temp files — a claimant that crashed between
+          writing a heartbeat and the atomic replace;
+        * ``*.claim`` records whose owner is *stale* and whose
+          heartbeat is older than ``max_age`` — a dead worker that
+          nobody ever contended with (no waiter means no takeover).
+
+        ``max_age`` defaults to the registry TTL.  Claim records are
+        removed through the same rename-to-tombstone dance
+        :meth:`acquire` uses, so gc can never delete a record a live
+        claimant just refreshed — the rename targets the exact file
+        observed stale, and a refresh replaces that file first.
+        Returns ``{"removed_claims", "removed_tombstones",
+        "removed_beats"}`` (name lists, sorted).
+        """
+        horizon = self.ttl if max_age is None else max_age
+        if horizon < 0:
+            raise ValueError("max_age must be >= 0")
+        done: dict = {
+            "removed_claims": [],
+            "removed_tombstones": [],
+            "removed_beats": [],
+        }
+        if not self.root.is_dir():
+            return done
+        now = _wall_time()
+
+        def expired(path: Path) -> bool:
+            try:
+                return now - path.stat().st_mtime >= horizon
+            except OSError:
+                return False  # vanished mid-scan: someone else's cleanup
+
+        for kind, pattern in (("removed_tombstones", "*.stale"), ("removed_beats", "*.beat")):
+            for debris in sorted(self.root.glob(pattern)):
+                if not expired(debris):
+                    continue
+                try:
+                    debris.unlink(missing_ok=True)
+                except OSError:
+                    continue  # read-only or racing cleaner; skip
+                done[kind].append(debris.name)
+        for path in sorted(self.root.glob("*.claim")):
+            record = self.read(path.stem)
+            if record is None or not self._is_stale(record):
+                continue
+            try:
+                heartbeat_age = now - float(record.get("heartbeat", 0.0))
+            except (TypeError, ValueError):
+                heartbeat_age = horizon  # unreadable stamp: old enough
+            if heartbeat_age < horizon:
+                continue
+            tombstone = self.root / (
+                f"{path.stem}.{os.getpid()}.{next(self._tmp_counter)}.stale"
+            )
+            try:
+                os.replace(path, tombstone)
+            except OSError:
+                continue  # owner unlinked it, or a contender won: fine
+            tombstone.unlink(missing_ok=True)
+            done["removed_claims"].append(path.name)
+        removed = sum(len(v) for v in done.values())
+        if removed:
+            obs().emit(
+                "claims.gc",
+                f"claims gc pruned {removed} leftover file(s) "
+                f"older than {horizon:g}s",
+                **{k: len(v) for k, v in done.items()},
+            )
+        return done
+
     # -- exactly-once accounting ---------------------------------------------
 
     @property

@@ -69,11 +69,17 @@ class ServeClient:
     the last response is returned either way.  ``retries=0`` (the
     default) preserves the PR-4 behavior exactly — backpressure is
     surfaced, never absorbed.
+
+    ``connect_timeout`` (optional) bounds only the TCP handshake,
+    separately from the read ``timeout``: set it when the cost of a
+    dead endpoint must be seconds, not a whole server deadline — the
+    campaign dispatcher does.
     """
 
     host: str = "127.0.0.1"
     port: int = 8793
     timeout: float = 60.0
+    connect_timeout: float | None = None
     retries: int = 0
     max_retry_after: float = 60.0
     retried: int = field(default=0, init=False)
@@ -85,9 +91,25 @@ class ServeClient:
 
     def _connection(self) -> http.client.HTTPConnection:
         if self._conn is None:
-            self._conn = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout
-            )
+            if self.connect_timeout is not None:
+                # Distinct connect vs read budgets: the TCP handshake
+                # to a dead or unroutable endpoint fails within
+                # ``connect_timeout`` (fail fast — a campaign shard
+                # must not hang for a full compute ``timeout`` just to
+                # learn a host is gone), while an established
+                # connection still waits ``timeout`` for the server's
+                # long-running simulation response.
+                conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.connect_timeout
+                )
+                conn.connect()
+                if conn.sock is not None:
+                    conn.sock.settimeout(self.timeout)
+                self._conn = conn
+            else:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
         return self._conn
 
     def close(self) -> None:

@@ -1,0 +1,106 @@
+"""Unit tests for the content-hash shard map.
+
+The property that matters: ``shard k of M`` is a pure function of the
+job hash, so (a) every host agrees on the assignment, (b) the M
+shards partition the campaign exactly, and (c) re-sharding with a
+different M never orphans or duplicates a job.
+"""
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    iter_shard,
+    parse_shard,
+    shard_index,
+    shard_manifest,
+)
+
+
+def spec(**overrides):
+    base = dict(
+        name="shardy",
+        n_nodes=(4, 5),
+        tp=20.0,
+        tc=0.3,
+        tr=(0.1, 0.2, 0.3),
+        seed_count=5,
+        horizon=500.0,
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class TestShardIndex:
+    def test_pure_function_of_the_job_hash(self):
+        jobs = list(spec().jobs())
+        first = [shard_index(j, 4) for j in jobs]
+        again = [shard_index(j, 4) for j in jobs]
+        assert first == again
+        assert all(0 <= k < 4 for k in first)
+
+    def test_single_shard_owns_everything(self):
+        assert all(shard_index(j, 1) == 0 for j in spec().jobs())
+
+    def test_num_shards_must_be_positive(self):
+        job = next(iter(spec().jobs()))
+        with pytest.raises(ValueError):
+            shard_index(job, 0)
+
+
+class TestPartition:
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 7])
+    def test_shards_partition_the_campaign_exactly(self, num_shards):
+        s = spec()
+        all_keys = [j.cache_key() for j in s.jobs()]
+        shards = [
+            [j.cache_key() for j in iter_shard(s, k, num_shards)]
+            for k in range(num_shards)
+        ]
+        union = [key for shard in shards for key in shard]
+        assert sorted(union) == sorted(all_keys)  # no loss, no dupes
+        assert len(union) == len(all_keys)
+
+    def test_iter_shard_preserves_canonical_order(self):
+        s = spec()
+        ordered = [j.cache_key() for j in s.jobs()]
+        shard0 = [j.cache_key() for j in iter_shard(s, 0, 3)]
+        positions = [ordered.index(key) for key in shard0]
+        assert positions == sorted(positions)
+
+    def test_iter_shard_range_checked(self):
+        with pytest.raises(ValueError):
+            list(iter_shard(spec(), 3, 3))
+        with pytest.raises(ValueError):
+            list(iter_shard(spec(), -1, 3))
+
+    def test_manifest_counts_sum_to_total(self):
+        s = spec()
+        counts = shard_manifest(s, 4)
+        assert len(counts) == 4
+        assert sum(counts) == s.total_jobs
+        assert counts == [
+            sum(1 for _ in iter_shard(s, k, 4)) for k in range(4)
+        ]
+
+    def test_manifest_is_roughly_balanced(self):
+        # SHA-256 is uniform; with 30 jobs over 2 shards neither side
+        # should be empty (probability ~2^-29 under uniformity).
+        counts = shard_manifest(spec(), 2)
+        assert all(count > 0 for count in counts)
+
+
+class TestParseShard:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("0/1", (0, 1)), ("2/8", (2, 8)), ("7/8", (7, 8))],
+    )
+    def test_valid(self, text, expected):
+        assert parse_shard(text) == expected
+
+    @pytest.mark.parametrize(
+        "text", ["", "3", "1/2/3", "a/2", "2/a", "2/2", "-1/2", "0/0"]
+    )
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            parse_shard(text)

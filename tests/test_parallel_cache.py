@@ -233,6 +233,7 @@ class TestVerifyRepair:
         assert report == {
             "entries": 0, "valid": 0, "corrupt": {},
             "stale_tmp": [], "quarantined": 0,
+            "claims": {"records": 0, "tombstones": 0, "beats": 0},
         }
 
     def test_clear_removes_debris_too(self, tmp_path, job, result):

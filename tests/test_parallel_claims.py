@@ -186,3 +186,102 @@ class TestValidation:
         path = reg.plant_orphan("k")
         record = json.loads(path.read_text())
         assert record == {"key": "k", "pid": -1, "heartbeat": 0.0}
+
+
+class TestInventory:
+    def test_empty_registry_inventory(self, tmp_path):
+        inv = registry(tmp_path).inventory()
+        assert inv == {
+            "claims": [], "tombstones": [], "beats": [], "publishes": 0
+        }
+
+    def test_inventory_classifies_records(self, tmp_path):
+        reg = registry(tmp_path)
+        claim = reg.acquire("livekey")
+        reg.plant_orphan("orphankey")
+        reg.record_publish("livekey")
+        (reg.root / "ghost.123.9.stale").write_text("")
+        (reg.root / "ghost.123.9.beat").write_text("")
+        inv = reg.inventory()
+        by_key = {record["key"]: record for record in inv["claims"]}
+        assert by_key["livekey"]["status"] == "live"
+        assert by_key["livekey"]["pid"] == os.getpid()
+        assert by_key["livekey"]["heartbeat_age"] >= 0.0
+        assert by_key["orphankey"]["status"] == "stale"
+        assert inv["tombstones"] == ["ghost.123.9.stale"]
+        assert inv["beats"] == ["ghost.123.9.beat"]
+        assert inv["publishes"] == 1
+        claim.release()
+
+
+class TestGC:
+    def test_prunes_old_tombstones_beats_and_stale_claims(self, tmp_path):
+        reg = registry(tmp_path)
+        reg.plant_orphan("orphankey")  # heartbeat 0.0: maximally old
+        (reg.root / "ghost.123.9.stale").write_text("")
+        (reg.root / "ghost.123.9.beat").write_text("")
+        old = claims_module._wall_time() - 3600.0
+        for name in ("ghost.123.9.stale", "ghost.123.9.beat"):
+            os.utime(reg.root / name, (old, old))
+        done = reg.gc(max_age=60.0)
+        assert done == {
+            "removed_claims": ["orphankey.claim"],
+            "removed_tombstones": ["ghost.123.9.stale"],
+            "removed_beats": ["ghost.123.9.beat"],
+        }
+        assert list(reg.root.glob("*.claim")) == []
+        assert list(reg.root.glob("*.stale")) == []
+        assert list(reg.root.glob("*.beat")) == []
+
+    def test_spares_live_claims_and_fresh_debris(self, tmp_path):
+        reg = registry(tmp_path)
+        claim = reg.acquire("livekey")
+        (reg.root / "fresh.123.9.stale").write_text("")  # mtime = now
+        done = reg.gc(max_age=60.0)
+        assert done == {
+            "removed_claims": [],
+            "removed_tombstones": [],
+            "removed_beats": [],
+        }
+        assert reg.status("livekey") == "live"
+        claim.release()
+
+    def test_spares_stale_claims_younger_than_the_horizon(self, tmp_path):
+        # A claim whose owner just died is stale but *recent*; gc with
+        # a generous horizon must leave it for acquire()'s takeover
+        # path rather than racing it.
+        reg = registry(tmp_path, ttl=0.01)
+        claim = reg.acquire("recent")
+        try:
+            import time as _time
+
+            _time.sleep(0.05)  # stale by ttl, but heartbeat age << 1h
+            assert reg.status("recent") == "stale"
+            assert reg.gc(max_age=3600.0)["removed_claims"] == []
+            assert reg.root.joinpath("recent.claim").is_file()
+        finally:
+            claim.release()
+
+    def test_max_age_defaults_to_ttl(self, tmp_path):
+        reg = registry(tmp_path, ttl=0.0001)
+        reg.plant_orphan("orphankey")
+        assert reg.gc()["removed_claims"] == ["orphankey.claim"]
+
+    def test_negative_max_age_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            registry(tmp_path).gc(max_age=-1.0)
+
+    def test_missing_root_is_a_no_op(self, tmp_path):
+        done = ClaimRegistry(tmp_path / "never-made").gc()
+        assert done == {
+            "removed_claims": [],
+            "removed_tombstones": [],
+            "removed_beats": [],
+        }
+
+    def test_publish_log_survives_gc(self, tmp_path):
+        reg = registry(tmp_path)
+        reg.record_publish("k1")
+        reg.plant_orphan("orphankey")
+        reg.gc(max_age=0.0)
+        assert reg.publishes() == [("k1", os.getpid())]

@@ -149,3 +149,41 @@ class TestRetryPolicy:
                 response = client.request("POST", "/v1/simulate", {"seed": 9})
         assert response.status == 200
         assert stub.requests == ["/v1/simulate", "/v1/simulate"]
+
+
+class TestConnectTimeout:
+    """The connect budget is distinct from the read budget."""
+
+    def test_connected_socket_carries_the_read_timeout(self):
+        with ScriptedServer([]) as stub:
+            with ServeClient(
+                "127.0.0.1", stub.port, timeout=33.0, connect_timeout=0.5
+            ) as client:
+                assert client.request("GET", "/x").status == 200
+                # The handshake budget applied only to connect(); the
+                # established socket waits the full read timeout.
+                assert client._conn.sock.gettimeout() == 33.0
+
+    def test_default_keeps_single_timeout_behavior(self):
+        with ScriptedServer([]) as stub:
+            with ServeClient("127.0.0.1", stub.port, timeout=7.0) as client:
+                assert client.request("GET", "/x").status == 200
+                assert client._conn.sock.gettimeout() == 7.0
+
+    def test_dead_endpoint_fails_within_the_connect_budget(self):
+        import socket
+        import time
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+        client = ServeClient(
+            "127.0.0.1", dead_port, timeout=60.0, connect_timeout=1.0
+        )
+        started = time.monotonic()
+        with pytest.raises(OSError):
+            client.healthz()
+        # Refused or timed out — either way the wait is bounded by the
+        # connect budget (plus slack), never the 60 s read timeout.
+        assert time.monotonic() - started < 10.0
+        client.close()
