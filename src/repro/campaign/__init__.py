@@ -32,7 +32,13 @@ from .dispatch import (
     parse_endpoints,
 )
 from .progress import CampaignProgress, format_eta
-from .report import build_report, format_report, report_json, write_report
+from .report import (
+    build_report,
+    format_report,
+    plot_report,
+    report_json,
+    write_report,
+)
 from .run import (
     DEFAULT_CHUNK_SIZE,
     ShardRun,
@@ -62,6 +68,7 @@ __all__ = [
     "load_spec",
     "parse_endpoints",
     "parse_shard",
+    "plot_report",
     "report_json",
     "run_campaign",
     "shard_index",

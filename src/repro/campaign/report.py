@@ -32,6 +32,7 @@ from .spec import CampaignSpec
 __all__ = [
     "build_report",
     "format_report",
+    "plot_report",
     "report_json",
     "write_report",
 ]
@@ -141,5 +142,90 @@ def format_report(report: dict) -> str:
             f"{row['tr']:>10g} {row['observed']:>5} {row['censored']:>5} "
             f"{row['missing']:>5} {_fmt(row['mean']):>12} "
             f"{_fmt(row['median']):>12}"
+        )
+    return "\n".join(lines)
+
+
+#: Groups rendered by :func:`plot_report` before it truncates (keeps
+#: a many-point study's plot output to a few screens).
+_MAX_PLOT_GROUPS = 4
+
+
+def _plot_series(lines: list[str], title: str, x_label: str, y_label: str,
+                 points: list[tuple[float, float]], logy: bool = False) -> None:
+    """Append one rendered curve (or a note when it is unplottable)."""
+    # Lazy import keeps the campaign package importable without
+    # dragging the analysis layer in for non-plot uses.
+    from ..analysis.asciiplot import line, log_safe
+
+    data = log_safe(points) if logy else [
+        (x, y) for x, y in points if y is not None
+    ]
+    lines.append("")
+    try:
+        lines.append(
+            line(data, title=title, x_label=x_label, y_label=y_label)
+        )
+    except ValueError as error:
+        lines.append(f"  [{title} not plottable: {error}]")
+
+
+def plot_report(report: dict) -> str:
+    """Render the study's curves in the figures' own coordinates.
+
+    For each ``(n, Tp, Tc)`` group that varies Tr: mean time to the
+    terminal event vs Tr on a log10 y-axis (the Figure 12 shape) and
+    censored fraction vs Tr (the Figure 14/15 phase-transition shape).
+    When the study varies N instead, the same two curves are drawn vs
+    N per ``(Tp, Tc, Tr)`` group.  Groups beyond the first
+    `` _MAX_PLOT_GROUPS`` are summarized, not drawn.
+    """
+    rows = report["rows"]
+    direction = report["spec"].get("direction", "up")
+    event = "sync" if direction == "up" else "break-up"
+    lines = [
+        f"campaign {report['campaign_id']} name={report['name']} "
+        f"complete={str(report['complete']).lower()}"
+    ]
+    tr_varies = len({row["tr"] for row in rows}) > 1
+    if tr_varies:
+        group_of = lambda row: (row["n_nodes"], row["tp"], row["tc"])
+        x_of = lambda row: row["tr"]
+        x_label = "Tr (s)"
+        label_of = lambda g: f"N={g[0]} Tp={g[1]:g} Tc={g[2]:g}"
+    else:
+        group_of = lambda row: (row["tp"], row["tc"], row["tr"])
+        x_of = lambda row: row["n_nodes"]
+        x_label = "N"
+        label_of = lambda g: f"Tp={g[0]:g} Tc={g[1]:g} Tr={g[2]:g}"
+    groups: dict[tuple, list] = {}
+    for row in rows:
+        groups.setdefault(group_of(row), []).append(row)
+    for index, (key, members) in enumerate(sorted(groups.items())):
+        if index >= _MAX_PLOT_GROUPS:
+            lines.append(
+                f"\n  [{len(groups) - _MAX_PLOT_GROUPS} more group(s) "
+                "not drawn; narrow the spec or use -o report.json]"
+            )
+            break
+        members = sorted(members, key=x_of)
+        label = label_of(key)
+        _plot_series(
+            lines,
+            f"mean {event} time vs {x_label}  [{label}]",
+            x_label,
+            f"log10 mean {event} time (s)",
+            [(x_of(row), row["mean"]) for row in members],
+            logy=True,
+        )
+        _plot_series(
+            lines,
+            f"censored fraction vs {x_label}  [{label}]",
+            x_label,
+            f"fraction of seeds with no {event} by the horizon",
+            [
+                (x_of(row), row["censored"] / row["seeds"])
+                for row in members
+            ],
         )
     return "\n".join(lines)

@@ -292,6 +292,7 @@ def format_status(status: dict) -> str:
     """Render :func:`campaign_status` output as a small console table."""
     lines = [
         f"campaign {status['campaign_id']} name={status['name']} "
+        f"model={status['model_version']} "
         f"jobs={status['done']}/{status['total_jobs']} "
         f"complete={str(status['complete']).lower()}",
         f"{'shard':>6} {'jobs':>8} {'done':>8} {'journaled':>10} state",

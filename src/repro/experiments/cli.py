@@ -26,7 +26,13 @@ Usage::
     repro-sync campaign status study.toml --shard 0/4    # progress per shard
     repro-sync campaign report study.toml -o report.json # tables from cache
     repro-sync campaign shard study.toml --shard 0/4     # shard manifest
+    repro-sync campaign report study.toml --plot         # ASCII curves
     repro-sync bench --campaign        # dispatch-overhead snapshot (BENCH_campaign.json)
+    repro-sync predict build table-spec.toml     # campaign -> prediction table
+    repro-sync predict eval TABLE --point 10,20,0.3,0.1  # one surrogate answer
+    repro-sync predict verify TABLE    # audit bounds on fresh seeds
+    repro-sync serve --predict-table TABLE       # enable POST /v1/predict
+    repro-sync bench --predict         # surrogate-vs-simulate snapshot (BENCH_predict.json)
     repro-sync fig10 --trace results/trace.jsonl   # record a trace
     repro-sync obs summary results/trace.jsonl     # aggregate it
     repro-sync obs export-trace results/trace.jsonl  # -> Perfetto JSON
@@ -96,7 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
         "target",
         help=(
             "a figure id (fig01..fig15), 'all', 'list', 'bench', 'cache', "
-            "'claims', 'campaign', 'obs', 'serve', or 'loadgen'"
+            "'claims', 'campaign', 'predict', 'obs', 'serve', or 'loadgen'"
         ),
     )
     parser.add_argument(
@@ -107,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
             "for 'cache': verify (default) | repair | clear; "
             "for 'claims': list (default) | gc; "
             "for 'campaign': run (default) | status | report | shard; "
+            "for 'predict': build (default) | eval | verify; "
             "for 'obs': summary (default) | export-trace | top"
         ),
     )
@@ -117,7 +124,9 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "for the 'obs' target: the JSONL trace log to read "
             "(default results/trace.jsonl); for 'campaign': the "
-            "campaign spec file (.toml or .json)"
+            "campaign spec file (.toml or .json); for 'predict': the "
+            "spec file (build) or a table path / 16-hex table id "
+            "(eval, verify)"
         ),
     )
     parser.add_argument(
@@ -244,6 +253,55 @@ def build_parser() -> argparse.ArgumentParser:
             "BENCH_campaign.json"
         ),
     )
+    parser.add_argument(
+        "--predict",
+        action="store_true",
+        help=(
+            "for the 'bench' target: benchmark the prediction tier "
+            "(surrogate vs warm-cache /v1/simulate, bound audit, "
+            "fallback byte-identity) and write BENCH_predict.json"
+        ),
+    )
+    predict = parser.add_argument_group(
+        "prediction options (the 'predict' target)"
+    )
+    predict.add_argument(
+        "--holdout",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "predict build: seeds per grid point held out of "
+            "calibration to measure each cell's bound (default: a "
+            "quarter of the spec's seeds, at least 1)"
+        ),
+    )
+    predict.add_argument(
+        "--point",
+        default=None,
+        metavar="N,TP,TC,TR",
+        help="predict eval: the query point, comma-separated",
+    )
+    predict.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="X",
+        help=(
+            "predict eval: maximum acceptable relative error bound; "
+            "an answer whose bound exceeds it reports fallback"
+        ),
+    )
+    predict.add_argument(
+        "--fresh-seeds",
+        type=int,
+        default=4,
+        metavar="N",
+        help=(
+            "predict verify: fresh seeds per valid cell to audit the "
+            "bounds against (default 4)"
+        ),
+    )
     campaign = parser.add_argument_group(
         "campaign options (the 'campaign' target)"
     )
@@ -338,6 +396,17 @@ def build_parser() -> argparse.ArgumentParser:
             "serve: worker processes; >= 2 runs the prefork supervisor "
             "(bind once, crash-respawn, cross-process single-flight; "
             "default 1)"
+        ),
+    )
+    serving.add_argument(
+        "--predict-table",
+        default=None,
+        metavar="TABLE",
+        help=(
+            "serve: load a prediction table (file path or 16-hex id "
+            "under the cache root) and answer POST /v1/predict from "
+            "it; without this every predict request falls back to "
+            "simulation"
         ),
     )
     serving.add_argument(
@@ -573,6 +642,10 @@ def _run_campaign(args) -> int:
         if args.output:
             target = write_report(report, args.output)
             print(f"report written to {target}")
+        elif args.plot:
+            from ..campaign.report import plot_report
+
+            print(plot_report(report))
         else:
             print(format_report(report))
         if not report["complete"]:
@@ -633,6 +706,7 @@ def _run_serve(args) -> int:
         checkpoint=bool(args.resume),
         engine=args.engine or "cascade",
         workers=args.workers,
+        predict_table=args.predict_table,
     )
 
     def announce(line: str) -> None:
@@ -707,8 +781,139 @@ def _run_chaos_loadgen(args, plan) -> int:
     return 0 if healthy else 1
 
 
+def _run_predict(args) -> int:
+    """The 'predict' target: build / eval / verify prediction tables."""
+    import json as _json
+
+    from ..campaign import load_spec
+    from ..parallel import ResultCache
+    from ..predict import (
+        SurrogateEvaluator,
+        build_table,
+        resolve_table,
+        save_table,
+        verify_table,
+    )
+
+    action = args.action or "build"
+    if action not in ("build", "eval", "verify"):
+        print(
+            f"error: unknown predict action {action!r} "
+            "(use build, eval, or verify)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.path is None:
+        print(
+            "error: the predict target needs a path — a campaign spec "
+            "file (build) or a table path / 16-hex id (eval, verify)",
+            file=sys.stderr,
+        )
+        return 2
+    cache = ResultCache(args.cache_root)
+
+    if action == "build":
+        try:
+            spec = load_spec(args.path)
+        except (OSError, ValueError) as error:
+            print(
+                f"error: cannot load campaign spec {args.path}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+
+        def console(line: str) -> None:
+            print(line, file=sys.stderr, flush=True)
+
+        try:
+            table = build_table(
+                spec, cache, holdout_count=args.holdout, console=console
+            )
+        except (OSError, ValueError) as error:
+            print(f"error: predict build failed: {error}", file=sys.stderr)
+            return 1
+        target = save_table(table, args.cache_root)
+        valid = sum(1 for cell in table["cells"] if cell["valid"])
+        print(
+            f"table {table['table_id']} cells={len(table['cells'])} "
+            f"valid={valid} holdout={table['holdout_count']} -> {target}"
+        )
+        return 0
+
+    try:
+        table = resolve_table(args.path, args.cache_root)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if action == "eval":
+        if args.point is None:
+            print(
+                "error: predict eval needs --point N,TP,TC,TR",
+                file=sys.stderr,
+            )
+            return 2
+        parts = args.point.split(",")
+        if len(parts) != 4:
+            print(
+                f"error: --point must be N,TP,TC,TR; got {args.point!r}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            n_nodes = int(parts[0])
+            tp, tc, tr = (float(part) for part in parts[1:])
+        except ValueError as error:
+            print(f"error: bad --point value: {error}", file=sys.stderr)
+            return 2
+        answer = SurrogateEvaluator(table).predict(n_nodes, tp, tc, tr)
+        if (
+            args.tolerance is not None
+            and answer["status"] == "ok"
+            and answer["bound_rel"] > args.tolerance
+        ):
+            answer["status"] = "tolerance_exceeded"
+        print(_json.dumps(answer, sort_keys=True, indent=1))
+        return 0 if answer["status"] == "ok" else 1
+
+    # action == "verify"
+    audit = verify_table(
+        table, cache, seed_count=args.fresh_seeds, jobs=args.jobs
+    )
+    print(
+        f"table {audit['table_id']} checked={audit['cells_checked']} "
+        f"skipped={audit['cells_skipped']} fresh_seeds="
+        f"{audit['seed_start']}..{audit['seed_start'] + audit['seed_count'] - 1} "
+        f"all_in_bound={str(audit['all_in_bound']).lower()}"
+    )
+    for row in audit["rows"]:
+        rel = (
+            f"{row['rel_error']:.3f}" if row["rel_error"] is not None else "-"
+        )
+        print(
+            f"  n={row['n_nodes']} tp={row['tp']:g} tc={row['tc']:g} "
+            f"tr={row['tr']:g}: rel_error={rel} "
+            f"bound={row['bound_rel']:.3f} "
+            f"in_bound={str(row['in_bound']).lower()}"
+        )
+    return 0 if audit["all_in_bound"] else 1
+
+
 def _run_bench(args) -> int:
     """The 'bench' target: emit and print the parallel perf snapshot."""
+    if args.predict:
+        from ..predict.bench import format_predict_table, run_predict_benchmark
+
+        output = "BENCH_predict.json"
+        snapshot = run_predict_benchmark(jobs=args.jobs, output=output)
+        print(format_predict_table(snapshot))
+        print(f"snapshot written to {output}")
+        ok = (
+            snapshot["verify"]["all_in_bound"]
+            and snapshot["fallback"]["byte_identical"]
+            and snapshot["fallback"]["out_of_range_falls_back"]
+        )
+        return 0 if ok else 1
     if args.campaign:
         from ..campaign.bench import format_campaign_table, run_campaign_benchmark
 
@@ -872,6 +1077,8 @@ def _dispatch(args) -> int:
         return _run_claims(args)
     if args.target == "campaign":
         return _run_campaign(args)
+    if args.target == "predict":
+        return _run_predict(args)
     if args.target == "obs":
         return _run_obs(args)
     if args.target == "list":
@@ -921,10 +1128,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.quiet and args.verbose:
         print("error: --quiet and --verbose are mutually exclusive", file=sys.stderr)
         return 2
-    if sum((args.obs, args.serve, args.batch, args.campaign)) > 1:
+    if sum((args.obs, args.serve, args.batch, args.campaign, args.predict)) > 1:
         print(
-            "error: --obs, --serve, --batch, and --campaign are "
-            "mutually exclusive",
+            "error: --obs, --serve, --batch, --campaign, and --predict "
+            "are mutually exclusive",
             file=sys.stderr,
         )
         return 2
@@ -937,18 +1144,20 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
     if args.action is not None and args.target not in (
-        "cache", "claims", "campaign", "obs"
+        "cache", "claims", "campaign", "predict", "obs"
     ):
         print(
             "error: an action argument is only valid with the "
-            "'cache', 'claims', 'campaign', or 'obs' targets",
+            "'cache', 'claims', 'campaign', 'predict', or 'obs' targets",
             file=sys.stderr,
         )
         return 2
-    if args.path is not None and args.target not in ("obs", "campaign"):
+    if args.path is not None and args.target not in (
+        "obs", "campaign", "predict"
+    ):
         print(
-            "error: a path argument is only valid with the 'obs' or "
-            "'campaign' targets",
+            "error: a path argument is only valid with the 'obs', "
+            "'campaign', or 'predict' targets",
             file=sys.stderr,
         )
         return 2

@@ -12,11 +12,12 @@ probabilities come from.
 from __future__ import annotations
 
 import math
-from typing import Sequence
-
-import numpy as np
+from typing import TYPE_CHECKING, Sequence
 
 from ..rng import RandomSource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
 
 __all__ = ["BirthDeathChain"]
 
@@ -72,8 +73,17 @@ class BirthDeathChain:
         if not 1 <= i <= self.n:
             raise ValueError(f"state {i} outside 1..{self.n}")
 
-    def transition_matrix(self) -> np.ndarray:
-        """The full (n x n) row-stochastic transition matrix."""
+    def transition_matrix(self) -> "np.ndarray":
+        """The full (n x n) row-stochastic transition matrix.
+
+        The dense-matrix views (this, :meth:`hitting_times_dense`,
+        :meth:`stationary_distribution`) are the only numpy users in
+        the chain; numpy is imported lazily so the recursion-based
+        hitting times — and everything built on them, including the
+        prediction surrogate — stay pure-Python.
+        """
+        import numpy as np
+
         matrix = np.zeros((self.n, self.n))
         for i in range(1, self.n + 1):
             row = i - 1
@@ -124,13 +134,15 @@ class BirthDeathChain:
             return sum(self.expected_steps_up()[start - 1 : target - 1])
         return sum(self.expected_steps_down()[target - 1 : start - 1])
 
-    def hitting_times_dense(self, target: int) -> np.ndarray:
+    def hitting_times_dense(self, target: int) -> "np.ndarray":
         """Expected steps to ``target`` from every state, by linear solve.
 
         Solves ``(I - Q) t = 1`` where ``Q`` is the transition matrix
         restricted to the non-target states.  An independent check on
         the recursive formulas.
         """
+        import numpy as np
+
         self._check_state(target)
         keep = [i for i in range(self.n) if i != target - 1]
         matrix = self.transition_matrix()
@@ -144,13 +156,15 @@ class BirthDeathChain:
 
     # -- long-run behaviour -----------------------------------------------------
 
-    def stationary_distribution(self) -> np.ndarray:
+    def stationary_distribution(self) -> "np.ndarray":
         """The stationary distribution, by dense linear solve.
 
         Birth--death chains are reversible, but the dense solve also
         handles the degenerate cases (absorbing end states) that arise
         at extreme parameter values.
         """
+        import numpy as np
+
         matrix = self.transition_matrix()
         # Solve pi (P - I) = 0 with sum(pi) = 1: replace one equation.
         a = (matrix.T - np.eye(self.n)).copy()

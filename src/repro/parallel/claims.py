@@ -24,10 +24,16 @@ Protocol (one file per in-flight job hash, ``<key>.claim``)::
   is gone or its heartbeat is older than ``ttl`` — a crashed worker's
   claim becomes takeable the moment the crash is observable, and a
   wedged worker's claim expires on the heartbeat clock.
-* **Takeover is race-free**: contenders rename the stale file to a
-  pid-unique tombstone.  ``os.replace`` of the same source succeeds
-  for exactly one renamer (the others get ``FileNotFoundError`` and
-  re-enter the acquire loop), so two waiters can never both win.
+* **Takeover is race-free**: every claim-file mutation — the O_EXCL
+  create together with its record write, the stale-takeover rename,
+  gc's prune — runs under one advisory ``flock`` on ``<root>/.lock``,
+  so judging a record stale and tombstoning it is atomic with respect
+  to a rival's create: two waiters can never both win, and a waiter
+  can never mistake a mid-create (still empty) record for a stale
+  one.  The rename-to-tombstone itself (``os.replace`` succeeds for
+  exactly one renamer; the others get ``FileNotFoundError`` and
+  re-enter the acquire loop) stays as a second line of defense where
+  ``fcntl`` is unavailable.
 * **Waiters never block forever**: :meth:`ClaimRegistry.acquire`
   returns ``None`` only while a *live* claim exists; the serving
   layer polls ``cache → acquire`` under its request deadline, so a
@@ -51,7 +57,13 @@ import itertools
 import json
 import os
 import threading
+from contextlib import contextmanager
 from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 # Claim heartbeats are durable wall-clock stamps read by *other*
 # processes, so they come straight from the wall clock; this module is
@@ -202,6 +214,33 @@ class ClaimRegistry:
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.claim"
 
+    @contextmanager
+    def _mutate_lock(self):
+        """Serialize claim-file mutations for this registry.
+
+        An exclusive ``flock`` on ``<root>/.lock`` makes
+        judge-stale-then-tombstone atomic with respect to a rival's
+        create-then-write: without it, a contender holding a stale
+        read of an orphan record can tombstone the claim a rival just
+        created (the file is briefly empty between the O_EXCL create
+        and the record write, and ``read`` reports torn records as
+        maximally stale), yielding two acquire winners.  ``flock``
+        excludes between distinct open file descriptions, so the lock
+        works across both threads and processes.  Where ``fcntl`` is
+        missing the lock degrades to a no-op and the rename-wins-once
+        tombstone protocol alone applies.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        fd = os.open(self.root / ".lock", os.O_CREAT | os.O_RDWR)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)  # closing the descriptor drops the flock
+
     def _write_record(
         self, path: Path, key: str, heartbeat: float, pid: int | None = None
     ) -> None:
@@ -254,22 +293,22 @@ class ClaimRegistry:
         """
         path = self.path_for(key)
         while True:
-            try:
-                self.root.mkdir(parents=True, exist_ok=True)
-                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-            except FileExistsError:
-                record = self.read(key)
-                if record is None:
-                    continue  # vanished between create and read: retry
-                if not self._is_stale(record):
-                    self.contested += 1
-                    self._count("contested")
-                    return None
-                if not self._take_over(path, record):
-                    continue  # another contender won the rename: retry
-                continue  # tombstoned; loop back to the O_EXCL create
-            os.close(fd)
-            self._write_record(path, key, heartbeat=_wall_time())
+            with self._mutate_lock():
+                try:
+                    fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                except FileExistsError:
+                    record = self.read(key)
+                    if record is None:
+                        continue  # vanished between create and read: retry
+                    if not self._is_stale(record):
+                        self.contested += 1
+                        self._count("contested")
+                        return None
+                    if not self._take_over(path, record):
+                        continue  # another contender won the rename: retry
+                    continue  # tombstoned; loop back to the O_EXCL create
+                os.close(fd)
+                self._write_record(path, key, heartbeat=_wall_time())
             self.acquired += 1
             self._count("acquired")
             return Claim(self, key, path)
@@ -394,23 +433,24 @@ class ClaimRegistry:
                     continue  # read-only or racing cleaner; skip
                 done[kind].append(debris.name)
         for path in sorted(self.root.glob("*.claim")):
-            record = self.read(path.stem)
-            if record is None or not self._is_stale(record):
-                continue
-            try:
-                heartbeat_age = now - float(record.get("heartbeat", 0.0))
-            except (TypeError, ValueError):
-                heartbeat_age = horizon  # unreadable stamp: old enough
-            if heartbeat_age < horizon:
-                continue
-            tombstone = self.root / (
-                f"{path.stem}.{os.getpid()}.{next(self._tmp_counter)}.stale"
-            )
-            try:
-                os.replace(path, tombstone)
-            except OSError:
-                continue  # owner unlinked it, or a contender won: fine
-            tombstone.unlink(missing_ok=True)
+            with self._mutate_lock():
+                record = self.read(path.stem)
+                if record is None or not self._is_stale(record):
+                    continue
+                try:
+                    heartbeat_age = now - float(record.get("heartbeat", 0.0))
+                except (TypeError, ValueError):
+                    heartbeat_age = horizon  # unreadable stamp: old enough
+                if heartbeat_age < horizon:
+                    continue
+                tombstone = self.root / (
+                    f"{path.stem}.{os.getpid()}.{next(self._tmp_counter)}.stale"
+                )
+                try:
+                    os.replace(path, tombstone)
+                except OSError:
+                    continue  # owner unlinked it, or a contender won: fine
+                tombstone.unlink(missing_ok=True)
             done["removed_claims"].append(path.name)
         removed = sum(len(v) for v in done.values())
         if removed:

@@ -1,0 +1,53 @@
+"""The prediction tier: calibrated analytic answers in microseconds.
+
+``repro.predict`` turns the Section 5 Markov chain plus one campaign
+run into a serving tier: content-addressed interpolation tables
+(:mod:`~repro.predict.tables`), a pure-Python microsecond evaluator
+(:mod:`~repro.predict.surrogate`), quantified per-cell error bounds
+and the validity region (:mod:`~repro.predict.bounds`), and the
+query/routing seam ``POST /v1/predict`` sits on
+(:mod:`~repro.predict.service`).  Outside the validity region — or
+when the caller's tolerance is tighter than the bound — the answer
+falls back to the simulation tier, byte-identically.
+
+The whole package is importable and serviceable without NumPy: the
+chain math it needs is the pure-recursion half of ``repro.markov``.
+"""
+
+from .bounds import BOUND_FLOOR, BOUND_SEM_MULTIPLIER, cell_bound, in_phase, verify_table
+from .service import PredictService, parse_query
+from .surrogate import SurrogateEvaluator, markov_expected_rounds
+from .tables import (
+    TABLE_SCHEMA,
+    build_table,
+    content_digest,
+    load_table,
+    resolve_table,
+    save_table,
+    spec_from_table,
+    table_id,
+    table_json,
+    table_path,
+)
+
+__all__ = [
+    "BOUND_FLOOR",
+    "BOUND_SEM_MULTIPLIER",
+    "PredictService",
+    "SurrogateEvaluator",
+    "TABLE_SCHEMA",
+    "build_table",
+    "cell_bound",
+    "content_digest",
+    "in_phase",
+    "load_table",
+    "markov_expected_rounds",
+    "parse_query",
+    "resolve_table",
+    "save_table",
+    "spec_from_table",
+    "table_id",
+    "table_json",
+    "table_path",
+    "verify_table",
+]

@@ -1,0 +1,334 @@
+"""The prediction-tier benchmark (``repro-sync bench --predict``).
+
+One self-contained pass over the whole tier, producing the numbers
+the acceptance criteria are stated in:
+
+* **surrogate latency** — the in-memory evaluator timed directly
+  (batched ``perf_counter`` deltas; single calls are far below timer
+  resolution), reported as per-query p50/mean in microseconds;
+* **warm-simulate latency** — ``POST /v1/simulate`` round-trips for a
+  job already in the cache, against a real loopback server: the
+  fastest answer the simulation tier can give, and the baseline the
+  ``>= 1000x`` speedup claim is measured against;
+* **bound audit** — :func:`~repro.predict.bounds.verify_table` on a
+  fresh seed set: every valid cell must fall within its own reported
+  bound (``verify.all_in_bound``);
+* **fallback byte-identity** — a ``tolerance: 0`` predict (every
+  bound carries the 0.10 floor, so it must fall back) and an
+  out-of-range predict, each asserted to embed the *verbatim*
+  ``/v1/simulate`` payload bytes for the same job hash.
+
+The snapshot is written as ``BENCH_predict.json`` in the shared
+``repro.benchio`` envelope, next to the other ``BENCH_*`` artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+from statistics import fmean, median
+
+from ..benchio import bench_envelope, write_bench_json
+from ..campaign.dispatch import LocalDispatcher
+from ..campaign.spec import CampaignSpec
+from ..obs.clock import perf_counter
+from ..parallel import ResultCache
+from ..serve.client import ServeClient
+from ..serve.config import ServeConfig
+from ..serve.lifecycle import BackgroundServer
+from .bounds import verify_table
+from .surrogate import SurrogateEvaluator
+from .tables import build_table, save_table
+
+__all__ = ["bench_spec", "format_predict_table", "run_predict_benchmark"]
+
+#: Default bench cache directory (cleared before the run so the
+#: campaign build and the cold simulate are honest).
+DEFAULT_BENCH_CACHE = Path("results") / "cache" / "predict-bench"
+
+#: Speedup floor the tier is designed to clear (surrogate p50 vs warm
+#: /v1/simulate p50) — recorded in the snapshot, asserted by CI.
+SPEEDUP_TARGET = 1000.0
+
+
+def bench_spec(seed_count: int = 12) -> CampaignSpec:
+    """The benchmark's calibration study: a small all-valid grid.
+
+    ``n >= 10`` with ``Tc >= 2 Tr`` keeps every cell synchronized-side
+    (the chain's break-up probability is zero, so the phase fraction
+    is exactly 0), fast to simulate, and uncensored at a 2000-round
+    horizon — the grid is chosen so the *whole* table is inside the
+    validity region and the bound audit exercises every cell.
+    """
+    return CampaignSpec(
+        name="predict-bench",
+        n_nodes=(10, 12),
+        tp=(20.0,),
+        tc=(0.3,),
+        tr=(0.05, 0.1),
+        seed_count=seed_count,
+        horizon=40000.0,
+        engine="cascade",
+    )
+
+
+def _time_surrogate(
+    evaluator: SurrogateEvaluator,
+    queries: list[tuple[float, float, float, float]],
+    repeats: int = 200,
+    batch: int = 500,
+    memoized: bool = True,
+) -> dict:
+    """Per-query latency of the in-memory evaluator.
+
+    One call is far below what a single ``perf_counter`` delta
+    measures honestly, so each sample times a ``batch``-call loop and
+    divides; p50/p95 are over ``repeats`` such samples.  Queries
+    rotate through grid-exact and interpolated points so the sample
+    mixes both paths.  ``memoized=True`` times :meth:`~repro.predict.
+    surrogate.SurrogateEvaluator.lookup` — the serving hot path, with
+    the memo warmed by one full rotation first — while ``False`` times
+    the raw interpolation in :meth:`~repro.predict.surrogate.
+    SurrogateEvaluator.evaluate`.
+    """
+    evaluate = evaluator.lookup if memoized else evaluator.evaluate
+    if memoized:
+        for q in queries:
+            evaluator.lookup(q[0], q[1], q[2], q[3])
+    n_queries = len(queries)
+    samples = []
+    for rep in range(repeats):
+        t0 = perf_counter()
+        for i in range(batch):
+            q = queries[(rep + i) % n_queries]
+            evaluate(q[0], q[1], q[2], q[3])
+        samples.append((perf_counter() - t0) / batch)
+    samples.sort()
+    return {
+        "batch": batch,
+        "repeats": repeats,
+        "p50_us": round(median(samples) * 1e6, 3),
+        "p95_us": round(samples[int(0.95 * (len(samples) - 1))] * 1e6, 3),
+        "mean_us": round(fmean(samples) * 1e6, 3),
+    }
+
+
+def _time_requests(send, count: int) -> dict:
+    """p50/p95/mean RTT of ``count`` sequential calls of ``send``."""
+    samples = []
+    for _ in range(count):
+        t0 = perf_counter()
+        response = send()
+        samples.append(perf_counter() - t0)
+        if response.status != 200:
+            raise RuntimeError(
+                f"benchmark request answered {response.status}: "
+                f"{response.body[:200]!r}"
+            )
+    samples.sort()
+    return {
+        "requests": count,
+        "p50_ms": round(median(samples) * 1e3, 3),
+        "p95_ms": round(samples[int(0.95 * (len(samples) - 1))] * 1e3, 3),
+        "mean_ms": round(fmean(samples) * 1e3, 3),
+    }
+
+
+def _fallback_check(client: ServeClient, query: dict) -> dict:
+    """POST one falling-back predict and prove byte-identity.
+
+    The predict body must embed the ``/v1/simulate`` payload for the
+    same job hash as a *verbatim byte substring* — stronger than JSON
+    equality, and exactly the guarantee the serving tier states.
+    """
+    predicted = client.predict(query)
+    spec = {k: v for k, v in query.items() if k != "tolerance"}
+    simulated = client.simulate(spec)
+    ok = predicted.status == 200 and simulated.status == 200
+    body = predicted.body if ok else b""
+    sim_bytes = simulated.body.rstrip(b"\n") if ok else b"missing"
+    parsed = json.loads(body) if ok else {}
+    return {
+        "query": query,
+        "status": predicted.status,
+        "reason": parsed.get("predict", {}).get("reason"),
+        "fell_back": ok and parsed.get("predict", {}).get("source") == "fallback",
+        "byte_identical": ok and sim_bytes in body,
+    }
+
+
+def run_predict_benchmark(
+    jobs: int | None = None,
+    cache_root: str | os.PathLike | None = None,
+    output: str | os.PathLike | None = None,
+    simulate_requests: int = 40,
+    fresh_seeds: int = 4,
+) -> dict:
+    """Run the tier benchmark; return (optionally write) the snapshot."""
+    jobs = jobs or os.cpu_count() or 1
+    root = Path(cache_root) if cache_root is not None else DEFAULT_BENCH_CACHE
+    shutil.rmtree(root, ignore_errors=True)
+    cache = ResultCache(root)
+
+    spec = bench_spec()
+    t0 = perf_counter()
+    table = build_table(spec, cache, dispatcher=LocalDispatcher(jobs=jobs))
+    build_seconds = perf_counter() - t0
+    table_path = save_table(table, root)
+    evaluator = SurrogateEvaluator(table)
+
+    tp, tc = spec.tp[0], spec.tc[0]
+    grid = [
+        (n, tp, tc, tr) for n in spec.n_nodes for tr in spec.tr
+    ]
+    # Interpolated (off-grid) companions to every grid point.
+    off_grid = [
+        (n + 1, tp, tc, (spec.tr[0] + spec.tr[1]) / 2)
+        for n in spec.n_nodes[:-1]
+    ]
+    surrogate = _time_surrogate(evaluator, grid + off_grid)
+    surrogate_uncached = _time_surrogate(
+        evaluator, grid + off_grid, memoized=False
+    )
+
+    # The fallback job for the first grid point, with the spec's own
+    # horizon/seed so its hash equals a campaign job already in the
+    # cache — the warmest answer /v1/simulate can possibly give.
+    warm_spec = {
+        "n_nodes": spec.n_nodes[0],
+        "tp": tp,
+        "tc": tc,
+        "tr": spec.tr[0],
+        "seed": spec.seed_start,
+        "horizon": spec.horizon,
+        "direction": spec.direction,
+        "engine": spec.engine,
+    }
+    config = ServeConfig(
+        host="127.0.0.1",
+        port=0,
+        jobs=1,
+        cache_root=str(root),
+        predict_table=str(table_path),
+    )
+    with BackgroundServer(config) as bg:
+        with ServeClient(bg.host, bg.port, timeout=60.0) as client:
+            client.simulate(warm_spec)  # prime connection + cache
+            simulate_warm = _time_requests(
+                lambda: client.simulate(warm_spec), simulate_requests
+            )
+            hit_query = {
+                "n_nodes": spec.n_nodes[0],
+                "tp": tp,
+                "tc": tc,
+                "tr": spec.tr[0],
+            }
+            predict_http = _time_requests(
+                lambda: client.predict(hit_query), simulate_requests
+            )
+            hit = json.loads(client.predict(hit_query).body)
+            fallback_tolerance = _fallback_check(
+                client, {**warm_spec, "tolerance": 0}
+            )
+            out_of_range_spec = {**warm_spec, "tr": 5.0}
+            fallback_range = _fallback_check(client, out_of_range_spec)
+            health = json.loads(client.healthz().body)
+
+    verify = verify_table(table, cache, seed_count=fresh_seeds, jobs=jobs)
+
+    surrogate_p50_s = surrogate["p50_us"] / 1e6
+    simulate_p50_s = simulate_warm["p50_ms"] / 1e3
+    speedup = simulate_p50_s / surrogate_p50_s if surrogate_p50_s > 0 else 0.0
+    payload = {
+        "workload": {
+            "spec": spec.to_dict(),
+            "table_id": table["table_id"],
+            "table_cells": len(table["cells"]),
+            "valid_cells": sum(1 for c in table["cells"] if c["valid"]),
+            "build_seconds": round(build_seconds, 3),
+            "jobs": jobs,
+        },
+        "surrogate": surrogate,
+        "surrogate_uncached": surrogate_uncached,
+        "simulate_warm": simulate_warm,
+        "predict_http": predict_http,
+        "speedup_p50": round(speedup, 1),
+        "meets_1000x": speedup >= SPEEDUP_TARGET,
+        "surrogate_hit": hit.get("predict", {}),
+        "healthz": {
+            "model_version": health.get("model_version"),
+            "predict_table": health.get("predict_table"),
+        },
+        "verify": {
+            "seed_start": verify["seed_start"],
+            "seed_count": verify["seed_count"],
+            "cells_checked": verify["cells_checked"],
+            "cells_skipped": verify["cells_skipped"],
+            "all_in_bound": verify["all_in_bound"],
+            "rows": verify["rows"],
+        },
+        "fallback": {
+            "tolerance_zero": fallback_tolerance,
+            "out_of_range": fallback_range,
+            "byte_identical": (
+                fallback_tolerance["byte_identical"]
+                and fallback_range["byte_identical"]
+            ),
+            "out_of_range_falls_back": (
+                fallback_range["fell_back"]
+                and fallback_range["reason"] == "out_of_range"
+            ),
+        },
+    }
+    snapshot = bench_envelope("predict_surrogate", payload)
+    if output is not None:
+        write_bench_json(output, snapshot)
+    return snapshot
+
+
+def format_predict_table(snapshot: dict) -> str:
+    """Render the snapshot as the CLI's prediction-tier table."""
+    workload = snapshot["workload"]
+    surrogate = snapshot["surrogate"]
+    uncached = snapshot["surrogate_uncached"]
+    simulate = snapshot["simulate_warm"]
+    predict_http = snapshot["predict_http"]
+    verify = snapshot["verify"]
+    fallback = snapshot["fallback"]
+    lines = [
+        f"prediction tier: table {workload['table_id']} "
+        f"({workload['valid_cells']}/{workload['table_cells']} cells valid, "
+        f"built in {workload['build_seconds']:g}s)",
+        "",
+        f"{'path':<28} {'p50':>12} {'p95':>12} {'mean':>12}",
+        "-" * 67,
+        f"{'surrogate (memo-warm)':<28} "
+        f"{surrogate['p50_us']:>9.3f} us {surrogate['p95_us']:>9.3f} us "
+        f"{surrogate['mean_us']:>9.3f} us",
+        f"{'surrogate (uncached)':<28} "
+        f"{uncached['p50_us']:>9.3f} us {uncached['p95_us']:>9.3f} us "
+        f"{uncached['mean_us']:>9.3f} us",
+        f"{'/v1/predict (loopback)':<28} "
+        f"{predict_http['p50_ms']:>9.3f} ms {predict_http['p95_ms']:>9.3f} ms "
+        f"{predict_http['mean_ms']:>9.3f} ms",
+        f"{'/v1/simulate warm (loopback)':<28} "
+        f"{simulate['p50_ms']:>9.3f} ms {simulate['p95_ms']:>9.3f} ms "
+        f"{simulate['mean_ms']:>9.3f} ms",
+        "",
+        f"speedup p50 (surrogate vs warm simulate): "
+        f"{snapshot['speedup_p50']:g}x "
+        f"(>= {SPEEDUP_TARGET:g}x: "
+        + ("yes" if snapshot["meets_1000x"] else "NO")
+        + ")",
+        f"bound audit: {verify['cells_checked']} cell(s) on fresh seeds "
+        f"{verify['seed_start']}..{verify['seed_start'] + verify['seed_count'] - 1}, "
+        "all in bound: "
+        + ("yes" if verify["all_in_bound"] else "NO"),
+        "fallback byte-identity (tolerance=0 + out-of-range): "
+        + ("yes" if fallback["byte_identical"] else "NO"),
+        "out-of-range falls back: "
+        + ("yes" if fallback["out_of_range_falls_back"] else "NO"),
+    ]
+    return "\n".join(lines)

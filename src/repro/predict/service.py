@@ -1,0 +1,140 @@
+"""The serving-side seam: query parsing and surrogate-vs-fallback routing.
+
+:class:`PredictService` is everything ``POST /v1/predict`` needs that
+is not HTTP: parse the query into the *same* content-addressed
+:class:`~repro.parallel.job.SimulationJob` the simulation tier uses,
+then decide — surrogate answer, or fallback.  Keeping the decision
+here (pure, synchronous, exception-free) lets the server treat it as
+a lookup and the tests exercise every routing branch without a
+socket.
+
+The routing contract, in fallback-priority order:
+
+1. ``direction_mismatch`` — the query asks for the passage the loaded
+   table was not built for.
+2. ``out_of_range`` — outside the table's axis hull.
+3. ``out_of_region`` — inside the hull, but a bracketing cell is
+   outside the validity region (:mod:`repro.predict.bounds`).
+4. ``tolerance_exceeded`` — the answer exists but its quantified
+   bound is looser than the caller's ``tolerance``.  ``tolerance: 0``
+   therefore *always* falls back (every bound carries the 0.10
+   floor), which is the lever the differential byte-identity test
+   pulls.
+
+Anything else is a surrogate hit: a microsecond in-memory answer that
+never touches the admission queue.
+"""
+
+from __future__ import annotations
+
+from ..parallel.job import MODEL_VERSION, SimulationJob
+from .surrogate import INVALID_CELL, OK, OUT_OF_RANGE, SurrogateEvaluator
+
+__all__ = ["DEFAULT_HORIZON_ROUNDS", "PredictService", "parse_query"]
+
+#: Default fallback-simulation horizon, in rounds of ``Tp + Tc``: a
+#: query that does not say how long to simulate gets the same horizon
+#: scale the campaign reference procedure uses.
+DEFAULT_HORIZON_ROUNDS = 1000.0
+
+
+def parse_query(data) -> tuple[SimulationJob, float | None]:
+    """Parse a ``/v1/predict`` body: ``(fallback job, tolerance)``.
+
+    The query *is* a job spec (minus the simulation-only fields, which
+    default) so that the fallback path needs no translation — the
+    job's content hash is the coalescing key and the cache address,
+    exactly as if the caller had POSTed ``/v1/simulate``.  Raises
+    :class:`ValueError` on malformed input.
+    """
+    if not isinstance(data, dict):
+        raise ValueError("predict query must be a JSON object")
+    known = {
+        "n_nodes", "tp", "tc", "tr", "seed", "horizon",
+        "direction", "engine", "tolerance",
+    }
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(f"unknown predict field(s): {', '.join(unknown)}")
+    missing = sorted({"n_nodes", "tp", "tc", "tr"} - set(data))
+    if missing:
+        raise ValueError(f"predict query missing field(s): {', '.join(missing)}")
+    tolerance = data.get("tolerance")
+    if tolerance is not None:
+        try:
+            tolerance = float(tolerance)
+        except (TypeError, ValueError):
+            raise ValueError("tolerance must be a number")
+        if tolerance < 0:
+            raise ValueError("tolerance must be >= 0")
+    tp = float(data["tp"])
+    tc = float(data["tc"])
+    horizon = data.get("horizon")
+    if horizon is None:
+        if tp <= 0:
+            raise ValueError("tp must be positive")
+        horizon = DEFAULT_HORIZON_ROUNDS * (tp + tc)
+    job = SimulationJob(
+        n_nodes=int(data["n_nodes"]),
+        tp=tp,
+        tc=tc,
+        tr=float(data["tr"]),
+        seed=int(data.get("seed", 1)),
+        horizon=float(horizon),
+        direction=str(data.get("direction", "up")),
+        engine=str(data.get("engine", "cascade")),
+    )
+    return job, tolerance
+
+
+class PredictService:
+    """One loaded table plus the routing decision, shareable across
+    requests (the evaluator is immutable)."""
+
+    def __init__(self, table: dict) -> None:
+        self.evaluator = SurrogateEvaluator(table)
+        self.table_id = self.evaluator.table_id
+        self.direction = self.evaluator.direction
+
+    def resolve(
+        self, job: SimulationJob, tolerance: float | None
+    ) -> tuple[str, ...]:
+        """Route one query: ``("surrogate", meta)`` or
+        ``("fallback", reason, detail)``."""
+        if job.direction != self.direction:
+            return (
+                "fallback",
+                "direction_mismatch",
+                {"table_direction": self.direction, "query_direction": job.direction},
+            )
+        code, seconds, rounds, bound = self.evaluator.lookup(
+            job.n_nodes, job.tp, job.tc, job.tr
+        )
+        if code == OUT_OF_RANGE:
+            return ("fallback", "out_of_range", {})
+        if code == INVALID_CELL:
+            return ("fallback", "out_of_region", {})
+        assert code == OK
+        if tolerance is not None and bound > tolerance:
+            return (
+                "fallback",
+                "tolerance_exceeded",
+                {"bound_rel": bound, "tolerance": tolerance},
+            )
+        return (
+            "surrogate",
+            {
+                "source": "surrogate",
+                "table_id": self.table_id,
+                "model_version": MODEL_VERSION,
+                "query": job.to_dict(),
+                "prediction": {
+                    "event": (
+                        "synchronize" if self.direction == "up" else "break_up"
+                    ),
+                    "expected_seconds": seconds,
+                    "expected_rounds": rounds,
+                    "bound_rel": bound,
+                },
+            },
+        )

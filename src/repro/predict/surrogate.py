@@ -1,0 +1,255 @@
+"""The microsecond evaluator: Markov prediction x table calibration.
+
+The paper's Section 5 chain answers "how many rounds to synchronize?"
+analytically, but over-predicts the simulated first-passage time by a
+factor of 2-3x (its ``f(2)`` is fitted, and the chain collapses the
+cluster geometry to one number).  The prediction tier therefore
+serves a *calibrated* figure: at table-build time every grid cell
+stores the chain's expected rounds next to the correction factor that
+maps it onto the simulated calibration mean, and the two collapse
+into one precomputed ``pred_rounds`` per cell.
+
+That precomputation is what makes the query path microseconds: a
+:class:`SurrogateEvaluator` holds the table as flat lists and answers
+``evaluate(n, tp, tc, tr)`` with three bisects and an (up to)
+8-corner trilinear interpolation over ``(n, Tc/Tp, Tr/Tp)`` — no
+chain is ever built per query, no dict is touched, nothing allocates
+beyond the result tuple.  Pure Python by design (the tier must serve
+from the numpy-free floor); NumPy, when present, is only ever used
+upstream of the table.
+
+Error handling is by return code, not exception, because the serving
+path routes every non-``OK`` outcome to the simulation fallback:
+
+* ``OK`` — inside the table hull, every bracketing cell validated.
+* ``OUT_OF_RANGE`` — outside the hull of any axis.
+* ``INVALID_CELL`` — inside the hull, but a bracketing cell failed
+  validation (wrong phase, censored calibration, unbounded chain).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+
+from ..core.parameters import RouterTimingParameters
+from ..markov.hitting_times import synchronization_times
+
+__all__ = [
+    "INVALID_CELL",
+    "OK",
+    "OUT_OF_RANGE",
+    "STATUS_NAMES",
+    "SurrogateEvaluator",
+    "markov_expected_rounds",
+]
+
+#: Return codes of :meth:`SurrogateEvaluator.evaluate`.
+OK = 0
+OUT_OF_RANGE = 1
+INVALID_CELL = 2
+
+#: Wire names for the return codes (``INVALID_CELL`` surfaces as
+#: ``out_of_region``: inside the table hull but outside the validity
+#: region the bounds layer established).
+STATUS_NAMES = {OK: "ok", OUT_OF_RANGE: "out_of_range", INVALID_CELL: "out_of_region"}
+
+#: Query-memo capacity of :meth:`SurrogateEvaluator.lookup`.  Answers
+#: are pure functions of the query, so the memo can never go stale;
+#: the bound (with wholesale clear on overflow) only caps memory
+#: against adversarial never-repeating query streams.
+MEMO_LIMIT = 65536
+
+
+def markov_expected_rounds(
+    params: RouterTimingParameters, direction: str = "up"
+) -> tuple[float, float]:
+    """The chain's raw prediction at one point: ``(rounds, fraction)``.
+
+    ``rounds`` is ``f(N)`` (direction ``"up"``) or ``g(1)``
+    (``"down"``), possibly ``math.inf``; ``fraction`` is the
+    equilibrium estimator ``f(N)/(f(N)+g(1))`` the validity region is
+    cut on.  This is the build-time half of the surrogate — queries
+    never call it.
+    """
+    times = synchronization_times(params)
+    rounds = (
+        times.rounds_to_synchronize
+        if direction == "up"
+        else times.rounds_to_break_up
+    )
+    return rounds, times.fraction_unsynchronized()
+
+
+def _bracket(axis: list[float], value: float) -> tuple[int, int, float] | None:
+    """Locate ``value`` on a sorted axis: ``(lo, hi, weight)``.
+
+    ``weight`` is the linear interpolation weight of ``hi`` (0.0 on an
+    exact hit, where ``lo == hi``); None when outside the axis hull.
+    """
+    if value < axis[0] or value > axis[-1]:
+        return None
+    i = bisect_left(axis, value)
+    if i < len(axis) and axis[i] == value:
+        return (i, i, 0.0)
+    lo = i - 1
+    return (lo, i, (value - axis[lo]) / (axis[i] - axis[lo]))
+
+
+class SurrogateEvaluator:
+    """The in-memory query engine over one prediction table.
+
+    Construction flattens the table's cells into parallel lists
+    indexed ``(i * len(tc_axis) + j) * len(tr_axis) + k`` so the hot
+    path is pure index arithmetic.  The instance is immutable after
+    construction and safe to share across requests.
+    """
+
+    __slots__ = (
+        "direction",
+        "table_id",
+        "_ns",
+        "_xs",
+        "_ys",
+        "_nj",
+        "_nk",
+        "_pred",
+        "_bound",
+        "_valid",
+        "_memo",
+    )
+
+    def __init__(self, table: dict) -> None:
+        self.direction = table["direction"]
+        self.table_id = table["table_id"]
+        axes = table["axes"]
+        self._ns = [float(v) for v in axes["n_nodes"]]
+        self._xs = [float(v) for v in axes["tc_ratio"]]
+        self._ys = [float(v) for v in axes["tr_ratio"]]
+        for name, axis in (
+            ("n_nodes", self._ns),
+            ("tc_ratio", self._xs),
+            ("tr_ratio", self._ys),
+        ):
+            if sorted(axis) != axis:
+                raise ValueError(f"table axis {name!r} is not sorted")
+        cells = table["cells"]
+        expected = len(self._ns) * len(self._xs) * len(self._ys)
+        if len(cells) != expected:
+            raise ValueError(
+                f"table holds {len(cells)} cells; axes imply {expected}"
+            )
+        self._nj = len(self._xs)
+        self._nk = len(self._ys)
+        self._pred = [
+            cell["pred_rounds"] if cell["pred_rounds"] is not None else math.nan
+            for cell in cells
+        ]
+        self._bound = [
+            cell["bound_rel"] if cell["bound_rel"] is not None else math.nan
+            for cell in cells
+        ]
+        self._valid = [bool(cell["valid"]) for cell in cells]
+        self._memo: dict[tuple, tuple[int, float, float, float]] = {}
+
+    def lookup(
+        self, n_nodes: float, tp: float, tc: float, tr: float
+    ) -> tuple[int, float, float, float]:
+        """Memoized :meth:`evaluate` — the serving hot path.
+
+        The paper's motivating workload is many routers asking about
+        the *same few* configurations, so the common case is a repeat
+        query: one tuple hash instead of three bisects and an
+        interpolation.  Same figure-memo reasoning as the server's
+        ``/v1/figures`` cache — answers are pure functions of the
+        query, so memoization cannot change a byte.
+        """
+        key = (n_nodes, tp, tc, tr)
+        memo = self._memo
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
+        result = self.evaluate(n_nodes, tp, tc, tr)
+        if len(memo) >= MEMO_LIMIT:
+            memo.clear()
+        memo[key] = result
+        return result
+
+    def evaluate(
+        self, n_nodes: float, tp: float, tc: float, tr: float
+    ) -> tuple[int, float, float, float]:
+        """The hot path: ``(code, seconds, rounds, bound_rel)``.
+
+        ``seconds``/``rounds``/``bound_rel`` are meaningful only when
+        ``code == OK``.  The reported bound is the worst bracketing
+        cell's bound plus the corners' relative prediction spread (the
+        off-grid interpolation penalty; zero on exact grid hits).
+        """
+        if tp <= 0.0:
+            return (OUT_OF_RANGE, 0.0, 0.0, 0.0)
+        bn = _bracket(self._ns, n_nodes)
+        if bn is None:
+            return (OUT_OF_RANGE, 0.0, 0.0, 0.0)
+        bx = _bracket(self._xs, tc / tp)
+        if bx is None:
+            return (OUT_OF_RANGE, 0.0, 0.0, 0.0)
+        by = _bracket(self._ys, tr / tp)
+        if by is None:
+            return (OUT_OF_RANGE, 0.0, 0.0, 0.0)
+        nj, nk = self._nj, self._nk
+        preds, bounds, valid = self._pred, self._bound, self._valid
+        pred = 0.0
+        bound = 0.0
+        lo = math.inf
+        hi = -math.inf
+        for i, wi in ((bn[0], 1.0 - bn[2]), (bn[1], bn[2])):
+            if wi == 0.0:
+                continue
+            for j, wj in ((bx[0], 1.0 - bx[2]), (bx[1], bx[2])):
+                if wj == 0.0:
+                    continue
+                row = (i * nj + j) * nk
+                for k, wk in ((by[0], 1.0 - by[2]), (by[1], by[2])):
+                    if wk == 0.0:
+                        continue
+                    idx = row + k
+                    if not valid[idx]:
+                        return (INVALID_CELL, 0.0, 0.0, 0.0)
+                    p = preds[idx]
+                    pred += wi * wj * wk * p
+                    b = bounds[idx]
+                    if b > bound:
+                        bound = b
+                    if p < lo:
+                        lo = p
+                    if p > hi:
+                        hi = p
+        if hi > lo and pred > 0.0:
+            bound += (hi - lo) / pred
+        return (OK, pred * (tp + tc), pred, bound)
+
+    def predict(
+        self, n_nodes: float, tp: float, tc: float, tr: float
+    ) -> dict:
+        """The friendly form of :meth:`evaluate` (CLI and payloads)."""
+        code, seconds, rounds, bound = self.evaluate(n_nodes, tp, tc, tr)
+        out = {
+            "status": STATUS_NAMES[code],
+            "table_id": self.table_id,
+            "direction": self.direction,
+        }
+        if code == OK:
+            out["event"] = (
+                "synchronize" if self.direction == "up" else "break_up"
+            )
+            out["expected_seconds"] = seconds
+            out["expected_rounds"] = rounds
+            out["bound_rel"] = bound
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SurrogateEvaluator({self.table_id}, "
+            f"{len(self._ns)}x{self._nj}x{self._nk} cells, "
+            f"direction={self.direction})"
+        )

@@ -200,6 +200,10 @@ class ServeClient:
         """POST one SimulationJob spec dict to ``/v1/simulate``."""
         return self.request("POST", "/v1/simulate", payload=spec)
 
+    def predict(self, query: dict) -> ApiResponse:
+        """POST one prediction query to ``/v1/predict``."""
+        return self.request("POST", "/v1/predict", payload=query)
+
     def sweep(self, specs: list[dict]) -> ApiResponse:
         """POST a batch of spec dicts to ``/v1/sweep``."""
         return self.request("POST", "/v1/sweep", payload={"jobs": list(specs)})

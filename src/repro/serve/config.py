@@ -86,6 +86,14 @@ class ServeConfig:
     faults:
         Optional :class:`~repro.parallel.FaultPlan` threaded into the
         serving path (chaos testing); ``None`` in production.
+    predict_table:
+        Prediction table for ``POST /v1/predict`` — a table file path
+        or a bare 16-hex table id resolved under ``cache_root`` (see
+        :func:`repro.predict.resolve_table`).  ``None`` (default)
+        serves every predict request through the simulation fallback.
+        Loading is lazy and a bad reference degrades to fallback with
+        a warning, never a dead server — the surrogate is an
+        optimization, not a dependency.
     """
 
     host: str = "127.0.0.1"
@@ -105,6 +113,7 @@ class ServeConfig:
     restart_limit: int = 5
     restart_backoff: float = 0.1
     faults: object | None = None
+    predict_table: str | None = None
 
     def __post_init__(self) -> None:
         from ..core.engines import resolve_engine
@@ -162,6 +171,7 @@ class ServeConfig:
             "restart_limit": self.restart_limit,
             "restart_backoff": self.restart_backoff,
             "faults": None if self.faults is None else self.faults.to_dict(),
+            "predict_table": self.predict_table,
         }
         return data
 

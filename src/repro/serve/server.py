@@ -25,6 +25,10 @@ Endpoints::
 
     POST /v1/simulate        body = SimulationJob spec dict
     POST /v1/sweep           body = {"jobs": [spec, ...]}
+    POST /v1/predict         body = prediction query (n_nodes, tp, tc,
+                             tr [, tolerance, seed, horizon, ...]);
+                             surrogate answers bypass admission, the
+                             rest fall back to the simulate path
     GET  /v1/figures/{figNN} reduced-scale figure reproduction
     GET  /healthz            liveness (always 200 while the loop runs)
     GET  /readyz             readiness (503 once draining)
@@ -179,6 +183,12 @@ class SimulationServer:
         #: Memoized figure payload bytes (figures are deterministic,
         #: so a computed figure never needs recomputing).
         self._figures: dict[str, bytes] = {}
+        #: Prediction tier, loaded lazily on first use so a missing
+        #: or stale table degrades to all-fallback, never a dead
+        #: server.  ``_predict_error`` remembers why loading failed.
+        self._predict = None
+        self._predict_error: str | None = None
+        self._predict_loaded = False
 
     # -- production compute defaults -----------------------------------------
 
@@ -495,7 +505,20 @@ class SimulationServer:
                 return json_response(405, {"error": "use GET"})
             # pid identifies *which* worker answered — behind a
             # prefork fleet every fresh connection may land elsewhere.
-            return json_response(200, {"status": "ok", "pid": os.getpid()})
+            # model_version + loaded table id let fleet operators
+            # detect stale-surrogate skew before byte-identity breaks.
+            service = self._predict_service()
+            return json_response(
+                200,
+                {
+                    "status": "ok",
+                    "pid": os.getpid(),
+                    "model_version": MODEL_VERSION,
+                    "predict_table": (
+                        service.table_id if service is not None else None
+                    ),
+                },
+            )
         if path == "/readyz":
             if method != "GET":
                 return json_response(405, {"error": "use GET"})
@@ -514,6 +537,10 @@ class SimulationServer:
             if method != "POST":
                 return json_response(405, {"error": "use POST"})
             return await self._sweep(request)
+        if path == "/v1/predict":
+            if method != "POST":
+                return json_response(405, {"error": "use POST"})
+            return await self._predict_route(request)
         if path.startswith("/v1/figures/"):
             if method != "GET":
                 return json_response(405, {"error": "use GET"})
@@ -552,6 +579,94 @@ class SimulationServer:
                 [spec],
             )
         return await self._await_body(future, key)
+
+    def _predict_service(self):
+        """The loaded prediction tier, or None (lazy, load-once).
+
+        Loading failures are remembered and warned about exactly once;
+        the server keeps serving with every predict request routed to
+        the fallback (reason ``table_error``).
+        """
+        if not self._predict_loaded:
+            self._predict_loaded = True
+            if self.config.predict_table is not None:
+                from ..predict.service import PredictService
+                from ..predict.tables import resolve_table
+
+                try:
+                    table = resolve_table(
+                        self.config.predict_table, self.config.cache_root
+                    )
+                    self._predict = PredictService(table)
+                except (OSError, ValueError) as error:
+                    self._predict_error = str(error)
+                    obs().emit(
+                        "serve.predict.table_error",
+                        f"prediction table "
+                        f"{self.config.predict_table!r} failed to "
+                        f"load; serving fallback only: {error}",
+                        level=WARNING,
+                        error=str(error),
+                    )
+        return self._predict
+
+    async def _predict_route(self, request: HttpRequest) -> HttpResponse:
+        """``POST /v1/predict``: surrogate when trustworthy, else the
+        simulation fallback through the normal admit → coalesce →
+        claims → cache path.
+
+        A surrogate hit is computed synchronously from the in-memory
+        table — it never enters the admission queue, is never shed,
+        and keeps answering while the server drains.  A fallback body
+        splices the ``/v1/simulate`` payload bytes verbatim, so its
+        ``simulate`` member is byte-identical to what the simulation
+        endpoint serves for the same job hash.
+        """
+        from ..predict.service import parse_query
+
+        try:
+            job, tolerance = parse_query(request.json())
+        except ValueError as error:
+            raise BadRequestError(str(error))
+        service = self._predict_service()
+        if service is None:
+            verdict = (
+                "fallback",
+                "table_error" if self._predict_error is not None else "no_table",
+                {},
+            )
+        else:
+            verdict = service.resolve(job, tolerance)
+        if verdict[0] == "surrogate":
+            self.metrics.counter("serve.predict.hits").inc()
+            return HttpResponse(200, canonical_json({"predict": verdict[1]}))
+        _, reason, detail = verdict
+        self.metrics.counter("serve.predict.fallbacks").inc()
+        if reason == "out_of_range":
+            self.metrics.counter("serve.predict.out_of_range").inc()
+        if self.draining:
+            return self._draining_response()
+        key = job.cache_key()
+        future, leader = self.coalescer.claim(key)
+        if leader:
+            self._lead(
+                [future],
+                key,
+                lambda results, job=job: [simulation_payload(job, results[0])],
+                [job],
+            )
+        sim_body, failure = await self._await_payload(future, key)
+        if failure is not None:
+            return failure
+        meta = {"source": "fallback", "reason": reason, **detail}
+        return HttpResponse(
+            200,
+            b'{"predict":'
+            + canonical_json(meta).rstrip(b"\n")
+            + b',"simulate":'
+            + sim_body.rstrip(b"\n")
+            + b"}\n",
+        )
 
     async def _sweep(self, request: HttpRequest) -> HttpResponse:
         body = request.json()
@@ -699,25 +814,41 @@ class SimulationServer:
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
 
-    async def _await_body(self, future: asyncio.Future, key: str) -> HttpResponse:
-        """Wait (under the request deadline) for the shared bytes."""
+    async def _await_payload(
+        self, future: asyncio.Future, key: str
+    ) -> tuple[bytes | None, HttpResponse | None]:
+        """Wait (under the request deadline) for the shared bytes.
+
+        Returns ``(payload, None)`` on success or ``(None, response)``
+        when the wait resolved to a backpressure/timeout answer —
+        callers that embed the payload in a larger body (the predict
+        fallback) branch on the failure response, plain callers wrap
+        the bytes via :meth:`_await_body`.
+        """
         try:
             body = await asyncio.wait_for(
                 asyncio.shield(future), self.config.deadline
             )
         except QueueFullError as error:
-            return self._shed_response(error)
+            return None, self._shed_response(error)
         except CoalesceCancelledError:
-            return self._cancelled_response(key)
+            return None, self._cancelled_response(key)
         except asyncio.CancelledError:
             # The shared future itself was cancelled (not this
             # handler): answer retryably instead of unwinding the
             # connection.  A genuine handler cancellation propagates.
             if future.cancelled():
-                return self._cancelled_response(key)
+                return None, self._cancelled_response(key)
             raise
         except (asyncio.TimeoutError, JobTimeoutError):
-            return self._timeout_response(key)
+            return None, self._timeout_response(key)
+        return body, None
+
+    async def _await_body(self, future: asyncio.Future, key: str) -> HttpResponse:
+        """:meth:`_await_payload`, as a complete 200 response."""
+        body, failure = await self._await_payload(future, key)
+        if failure is not None:
+            return failure
         return HttpResponse(200, body)
 
     def _draining_response(self) -> HttpResponse:

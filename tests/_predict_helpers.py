@@ -1,0 +1,46 @@
+"""Shared fixtures-in-spirit for the prediction-tier tests.
+
+One tiny all-valid calibration study, small enough that every predict
+test can afford to *actually run it* (a few dozen cascade jobs, well
+under a second) instead of mocking the table: the tier's contract is
+end-to-end (campaign cache -> table -> evaluator -> bounds), and a
+hand-written table dict would silently drift from `build_table`.
+
+The grid mirrors the bench spec's reasoning: ``n >= 10`` with
+``Tc >= 2 Tr`` keeps the chain's break-up probability at zero (phase
+fraction exactly 0, so every cell is on the synchronized side) and
+every seed observes synchronization well inside the horizon — all
+cells valid, so tests opt *into* invalidity by tampering.
+"""
+
+from __future__ import annotations
+
+from repro.campaign import CampaignSpec
+from repro.parallel import ResultCache
+from repro.predict import build_table
+
+__all__ = ["build_tiny_table", "tiny_spec"]
+
+
+def tiny_spec(**overrides) -> CampaignSpec:
+    base = dict(
+        name="predict-test",
+        n_nodes=(10, 12),
+        tp=20.0,
+        tc=0.3,
+        tr=(0.05, 0.1),
+        seed_count=8,
+        horizon=40000.0,
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+def build_tiny_table(tmp_path, **overrides):
+    """Run the tiny study and build its table: ``(spec, cache, table)``."""
+    spec = tiny_spec(**overrides)
+    cache = ResultCache(tmp_path / "cache")
+    table = build_table(
+        spec, cache, checkpoint_root=tmp_path / "ckpt"
+    )
+    return spec, cache, table

@@ -85,6 +85,15 @@ class TestCampaignLifecycle:
         out = capsys.readouterr().out
         assert "mean" in out and "complete=true" in out
 
+    def test_report_plot_renders_ascii_curves(self, capsys, tmp_path):
+        path = write_spec(tmp_path)
+        assert main(["campaign", "run", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "report", str(path), "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "mean sync time vs Tr (s)" in out
+        assert "censored fraction vs Tr (s)" in out
+
     def test_rerun_serves_from_cache(self, capsys, tmp_path):
         path = write_spec(tmp_path)
         assert main(["campaign", "run", str(path)]) == 0

@@ -14,6 +14,7 @@ from repro.campaign import (
     LocalDispatcher,
     build_report,
     format_report,
+    plot_report,
     report_json,
     run_campaign,
     write_report,
@@ -132,3 +133,67 @@ class TestSerialization:
         assert "complete=true" in lines[0]
         assert len(lines) == 2 + s.point_count  # header + axis line + rows
         assert "-" in lines[-1]  # the censored row renders dashes
+
+
+def synthetic_report(rows, direction="up"):
+    """A minimal report dict for plot tests (plot_report reads only
+    rows, spec.direction, campaign_id, name, complete)."""
+    return {
+        "campaign_id": "c" * 16,
+        "name": "synthetic",
+        "complete": True,
+        "spec": {"direction": direction},
+        "rows": rows,
+    }
+
+
+def synthetic_row(n, tr, mean, censored=0, seeds=4, tp=20.0, tc=0.3):
+    return {
+        "n_nodes": n, "tp": tp, "tc": tc, "tr": tr,
+        "seeds": seeds, "censored": censored, "mean": mean,
+    }
+
+
+class TestPlotReport:
+    def test_tr_study_draws_fig12_and_fig14_shapes(self, completed):
+        s, cache = completed
+        text = plot_report(build_report(s, cache))
+        assert text.startswith(f"campaign {s.campaign_id()}")
+        # Tr varies: one (N, Tp, Tc) group, two curves in the
+        # figures' own coordinates.
+        assert "mean sync time vs Tr (s)" in text
+        assert "censored fraction vs Tr (s)" in text
+        assert "log10 mean sync time (s)" in text
+        assert "N=6 Tp=20 Tc=0.3" in text
+
+    def test_n_study_plots_against_n(self):
+        rows = [
+            synthetic_row(n, 0.1, mean=1000.0 / n) for n in (4, 8, 16)
+        ]
+        text = plot_report(synthetic_report(rows))
+        assert "vs N" in text
+        assert "Tp=20 Tc=0.3 Tr=0.1" in text
+
+    def test_down_study_names_the_breakup_event(self):
+        rows = [synthetic_row(4, tr, mean=50.0) for tr in (0.1, 0.5)]
+        text = plot_report(synthetic_report(rows, direction="down"))
+        assert "mean break-up time vs Tr (s)" in text
+
+    def test_group_flood_is_truncated_not_drawn(self):
+        rows = [
+            synthetic_row(n, tr, mean=100.0 * n)
+            for n in (2, 3, 4, 5, 6, 7)
+            for tr in (0.1, 0.5)
+        ]
+        text = plot_report(synthetic_report(rows))
+        assert "2 more group(s) not drawn" in text
+
+    def test_unplottable_series_degrades_to_a_note(self):
+        # All means censored away: the log plot has no points.
+        rows = [
+            synthetic_row(4, tr, mean=None, censored=4) for tr in (0.1, 0.5)
+        ]
+        text = plot_report(synthetic_report(rows))
+        assert "not plottable" in text
+        # The censored-fraction curve still draws.
+        assert "censored fraction vs Tr (s)" in text

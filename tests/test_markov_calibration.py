@@ -1,0 +1,85 @@
+"""Tests for ``f(2)`` calibration: the diffusion estimate's edge cases
+and its round trip through the transition-probability layer.
+
+The paper leaves ``p(1,2)`` "as a variable"; the diffusion estimate is
+the repo's default supplier of it (every prediction-table cell and
+every ``synchronization_times`` call without an explicit ``f2`` flows
+through here), so its degenerate corners — one router, zero timer
+randomness, an already-touching minimum gap — must be pinned.
+"""
+
+import math
+
+import pytest
+
+from repro.core.parameters import RouterTimingParameters
+from repro.markov import (
+    build_chain,
+    estimate_f2_diffusion,
+    synchronization_times,
+)
+
+
+def params(n=4, tp=120.0, tc=0.1, tr=1.0):
+    return RouterTimingParameters(n, tp, tc, tr)
+
+
+class TestDiffusionEdgeCases:
+    def test_single_router_is_an_error(self):
+        with pytest.raises(ValueError, match="at least two routers"):
+            estimate_f2_diffusion(params(n=1))
+
+    def test_touching_gap_forms_in_one_round(self):
+        # Expected min gap Tp/N^2 = 0.2 already within Tc = 0.3: the
+        # walk has zero distance to cover.
+        assert estimate_f2_diffusion(params(n=10, tp=20.0, tc=0.3)) == 1.0
+
+    def test_degenerate_tr_never_forms_a_cluster(self):
+        # Positive distance but no randomness: offsets never move.
+        assert estimate_f2_diffusion(params(n=2, tp=20.0, tc=0.3, tr=0.0)) == (
+            math.inf
+        )
+
+    def test_formula_matches_the_documented_random_walk(self):
+        p = params()
+        distance = p.tp / p.n_nodes**2 - p.tc
+        step_std = p.tr * math.sqrt(2.0 / 3.0)
+        assert estimate_f2_diffusion(p) == pytest.approx(
+            (distance / step_std) ** 2 + 1.0
+        )
+
+    def test_more_routers_form_the_first_cluster_faster(self):
+        estimates = [
+            estimate_f2_diffusion(params(n=n)) for n in (3, 5, 9, 15)
+        ]
+        assert estimates == sorted(estimates, reverse=True)
+
+
+class TestRoundTripThroughTransitions:
+    def test_estimate_becomes_the_chains_p12(self):
+        p = params()
+        f2 = estimate_f2_diffusion(p)
+        chain = build_chain(p, p12=1.0 / f2)
+        assert chain.up[0] == pytest.approx(1.0 / f2)
+        assert chain.down[0] == 0.0
+
+    def test_default_synchronization_times_use_the_estimate(self):
+        p = params()
+        f2 = estimate_f2_diffusion(p)
+        implicit = synchronization_times(p)
+        explicit = synchronization_times(p, f2=f2)
+        assert implicit.f == explicit.f
+        assert implicit.g == explicit.g
+
+    def test_f2_override_round_trips_into_f_of_2(self):
+        # f(2) is by definition the expected rounds to the first
+        # 2-cluster, so the supplied calibration must come back out.
+        times = synchronization_times(params(), f2=19.0)
+        assert times.f[1] == pytest.approx(19.0)
+
+    def test_infinite_f2_clamps_to_a_probability(self):
+        # A degenerate-Tr estimate (inf) must not crash the chain
+        # build; p12 = 1/inf = 0 and synchronization never happens.
+        p = params(n=2, tp=20.0, tc=0.3, tr=0.0)
+        times = synchronization_times(p)
+        assert times.rounds_to_synchronize == math.inf

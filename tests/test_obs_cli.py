@@ -114,7 +114,7 @@ class TestObsTarget:
 class TestArgumentValidation:
     def test_path_only_valid_for_obs(self, capsys):
         assert main(["fig10", "verify", "extra"]) == 2
-        assert "only valid with the 'cache', 'claims', 'campaign', or 'obs'" in capsys.readouterr().err
+        assert "only valid with the 'cache', 'claims', 'campaign', 'predict', or 'obs'" in capsys.readouterr().err
 
     def test_quiet_verbose_conflict(self, capsys):
         assert main(["fig10", "--quiet", "--verbose"]) == 2

@@ -1,0 +1,135 @@
+"""Loopback tests for ``POST /v1/predict`` — the serving tier's seam.
+
+The two serving satellites are stated here directly:
+
+* **differential byte-identity** — a ``tolerance: 0`` predict (and an
+  out-of-range one) answers with the ``/v1/simulate`` payload bytes
+  for the same job hash spliced in *verbatim*;
+* **version surfacing** — ``/healthz`` reports the model version and
+  the loaded table id, so a fleet operator can spot a stale surrogate
+  from the health check alone.
+"""
+
+import json
+
+import pytest
+
+from repro.predict import save_table
+from repro.serve import BackgroundServer, ServeClient, ServeConfig
+
+from tests._predict_helpers import build_tiny_table
+
+
+@pytest.fixture(scope="module")
+def built(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("predict-serve")
+    spec, cache, table = build_tiny_table(tmp)
+    path = save_table(table, cache.root)
+    return spec, cache, table, path
+
+
+def server_config(built, **overrides):
+    _, cache, _, path = built
+    defaults = dict(
+        port=0,
+        cache_root=str(cache.root),
+        predict_table=str(path),
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+def query(**overrides):
+    base = dict(n_nodes=10, tp=20.0, tc=0.3, tr=0.05)
+    base.update(overrides)
+    return base
+
+
+class TestSurrogatePath:
+    def test_hit_answers_without_simulating(self, built):
+        _, _, table, _ = built
+        with BackgroundServer(server_config(built)) as bg:
+            with ServeClient(bg.host, bg.port) as client:
+                response = client.predict(query())
+                assert response.status == 200
+                predict = response.json()["predict"]
+                assert predict["source"] == "surrogate"
+                assert predict["table_id"] == table["table_id"]
+                assert predict["prediction"]["event"] == "synchronize"
+                metrics = client.metrics()
+        assert metrics["serve"]["serve.predict.hits"]["value"] == 1.0
+        assert "serve.predict.fallbacks" not in metrics["serve"]
+
+    def test_malformed_query_is_a_400(self, built):
+        with BackgroundServer(server_config(built)) as bg:
+            with ServeClient(bg.host, bg.port) as client:
+                bad = client.predict({"n_nodes": 10})
+                assert bad.status == 400
+                assert "missing field" in bad.json()["error"]
+                assert client.request("GET", "/v1/predict").status == 405
+
+
+class TestDifferentialByteIdentity:
+    def test_tolerance_zero_embeds_simulate_bytes_verbatim(self, built):
+        spec, _, _, _ = built
+        # The spec's own horizon/seed: the fallback job hash equals a
+        # campaign job already retired into the shared cache.
+        q = query(seed=spec.seed_start, horizon=spec.horizon)
+        with BackgroundServer(server_config(built)) as bg:
+            with ServeClient(bg.host, bg.port) as client:
+                predicted = client.predict({**q, "tolerance": 0})
+                simulated = client.simulate(q)
+                assert predicted.status == simulated.status == 200
+                body = predicted.json()
+                assert body["predict"]["source"] == "fallback"
+                assert body["predict"]["reason"] == "tolerance_exceeded"
+                assert body["predict"]["tolerance"] == 0.0
+                # Byte identity, not JSON equality: the simulate
+                # payload appears verbatim inside the predict body.
+                assert simulated.body.rstrip(b"\n") in predicted.body
+                metrics = client.metrics()
+        assert metrics["serve"]["serve.predict.fallbacks"]["value"] == 1.0
+
+    def test_out_of_range_falls_back_byte_identically(self, built):
+        spec, _, _, _ = built
+        q = query(tr=5.0, seed=spec.seed_start, horizon=spec.horizon)
+        with BackgroundServer(server_config(built)) as bg:
+            with ServeClient(bg.host, bg.port) as client:
+                predicted = client.predict(q)
+                simulated = client.simulate(q)
+                assert predicted.status == 200
+                assert predicted.json()["predict"]["reason"] == "out_of_range"
+                assert simulated.body.rstrip(b"\n") in predicted.body
+                metrics = client.metrics()
+        assert metrics["serve"]["serve.predict.out_of_range"]["value"] == 1.0
+
+
+class TestHealthzVersions:
+    def test_healthz_reports_model_version_and_table_id(self, built):
+        _, _, table, _ = built
+        with BackgroundServer(server_config(built)) as bg:
+            with ServeClient(bg.host, bg.port) as client:
+                health = client.healthz().json()
+        assert health["model_version"] == table["model_version"]
+        assert health["predict_table"] == table["table_id"]
+
+    def test_healthz_without_a_table_reports_none(self, built):
+        with BackgroundServer(server_config(built, predict_table=None)) as bg:
+            with ServeClient(bg.host, bg.port) as client:
+                health = client.healthz().json()
+                fell_back = client.predict(query()).json()
+        assert health["model_version"]
+        assert health["predict_table"] is None
+        assert fell_back["predict"]["reason"] == "no_table"
+
+    def test_unloadable_table_degrades_to_fallback(self, built, tmp_path):
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        with BackgroundServer(
+            server_config(built, predict_table=str(broken))
+        ) as bg:
+            with ServeClient(bg.host, bg.port) as client:
+                health = client.healthz().json()
+                fell_back = client.predict(query()).json()
+        assert health["predict_table"] is None
+        assert fell_back["predict"]["reason"] == "table_error"

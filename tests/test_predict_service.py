@@ -1,0 +1,123 @@
+"""Tests for the routing seam: query parsing and surrogate-vs-fallback.
+
+Every branch of the ``/v1/predict`` decision, without a socket: the
+query parses into the same content-addressed job the simulation tier
+uses, and ``resolve`` routes in the documented priority order
+(direction, range, region, tolerance) with a surrogate hit only when
+nothing objects.
+"""
+
+import pytest
+
+from repro.parallel.job import MODEL_VERSION, SimulationJob
+from repro.predict import PredictService, parse_query
+from repro.predict.service import DEFAULT_HORIZON_ROUNDS
+
+from tests._predict_helpers import build_tiny_table
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    _, _, table = build_tiny_table(tmp_path_factory.mktemp("predict-service"))
+    return PredictService(table)
+
+
+def query(**overrides):
+    base = dict(n_nodes=10, tp=20.0, tc=0.3, tr=0.05)
+    base.update(overrides)
+    return base
+
+
+class TestParseQuery:
+    def test_minimal_query_fills_simulation_defaults(self):
+        job, tolerance = parse_query(query())
+        assert tolerance is None
+        assert job == SimulationJob(
+            n_nodes=10,
+            tp=20.0,
+            tc=0.3,
+            tr=0.05,
+            seed=1,
+            horizon=DEFAULT_HORIZON_ROUNDS * 20.3,
+            direction="up",
+            engine="cascade",
+        )
+
+    def test_explicit_fields_pass_through(self):
+        job, tolerance = parse_query(
+            query(seed=7, horizon=1234.5, direction="down", engine="des",
+                  tolerance=0.25)
+        )
+        assert (job.seed, job.horizon) == (7, 1234.5)
+        assert (job.direction, job.engine) == ("down", "des")
+        assert tolerance == 0.25
+
+    def test_tolerance_zero_is_a_valid_tolerance(self):
+        _, tolerance = parse_query(query(tolerance=0))
+        assert tolerance == 0.0
+
+    def test_malformed_queries_raise_value_error(self):
+        for bad in (
+            [],                                   # not an object
+            query(bogus=1),                       # unknown field
+            {"n_nodes": 10, "tp": 20.0},          # missing tr, tc
+            query(tolerance=-0.1),                # negative tolerance
+            query(tolerance="tight"),             # non-numeric tolerance
+            query(tp=0.0),                        # default horizon impossible
+        ):
+            with pytest.raises(ValueError):
+                parse_query(bad)
+
+    def test_query_is_the_fallback_jobs_cache_identity(self):
+        job, _ = parse_query(query(seed=3, horizon=40000.0))
+        assert job.cache_key() == SimulationJob(
+            n_nodes=10, tp=20.0, tc=0.3, tr=0.05, seed=3, horizon=40000.0
+        ).cache_key()
+
+
+class TestResolve:
+    def test_surrogate_hit_meta(self, service):
+        job, tolerance = parse_query(query())
+        kind, meta = service.resolve(job, tolerance)
+        assert kind == "surrogate"
+        assert meta["source"] == "surrogate"
+        assert meta["table_id"] == service.table_id
+        assert meta["model_version"] == MODEL_VERSION
+        assert meta["query"] == job.to_dict()
+        prediction = meta["prediction"]
+        assert prediction["event"] == "synchronize"
+        assert prediction["expected_seconds"] > 0
+        assert prediction["bound_rel"] >= 0.10
+
+    def test_direction_mismatch_outranks_everything(self, service):
+        job, _ = parse_query(query(direction="down", tr=5.0))
+        kind, reason, detail = service.resolve(job, None)
+        assert (kind, reason) == ("fallback", "direction_mismatch")
+        assert detail == {
+            "table_direction": "up",
+            "query_direction": "down",
+        }
+
+    def test_out_of_range_falls_back(self, service):
+        job, _ = parse_query(query(tr=5.0))
+        assert service.resolve(job, None)[:2] == ("fallback", "out_of_range")
+
+    def test_tolerance_gates_the_surrogate(self, service):
+        job, tolerance = parse_query(query(tolerance=0))
+        kind, reason, detail = service.resolve(job, tolerance)
+        # Every bound carries the 0.10 floor, so tolerance 0 always
+        # falls back — the differential byte-identity lever.
+        assert (kind, reason) == ("fallback", "tolerance_exceeded")
+        assert detail["tolerance"] == 0.0
+        assert detail["bound_rel"] >= 0.10
+        loose_job, loose = parse_query(query(tolerance=10.0))
+        assert service.resolve(loose_job, loose)[0] == "surrogate"
+
+    def test_out_of_region_falls_back(self, tmp_path):
+        _, _, table = build_tiny_table(tmp_path, name="predict-region")
+        doctored = {**table, "cells": [dict(c) for c in table["cells"]]}
+        for cell in doctored["cells"]:
+            cell["valid"] = False
+        service = PredictService(doctored)
+        job, _ = parse_query(query())
+        assert service.resolve(job, None)[:2] == ("fallback", "out_of_region")

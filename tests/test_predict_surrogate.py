@@ -1,0 +1,162 @@
+"""Tests for the microsecond evaluator: interpolation and routing codes.
+
+The contract pinned here: exact grid hits reproduce the cell's stored
+``pred_rounds``/``bound_rel`` with zero interpolation penalty,
+off-grid queries stay inside the corner hull and pay the spread
+penalty, every out-of-hull or invalid-cell query routes by return
+code (never exception), and the memoized ``lookup`` is semantically
+invisible.
+"""
+
+import math
+
+import pytest
+
+from repro.core.parameters import RouterTimingParameters
+from repro.markov import synchronization_times
+from repro.predict import SurrogateEvaluator, markov_expected_rounds
+from repro.predict import surrogate as surrogate_mod
+from repro.predict.surrogate import INVALID_CELL, OK, OUT_OF_RANGE
+
+from tests._predict_helpers import build_tiny_table
+
+
+@pytest.fixture(scope="module")
+def built(tmp_path_factory):
+    return build_tiny_table(tmp_path_factory.mktemp("predict-surrogate"))
+
+
+@pytest.fixture(scope="module")
+def evaluator(built):
+    _, _, table = built
+    return SurrogateEvaluator(table)
+
+
+def cell_for(table, n, tr):
+    (match,) = [
+        c for c in table["cells"] if c["n_nodes"] == n and c["tr"] == tr
+    ]
+    return match
+
+
+class TestMarkovExpectedRounds:
+    def test_up_matches_chain_f_n(self):
+        params = RouterTimingParameters(10, 20.0, 0.3, 0.1)
+        rounds, fraction = markov_expected_rounds(params, "up")
+        times = synchronization_times(params)
+        assert rounds == times.rounds_to_synchronize
+        assert fraction == times.fraction_unsynchronized() == 0.0
+
+    def test_down_is_breakup_passage(self):
+        params = RouterTimingParameters(10, 20.0, 0.3, 2.0)
+        rounds, _ = markov_expected_rounds(params, "down")
+        assert rounds == synchronization_times(params).rounds_to_break_up
+
+
+class TestEvaluate:
+    def test_grid_hit_reproduces_the_cell(self, built, evaluator):
+        _, _, table = built
+        cell = cell_for(table, 10, 0.05)
+        code, seconds, rounds, bound = evaluator.evaluate(10, 20.0, 0.3, 0.05)
+        assert code == OK
+        assert rounds == cell["pred_rounds"]
+        assert bound == cell["bound_rel"]  # no interpolation penalty
+        assert seconds == pytest.approx(rounds * 20.3)
+
+    def test_interpolation_stays_in_corner_hull(self, built, evaluator):
+        _, _, table = built
+        corners = [cell_for(table, n, tr) for n in (10, 12) for tr in (0.05, 0.1)]
+        preds = [c["pred_rounds"] for c in corners]
+        code, _, rounds, bound = evaluator.evaluate(11, 20.0, 0.3, 0.075)
+        assert code == OK
+        assert min(preds) <= rounds <= max(preds)
+        # Off-grid pays the corner-spread penalty on top of the worst
+        # bracketing cell's bound.
+        spread = (max(preds) - min(preds)) / rounds
+        assert bound == pytest.approx(
+            max(c["bound_rel"] for c in corners) + spread
+        )
+
+    def test_out_of_hull_on_every_axis(self, evaluator):
+        for query in (
+            (9, 20.0, 0.3, 0.05),     # n below axis
+            (13, 20.0, 0.3, 0.05),    # n above axis
+            (10, 20.0, 0.2, 0.05),    # tc ratio off axis hull
+            (10, 20.0, 0.3, 5.0),     # tr ratio far above
+            (10, -1.0, 0.3, 0.05),    # degenerate tp
+        ):
+            assert evaluator.evaluate(*query)[0] == OUT_OF_RANGE
+
+    def test_invalid_corner_routes_out_of_region(self, built):
+        _, _, table = built
+        doctored = {**table, "cells": [dict(c) for c in table["cells"]]}
+        doctored["cells"][0]["valid"] = False
+        ev = SurrogateEvaluator(doctored)
+        n, tr = doctored["cells"][0]["n_nodes"], doctored["cells"][0]["tr"]
+        assert ev.evaluate(n, 20.0, 0.3, tr)[0] == INVALID_CELL
+        # An interpolation bracketing the bad cell is poisoned too.
+        assert ev.evaluate(11, 20.0, 0.3, tr)[0] == INVALID_CELL
+
+    def test_invalid_cells_never_block_other_points(self, built):
+        _, _, table = built
+        doctored = {**table, "cells": [dict(c) for c in table["cells"]]}
+        doctored["cells"][0]["pred_rounds"] = None
+        doctored["cells"][0]["bound_rel"] = None
+        doctored["cells"][0]["valid"] = False
+        ev = SurrogateEvaluator(doctored)
+        other = doctored["cells"][-1]
+        code, _, rounds, _ = ev.evaluate(
+            other["n_nodes"], 20.0, 0.3, other["tr"]
+        )
+        assert code == OK and not math.isnan(rounds)
+
+    def test_rejects_malformed_tables(self, built):
+        _, _, table = built
+        unsorted_axes = {
+            **table,
+            "axes": {**table["axes"], "n_nodes": [12, 10]},
+        }
+        with pytest.raises(ValueError, match="not sorted"):
+            SurrogateEvaluator(unsorted_axes)
+        short = {**table, "cells": table["cells"][:-1]}
+        with pytest.raises(ValueError, match="axes imply"):
+            SurrogateEvaluator(short)
+
+
+class TestLookup:
+    def test_lookup_equals_evaluate_and_memoizes(self, built):
+        _, _, table = built
+        ev = SurrogateEvaluator(table)
+        direct = ev.evaluate(10, 20.0, 0.3, 0.05)
+        first = ev.lookup(10, 20.0, 0.3, 0.05)
+        assert first == direct
+        # The repeat answer is the memoized tuple itself.
+        assert ev.lookup(10, 20.0, 0.3, 0.05) is first
+        assert ev.lookup(10, 20.0, 0.3, 5.0)[0] == OUT_OF_RANGE
+
+    def test_memo_clears_at_capacity(self, built, monkeypatch):
+        _, _, table = built
+        ev = SurrogateEvaluator(table)
+        monkeypatch.setattr(surrogate_mod, "MEMO_LIMIT", 2)
+        a = ev.lookup(10, 20.0, 0.3, 0.05)
+        ev.lookup(12, 20.0, 0.3, 0.05)
+        ev.lookup(10, 20.0, 0.3, 0.1)  # overflow: wholesale clear
+        again = ev.lookup(10, 20.0, 0.3, 0.05)
+        assert again == a and again is not a
+
+
+class TestPredictDict:
+    def test_ok_payload_fields(self, built, evaluator):
+        _, _, table = built
+        out = evaluator.predict(10, 20.0, 0.3, 0.05)
+        assert out["status"] == "ok"
+        assert out["table_id"] == table["table_id"]
+        assert out["direction"] == "up"
+        assert out["event"] == "synchronize"
+        assert out["expected_rounds"] > 0
+        assert out["bound_rel"] >= 0.10
+
+    def test_non_ok_statuses_carry_no_prediction(self, evaluator):
+        out = evaluator.predict(10, 20.0, 0.3, 5.0)
+        assert out["status"] == "out_of_range"
+        assert "expected_seconds" not in out

@@ -1,0 +1,141 @@
+"""Tests for prediction tables: content addressing and the build path.
+
+The invariants pinned here are the tier's storage contract: the table
+id is a pure function of the build inputs (spec + holdout + schema +
+model version), the bytes are canonical (two independent builds of
+the same study are byte-identical), and a loaded table is verified
+against its own id so a tampered or stale file can never serve.
+"""
+
+import json
+
+import pytest
+
+from repro.parallel import ResultCache
+from repro.parallel.job import MODEL_VERSION
+from repro.predict import (
+    build_table,
+    load_table,
+    resolve_table,
+    save_table,
+    spec_from_table,
+    table_id,
+    table_json,
+    table_path,
+)
+from repro.predict.tables import default_holdout
+
+from tests._predict_helpers import build_tiny_table, tiny_spec
+
+
+@pytest.fixture(scope="module")
+def built(tmp_path_factory):
+    """One tiny study, run once for the whole module."""
+    return build_tiny_table(tmp_path_factory.mktemp("predict-tables"))
+
+
+class TestTableId:
+    def test_id_is_16_hex_and_deterministic(self):
+        spec = tiny_spec()
+        tid = table_id(spec, 2)
+        assert len(tid) == 16
+        assert int(tid, 16) >= 0
+        assert table_id(spec, 2) == tid
+
+    def test_id_depends_on_spec_and_holdout(self):
+        spec = tiny_spec()
+        assert table_id(spec, 2) != table_id(spec, 3)
+        assert table_id(spec, 2) != table_id(tiny_spec(seed_count=9), 2)
+
+    def test_default_holdout_is_a_quarter_at_least_one(self):
+        assert default_holdout(8) == 2
+        assert default_holdout(4) == 1
+        assert default_holdout(2) == 1
+
+
+class TestBuildTable:
+    def test_table_shape_and_identity(self, built):
+        spec, _, table = built
+        assert table["table_schema"] == 1
+        assert table["model_version"] == MODEL_VERSION
+        assert table["campaign_id"] == spec.campaign_id()
+        assert table["table_id"] == table_id(spec, table["holdout_count"])
+        assert table["axes"]["n_nodes"] == [10, 12]
+        assert table["axes"]["tc_ratio"] == [0.3 / 20.0]
+        assert table["axes"]["tr_ratio"] == [0.05 / 20.0, 0.1 / 20.0]
+        assert len(table["cells"]) == 4
+        assert spec_from_table(table) == spec
+
+    def test_every_cell_valid_and_calibrated(self, built):
+        _, _, table = built
+        for cell in table["cells"]:
+            assert cell["valid"] is True
+            assert cell["in_phase"] is True
+            assert cell["phase_fraction"] == 0.0  # Tc >= 2 Tr: no break-up
+            assert cell["fit"]["censored"] == 0
+            assert cell["holdout"]["censored"] == 0
+            assert cell["fit"]["seeds"] == 6 and cell["holdout"]["seeds"] == 2
+            assert cell["pred_rounds"] == pytest.approx(
+                cell["fit"]["mean_seconds"] / 20.3
+            )
+            assert 0.0 < cell["correction"] < 1.0  # the chain over-predicts
+            assert cell["bound_rel"] >= 0.10
+
+    def test_holdout_seeds_are_the_tail_of_the_range(self, built):
+        spec, cache, table = built
+        rebuilt = build_table(
+            spec, cache, holdout_count=table["holdout_count"], run=False
+        )
+        assert table_json(rebuilt) == table_json(table)
+
+    def test_cache_miss_raises_when_run_disabled(self, tmp_path):
+        with pytest.raises(ValueError, match="campaign incomplete"):
+            build_table(tiny_spec(), ResultCache(tmp_path / "empty"), run=False)
+
+    def test_rejects_multi_tp_and_bad_holdout(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        with pytest.raises(ValueError, match="single-tp"):
+            build_table(tiny_spec(tp=(10.0, 20.0)), cache, run=False)
+        with pytest.raises(ValueError, match="holdout"):
+            build_table(tiny_spec(), cache, holdout_count=8, run=False)
+        with pytest.raises(ValueError, match="holdout"):
+            build_table(tiny_spec(), cache, holdout_count=0, run=False)
+
+
+class TestPersistence:
+    def test_bytes_are_canonical_and_round_trip(self, built, tmp_path):
+        _, _, table = built
+        assert table_json(table) == table_json(json.loads(table_json(table)))
+        path = save_table(table, tmp_path)
+        assert path == table_path(tmp_path, table["table_id"])
+        assert load_table(path) == table
+
+    def test_load_rejects_tampered_cells(self, built, tmp_path):
+        _, _, table = built
+        path = save_table(table, tmp_path)
+        doctored = json.loads(path.read_text())
+        doctored["cells"][0]["pred_rounds"] *= 2
+        path.write_text(json.dumps(doctored))
+        with pytest.raises(ValueError, match="tampered"):
+            load_table(path)
+
+    def test_load_rejects_wrong_schema_or_model(self, built, tmp_path):
+        _, _, table = built
+        path = save_table(table, tmp_path)
+        for field, value in (
+            ("table_schema", 99),
+            ("model_version", "fj93-model-0"),
+        ):
+            doctored = json.loads(path.read_text())
+            doctored[field] = value
+            path.write_text(json.dumps(doctored))
+            with pytest.raises(ValueError):
+                load_table(path)
+
+    def test_resolve_by_path_and_by_id(self, built, tmp_path):
+        _, _, table = built
+        path = save_table(table, tmp_path)
+        assert resolve_table(str(path)) == table
+        assert resolve_table(table["table_id"], cache_root=tmp_path) == table
+        with pytest.raises(ValueError, match="no prediction table"):
+            resolve_table("0123456789abcdef", cache_root=tmp_path)
