@@ -83,6 +83,12 @@ class CampaignSpec:
     engine:
         Simulation engine for every job (engines are bit-identical,
         so this is a speed knob, never a science knob).
+    topology:
+        Coupling graph for every job, in
+        :func:`repro.topo.parse_topology` grammar; normalized to
+        canonical form.  ``"clique"`` (the default) serializes exactly
+        as before the field existed, so pre-topology campaign ids —
+        and every cached job under them — are unchanged.
     """
 
     name: str
@@ -95,6 +101,7 @@ class CampaignSpec:
     seed_start: int = 1
     direction: str = "up"
     engine: str = "cascade"
+    topology: str = "clique"
 
     def __post_init__(self) -> None:
         if not self.name or not all(
@@ -118,6 +125,11 @@ class CampaignSpec:
                 f"known: {', '.join(_DIRECTIONS)}"
             )
         resolve_engine(self.engine)
+        from ..topo import ensure_spec
+
+        object.__setattr__(
+            self, "topology", ensure_spec(self.topology).canonical()
+        )
         # Axis-level validation catches bad values without expanding
         # the grid; cross-axis constraints (Tr <= Tp) are checked on
         # the extreme pairing, which bounds every grid point.
@@ -132,6 +144,16 @@ class CampaignSpec:
         RouterTimingParameters(
             max(self.n_nodes), min(self.tp), max(self.tc), max(self.tr)
         )
+        if self.engine == "des" and self.topology != "clique":
+            from ..topo import Coupling
+
+            for n in self.n_nodes:
+                if not Coupling(self.topology, n).is_complete:
+                    raise ValueError(
+                        "engine 'des' only models the fully-coupled "
+                        f"(clique) case; topology {self.topology!r} is "
+                        f"not complete at n={n}"
+                    )
 
     # -- size and identity ----------------------------------------------------
 
@@ -187,6 +209,7 @@ class CampaignSpec:
                     horizon=self.horizon,
                     direction=self.direction,
                     engine=self.engine,
+                    topology=self.topology,
                 )
 
     def jobs_for_point(self, params: RouterTimingParameters) -> list[SimulationJob]:
@@ -198,6 +221,7 @@ class CampaignSpec:
                 horizon=self.horizon,
                 direction=self.direction,
                 engine=self.engine,
+                topology=self.topology,
             )
             for seed in self.seeds
         ]
@@ -205,8 +229,12 @@ class CampaignSpec:
     # -- serialization --------------------------------------------------------
 
     def to_dict(self) -> dict:
-        """Canonical plain-dict form (stable across sessions)."""
-        return {
+        """Canonical plain-dict form (stable across sessions).
+
+        ``topology`` appears only when non-default so pre-topology
+        campaign ids are preserved byte for byte.
+        """
+        data = {
             "name": self.name,
             "n_nodes": list(self.n_nodes),
             "tp": list(self.tp),
@@ -218,6 +246,9 @@ class CampaignSpec:
             "direction": self.direction,
             "engine": self.engine,
         }
+        if self.topology != "clique":
+            data["topology"] = self.topology
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "CampaignSpec":
@@ -226,7 +257,7 @@ class CampaignSpec:
             raise ValueError("campaign spec must be a mapping")
         known = {
             "name", "n_nodes", "tp", "tc", "tr", "seed_start",
-            "seed_count", "horizon", "direction", "engine",
+            "seed_count", "horizon", "direction", "engine", "topology",
         }
         unknown = sorted(set(data) - known)
         if unknown:

@@ -95,7 +95,7 @@ import time
 from collections import deque
 from typing import Sequence
 
-from .clusters import RESET_TIME_TOLERANCE, ClusterGroup
+from .clusters import RESET_TIME_TOLERANCE, ClusterGroup, ClusterTracker
 from .parameters import RouterTimingParameters
 
 try:  # NumPy is optional: the pure-Python path is always available.
@@ -361,6 +361,17 @@ class BatchCascade:
         (:data:`BACKEND`).  All backends produce identical bytes;
         "numpy" raises if NumPy is not importable, "compiled" raises
         if neither numba nor a working C toolchain is available.
+    topology:
+        Optional :class:`~repro.topo.TopologySpec` (or canonical
+        string).  ``None`` and complete couplings run the original
+        fully-coupled kernels byte for byte.  Non-complete couplings
+        run every member through the shared generalized kernel
+        (:func:`repro.topo.advance_coupled`) with per-member
+        :class:`ClusterTracker` state — the same code path
+        ``CascadeModel`` uses, so cascade-vs-batch byte-identity on
+        graphs is structural.  Topology runs draw from the scalar
+        stream path on every backend (consumed positions unchanged),
+        so backends remain trivially identical.
     """
 
     def __init__(
@@ -370,6 +381,7 @@ class BatchCascade:
         initial_phases="unsynchronized",
         keep_cluster_history: bool = False,
         backend: str | None = None,
+        topology=None,
     ) -> None:
         if backend is None:
             backend = BACKEND
@@ -392,6 +404,19 @@ class BatchCascade:
         self.backend = backend
         self._keep_history = keep_cluster_history
         n = params.n_nodes
+        self.topology = None
+        self._coupling = None
+        if topology is not None:
+            from ..topo import Coupling, ensure_spec
+
+            self.topology = ensure_spec(topology)
+            coupling = Coupling(self.topology, n)
+            if not coupling.is_complete:
+                self._coupling = coupling
+        # Per-member generalized-kernel state (lazily built on the
+        # first topology run): pending-expiry heaps and real trackers.
+        self._topo_heaps: list | None = None
+        self._topo_trackers: list | None = None
         self._n = n
         self._m = len(seeds)
         self._tp = params.tp
@@ -510,7 +535,9 @@ class BatchCascade:
         continue, as the serial engine would).
         """
         until = float(until)
-        if self.backend == "numpy":
+        if self._coupling is not None:
+            self._run_topology(until, stop_on_full_sync, stop_on_full_unsync)
+        elif self.backend == "numpy":
             self._run_vector(until, stop_on_full_sync, stop_on_full_unsync)
         elif self.backend == "compiled":
             self._run_compiled(until, stop_on_full_sync, stop_on_full_unsync)
@@ -531,6 +558,65 @@ class BatchCascade:
                     None,
                 )
         return [member.now for member in self._members]
+
+    # -- generalized graph-coupled kernel (all backends) -----------------
+
+    def _run_topology(
+        self, until: float, stop_sync: bool, stop_unsync: bool
+    ) -> None:
+        """Advance every member through :func:`repro.topo.advance_coupled`.
+
+        Member ``k`` reproduces ``CascadeModel(params, seed=seeds[k],
+        topology=...)`` bit for bit: same heap seeding, same
+        per-router stream order (``draw`` maps local node ``i`` to
+        flat stream ``k*n + i``, the exact scalar path), and a real
+        :class:`ClusterTracker` whose output containers *are* the
+        member's views.  Runs the scalar stream path on every backend
+        so consumed-RNG positions stay backend-independent.
+        """
+        from ..topo import advance_coupled
+
+        n = self._n
+        if self._topo_heaps is None:
+            self._topo_heaps = []
+            self._topo_trackers = []
+            for k, member in enumerate(self._members):
+                base = k * n
+                heap = sorted(
+                    (self._expiry[base + i], i) for i in range(n)
+                )
+                tracker = ClusterTracker(n, keep_history=self._keep_history)
+                # The tracker's containers become the member's views:
+                # further mutation on either side is shared.
+                member.first_time_at_least = tracker.first_time_at_least
+                member.first_time_at_most = tracker.first_time_at_most
+                member.round_times = tracker.round_times
+                member.round_largest = tracker.round_largest
+                member.groups = tracker.groups
+                self._topo_heaps.append(heap)
+                self._topo_trackers.append(tracker)
+        coupling = self._coupling
+        tc = self._tc
+        for k, member in enumerate(self._members):
+            base = k * n
+            tracker = self._topo_trackers[k]
+
+            def draw(node: int, _base: int = base) -> float:
+                return self._draw_flat(_base + node)
+
+            stop_time, closed, stopped = advance_coupled(
+                self._topo_heaps[k],
+                coupling,
+                tracker,
+                draw,
+                tc,
+                until,
+                stop_on_full_sync=stop_sync,
+                stop_on_full_unsync=stop_unsync,
+            )
+            member.total_cascades += closed
+            member.total_resets = tracker.total_resets
+            member.now = stop_time if stopped else max(member.now, until)
 
     # -- scalar kernel (python backend + vector fallback) ----------------
 

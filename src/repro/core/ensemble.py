@@ -120,6 +120,10 @@ class FirstPassageEnsemble:
     timeout, retries:
         Per-seed deadline (seconds) and retry budget, passed to the
         :class:`~repro.parallel.ParallelRunner`.
+    topology:
+        Coupling graph for every run (grammar of
+        :func:`repro.topo.parse_topology`); the default clique is the
+        paper's fully-coupled model and keeps historical cache keys.
     """
 
     params: RouterTimingParameters
@@ -133,6 +137,7 @@ class FirstPassageEnsemble:
     on_error: Literal["raise", "censor"] = "raise"
     timeout: float | None = None
     retries: int = 1
+    topology: str = "clique"
     report: object | None = field(default=None, init=False)
     _passages: list[dict[int, float]] = field(default_factory=list, init=False)
 
@@ -161,6 +166,7 @@ class FirstPassageEnsemble:
                 horizon=self.horizon,
                 direction=self.direction,
                 engine=self.engine,
+                topology=self.topology,
             )
             for seed in self.seeds
         ]

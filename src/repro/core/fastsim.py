@@ -55,6 +55,15 @@ class CascadeModel:
         busy time).  Observational only: the probe never touches the
         RNG streams or the heap, so probed and unprobed runs are
         byte-identical.
+    topology:
+        Optional :class:`~repro.topo.TopologySpec` (or its canonical
+        string form) restricting which routers hear which resets.
+        ``None`` and any coupling whose generated graph is complete
+        (``"clique"``, a 3-ring, ``erdos_renyi`` with p=1, ...) run
+        the original fully-coupled loop byte for byte; everything
+        else runs the generalized multi-cascade kernel
+        (:func:`repro.topo.advance_coupled`).  Stream derivation and
+        phase draws are identical either way.
     """
 
     def __init__(
@@ -64,10 +73,20 @@ class CascadeModel:
         initial_phases: InitialPhases = "unsynchronized",
         keep_cluster_history: bool = False,
         probe=None,
+        topology=None,
     ) -> None:
         self.params = params
         self.probe = probe
         n = params.n_nodes
+        self.topology = None
+        self._coupling = None
+        if topology is not None:
+            from ..topo import Coupling, ensure_spec
+
+            self.topology = ensure_spec(topology)
+            coupling = Coupling(self.topology, n)
+            if not coupling.is_complete:
+                self._coupling = coupling
         self.tracker = ClusterTracker(n, keep_history=keep_cluster_history, probe=probe)
         master = RandomSource(seed=seed)
         self._rngs = [master.spawn(i) for i in range(n)]
@@ -102,6 +121,30 @@ class CascadeModel:
         tc = params.tc
         heap = self._heap
         tracker = self.tracker
+        if self._coupling is not None:
+            from ..topo import advance_coupled
+
+            low = params.tp - params.tr
+            high = params.tp + params.tr
+            rngs = self._rngs
+
+            def draw(node: int) -> float:
+                return rngs[node].uniform(low, high)
+
+            stop_time, closed, stopped = advance_coupled(
+                heap,
+                self._coupling,
+                tracker,
+                draw,
+                tc,
+                until,
+                stop_on_full_sync=stop_on_full_sync,
+                stop_on_full_unsync=stop_on_full_unsync,
+                probe=self.probe,
+            )
+            self.total_cascades += closed
+            self.now = stop_time if stopped else max(self.now, until)
+            return self.now
         while heap and heap[0][0] <= until:
             popped = [heapq.heappop(heap)]
             window = popped[0][0] + tc

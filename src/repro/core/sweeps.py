@@ -139,6 +139,7 @@ def _run_sweep(
     checkpoint=None,
     on_error: str = "raise",
     dispatcher=None,
+    topology: str = "clique",
 ) -> list[SweepResult]:
     """Execute a (parameter, seed) grid through a dispatcher.
 
@@ -150,6 +151,10 @@ def _run_sweep(
     :class:`~repro.campaign.dispatch.ServeDispatcher` fleet); the
     runner knobs then stay with whoever built the dispatcher, and
     journaling is the caller's concern.
+
+    ``topology`` (parse grammar of :func:`repro.topo.parse_topology`)
+    applies to every point; the default clique reproduces the paper's
+    fully-coupled model and the historical cache keys.
     """
     from ..campaign.dispatch import LocalDispatcher
     from ..obs import obs
@@ -167,7 +172,7 @@ def _run_sweep(
     specs = [
         SimulationJob.from_params(
             params, seed=seed, horizon=horizon,
-            direction=job_direction, engine=engine,
+            direction=job_direction, engine=engine, topology=topology,
         )
         for _value, seed, params in grid
     ]
@@ -221,6 +226,7 @@ def sweep_tr(
     checkpoint=None,
     on_error: str = "raise",
     dispatcher=None,
+    topology: str = "clique",
 ) -> list[SweepResult]:
     """First-passage times across a range of random components.
 
@@ -239,6 +245,7 @@ def sweep_tr(
     return _run_sweep(
         points, horizon, direction, seeds, engine, jobs, cache,
         checkpoint=checkpoint, on_error=on_error, dispatcher=dispatcher,
+        topology=topology,
     )
 
 
@@ -254,15 +261,18 @@ def sweep_nodes(
     checkpoint=None,
     on_error: str = "raise",
     dispatcher=None,
+    topology: str = "clique",
 ) -> list[SweepResult]:
     """First-passage times across a range of network sizes (Figure 15's axis).
 
-    See :func:`sweep_tr` for ``checkpoint``/``on_error``/``dispatcher``.
+    See :func:`sweep_tr` for ``checkpoint``/``on_error``/``dispatcher``;
+    ``topology`` applies the same coupling graph at every size.
     """
     points = [(float(n), base.with_nodes(n)) for n in n_values]
     return _run_sweep(
         points, horizon, direction, seeds, engine, jobs, cache,
         checkpoint=checkpoint, on_error=on_error, dispatcher=dispatcher,
+        topology=topology,
     )
 
 
@@ -275,6 +285,7 @@ def find_transition_n(
     engine: str = "cascade",
     cache=None,
     checkpoint=None,
+    topology: str = "clique",
 ) -> int:
     """Smallest N that synchronizes within the horizon (bisection).
 
@@ -303,20 +314,25 @@ def find_transition_n(
     )
 
     _validate_engine(engine)
+    from ..topo import ensure_spec
+
+    topology = ensure_spec(topology).canonical()
     if checkpoint is True:
-        descriptor = _json.dumps(
-            {
-                "fn": "find_transition_n",
-                "base": [base.n_nodes, base.tp, base.tc, base.tr],
-                "horizon": horizon,
-                "n_low": n_low,
-                "n_high": n_high,
-                "seed": seed,
-                "engine": engine,
-                "model_version": MODEL_VERSION,
-            },
-            sort_keys=True,
-        )
+        fields = {
+            "fn": "find_transition_n",
+            "base": [base.n_nodes, base.tp, base.tc, base.tr],
+            "horizon": horizon,
+            "n_low": n_low,
+            "n_high": n_high,
+            "seed": seed,
+            "engine": engine,
+            "model_version": MODEL_VERSION,
+        }
+        if topology != "clique":
+            # Key omitted for cliques: pre-topology searches keep
+            # resuming from their existing journals.
+            fields["topology"] = topology
+        descriptor = _json.dumps(fields, sort_keys=True)
         journal = CheckpointJournal.for_key(descriptor)
     else:
         journal = resolve_checkpoint(checkpoint, [])
@@ -327,7 +343,7 @@ def find_transition_n(
 
         spec = SimulationJob.from_params(
             base.with_nodes(n), seed=seed, horizon=horizon,
-            direction="up", engine=engine,
+            direction="up", engine=engine, topology=topology,
         )
         with obs().span("transition.probe", n=n) as span:
             (result,) = runner.run([spec])

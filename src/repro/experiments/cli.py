@@ -101,7 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "target",
         help=(
-            "a figure id (fig01..fig15), 'all', 'list', 'bench', 'cache', "
+            "a figure id (fig01..fig18), 'all', 'list', 'bench', 'cache', "
             "'claims', 'campaign', 'predict', 'obs', 'serve', or 'loadgen'"
         ),
     )
@@ -164,6 +164,17 @@ def build_parser() -> argparse.ArgumentParser:
             "simulation engine for figures, sweeps, and serving: des, "
             "cascade (default), or batch; every engine produces "
             "bit-identical results for the same seed"
+        ),
+    )
+    parser.add_argument(
+        "--topology",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "coupling graph for figures that accept one (fig10/fig11): "
+            "clique (default), ring, star, tree(b=B), "
+            "erdos_renyi(p=P,seed=S), or switching(a|b,period=T); "
+            "non-clique couplings are an off-paper what-if"
         ),
     )
     parser.add_argument(
@@ -1107,6 +1118,7 @@ def _dispatch(args) -> int:
                 cache=cache,
                 checkpoint=checkpoint,
                 engine=args.engine,
+                topology=args.topology,
             )
             if args.plot:
                 print(_render_plots(result))
@@ -1140,6 +1152,14 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         try:
             resolve_engine(args.engine)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if args.topology is not None:
+        from ..topo import parse_topology
+
+        try:
+            parse_topology(args.topology)
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2

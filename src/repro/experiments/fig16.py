@@ -1,0 +1,138 @@
+"""Figure 16: synchronization onset versus graph diameter.
+
+The paper's model couples every router to every other (one shared
+Ethernet).  On a sparser graph a cascade can only recruit routers
+adjacent to its current members, so the effective coupling weakens
+with distance.  This figure runs the same (Tp, Tc, Tr) point over
+rings and binary trees of growing size and plots time-to-synchronize
+against the graph diameter: cliques get *faster* with more routers
+(the paper's transition), while rings slow roughly with diameter and
+trees sit in between — topology, not router count, is what carries
+the onset.
+
+All simulations go through the parallel layer (runner + cache +
+checkpoint), one sweep per family, so repeated runs are free and an
+interrupted run resumes.
+"""
+
+from __future__ import annotations
+
+from ..core import RouterTimingParameters
+from ..core.sweeps import sweep_nodes
+from ..topo import adjacency, diameter, ensure_spec
+from .result import FigureResult
+
+__all__ = ["run", "FAMILIES", "BASE_PARAMS"]
+
+#: Graph families compared, in increasing-diameter order at fixed n.
+FAMILIES = ("clique", "tree(b=2)", "ring")
+
+#: A reduced-scale point where all three families synchronize within
+#: a short horizon (the paper's Tp=121 s point needs ~1e6 s horizons
+#: on rings; the claim here is about *relative* onset, which survives
+#: the rescale).
+BASE_PARAMS = RouterTimingParameters(n_nodes=4, tp=20.0, tc=2.0, tr=1.0)
+
+def run(
+    n_values: tuple[int, ...] = (4, 6, 8, 10, 12),
+    horizon: float = 2e5,
+    seeds: tuple[int, ...] = (1, 2, 3, 4, 5),
+    families: tuple[str, ...] = FAMILIES,
+    jobs: int = 1,
+    cache=None,
+    checkpoint=None,
+    engine: str = "cascade",
+) -> FigureResult:
+    """Time-to-synchronize vs diameter across graph families.
+
+    For every family a :func:`~repro.core.sweeps.sweep_nodes` runs the
+    ``n`` grid x ``seeds`` through the parallel layer with that
+    family's coupling graph.  ``jobs``/``cache``/``checkpoint``/
+    ``engine`` are the usual runner knobs and never change the
+    numbers (the DES engine is rejected on non-complete couplings).
+    """
+    from ..obs import obs
+
+    with obs().span(
+        "figure.run", figure="fig16", families=len(families),
+        points=len(n_values), seeds=len(seeds), jobs=jobs,
+    ):
+        return _run(
+            n_values, horizon, seeds, families, jobs, cache, checkpoint, engine
+        )
+
+
+def _run(
+    n_values, horizon, seeds, families, jobs, cache, checkpoint, engine
+) -> FigureResult:
+    result = FigureResult(
+        figure_id="fig16",
+        title="Time to synchronize vs graph diameter (rings, trees, clique)",
+    )
+    round_seconds = BASE_PARAMS.tp + BASE_PARAMS.tc
+    family_means: dict[str, dict[int, float | None]] = {}
+    for family in families:
+        spec = ensure_spec(family)
+        outcomes = sweep_nodes(
+            BASE_PARAMS,
+            list(n_values),
+            horizon=horizon,
+            direction="synchronize",
+            seeds=seeds,
+            engine=engine,
+            jobs=jobs,
+            cache=cache,
+            checkpoint=checkpoint,
+            topology=family,
+        )
+        by_n: dict[int, list[float]] = {n: [] for n in n_values}
+        synced: dict[int, int] = {n: 0 for n in n_values}
+        for outcome in outcomes:
+            n = int(outcome.parameter)
+            if outcome.time is not None:
+                by_n[n].append(outcome.time)
+                synced[n] += 1
+        means = {
+            n: (sum(times) / len(times) if times else None)
+            for n, times in by_n.items()
+        }
+        family_means[spec.canonical()] = means
+        result.add_series(
+            f"sync_seconds_by_n[{spec.canonical()}]",
+            [(n, means[n]) for n in n_values if means[n] is not None],
+        )
+        result.add_series(
+            f"sync_rounds_by_diameter[{spec.canonical()}]",
+            [
+                (diameter(adjacency(spec, n)), means[n] / round_seconds)
+                for n in n_values
+                if means[n] is not None
+            ],
+        )
+        # The family's transition n: smallest scanned size where every
+        # seed synchronized within the horizon (a linear scan, not a
+        # bisection — ring onset is not monotone in n).
+        full = [n for n in n_values if synced[n] == len(seeds)]
+        result.metrics[f"transition_n[{spec.canonical()}]"] = (
+            min(full) if full else None
+        )
+        result.metrics[f"synced_fraction[{spec.canonical()}]"] = sum(
+            synced.values()
+        ) / (len(n_values) * len(seeds))
+    clique_key = ensure_spec("clique").canonical()
+    n_max = max(n_values)
+    if clique_key in family_means and family_means[clique_key].get(n_max):
+        base = family_means[clique_key][n_max]
+        for family, means in family_means.items():
+            if family == clique_key or not means.get(n_max):
+                continue
+            result.metrics[f"slowdown_vs_clique_at_n_max[{family}]"] = (
+                means[n_max] / base
+            )
+    result.metrics["seeds"] = len(seeds)
+    result.notes.append(
+        "topology extension (not in the paper): on a clique adding routers "
+        "speeds synchronization, on a ring the onset time grows with the "
+        "diameter — coupling range, not router count, drives the transition"
+    )
+    return result

@@ -26,10 +26,20 @@ from . import (
     fig13,
     fig14,
     fig15,
+    fig16,
+    fig17,
+    fig18,
 )
 from .result import FigureResult
 
-__all__ = ["FIGURES", "FAST_KWARGS", "PARALLEL_FIGURES", "run_figure", "figure_ids"]
+__all__ = [
+    "FIGURES",
+    "FAST_KWARGS",
+    "PARALLEL_FIGURES",
+    "TOPOLOGY_FIGURES",
+    "run_figure",
+    "figure_ids",
+]
 
 FIGURES: dict[str, Callable[..., FigureResult]] = {
     "fig01": fig01.run,
@@ -47,6 +57,9 @@ FIGURES: dict[str, Callable[..., FigureResult]] = {
     "fig13": fig13.run,
     "fig14": fig14.run,
     "fig15": fig15.run,
+    "fig16": fig16.run,
+    "fig17": fig17.run,
+    "fig18": fig18.run,
 }
 
 #: Reduced-scale arguments for quick runs (benchmarks, smoke tests).
@@ -68,13 +81,29 @@ FAST_KWARGS: dict[str, dict] = {
     "fig13": {"steps": 16},
     "fig14": {},
     "fig15": {},
+    "fig16": {"n_values": (4, 6, 8), "seeds": (1, 2), "horizon": 2e4},
+    "fig17": {
+        "p_values": (0.15, 0.45, 1.0),
+        "n_nodes": 8,
+        "seeds": (1, 2),
+        "graph_seeds": (1, 2),
+        "horizon": 4e4,
+    },
+    "fig18": {"n_values": (5, 10), "seeds": (1, 2), "horizon": 1.5e4},
 }
 
 
 #: Figures whose drivers run simulations through the parallel layer
 #: and therefore accept ``jobs=``/``cache=`` (see repro.parallel); the
 #: rest are analytic or single-trajectory and ignore those settings.
-PARALLEL_FIGURES = frozenset({"fig07", "fig08", "fig10", "fig11", "fig12"})
+PARALLEL_FIGURES = frozenset(
+    {"fig07", "fig08", "fig10", "fig11", "fig12", "fig16", "fig17", "fig18"}
+)
+
+#: Figures accepting a single ``topology=`` coupling override (CLI
+#: ``--topology``).  fig16-fig18 sweep their own topology grids and
+#: are deliberately absent.
+TOPOLOGY_FIGURES = frozenset({"fig10", "fig11"})
 
 
 def figure_ids() -> list[str]:
@@ -89,6 +118,7 @@ def run_figure(
     cache=None,
     checkpoint=None,
     engine: str | None = None,
+    topology: str | None = None,
     **overrides,
 ) -> FigureResult:
     """Run one figure's reproduction.
@@ -96,7 +126,8 @@ def run_figure(
     Parameters
     ----------
     figure_id:
-        "fig01" .. "fig15".
+        "fig01" .. "fig18" (fig16-fig18 are the topology extension,
+        not figures of the paper).
     fast:
         Apply the registry's reduced-scale arguments.
     jobs:
@@ -116,6 +147,11 @@ def run_figure(
         (``des``/``cascade``/``batch``; validated by
         :func:`repro.core.engines.resolve_engine`).  Same scoping as
         ``jobs``/``cache``: analytic figures ignore it.
+    topology:
+        Coupling-graph override for :data:`TOPOLOGY_FIGURES`
+        (validated by :func:`repro.topo.parse_topology`; CLI
+        ``--topology``).  Figures with their own topology grids
+        (fig16-fig18) and analytic figures ignore it.
     overrides:
         Explicit keyword arguments for the driver (take precedence
         over the fast defaults).
@@ -126,6 +162,10 @@ def run_figure(
         from ..core.engines import resolve_engine
 
         resolve_engine(engine)
+    if topology is not None:
+        from ..topo import ensure_spec
+
+        topology = ensure_spec(topology).canonical()
     kwargs = dict(FAST_KWARGS.get(figure_id, {})) if fast else {}
     if figure_id in PARALLEL_FIGURES:
         if jobs is not None:
@@ -136,6 +176,8 @@ def run_figure(
             kwargs["checkpoint"] = checkpoint
         if engine is not None:
             kwargs["engine"] = engine
+    if topology is not None and figure_id in TOPOLOGY_FIGURES:
+        kwargs["topology"] = topology
     kwargs.update(overrides)
     result = FIGURES[figure_id](**kwargs)
     if fast:

@@ -19,6 +19,11 @@ from .node import Host, Node, Router, channel_neighbors
 __all__ = ["Network"]
 
 
+def _sorted_neighbors(channel, node: Node) -> list[Node]:
+    """A channel's far-side nodes in name order (deterministic BFS ties)."""
+    return sorted(channel_neighbors(channel, node), key=lambda n: n.name)
+
+
 class Network:
     """A container wiring hosts, routers, links, and LANs to one simulator."""
 
@@ -113,7 +118,11 @@ class Network:
 
         For every router, runs a BFS over up channels and points each
         destination at the first hop of a shortest path.  Ties break
-        deterministically by channel attachment order.  Also assigns
+        deterministically: channels in attachment order, and within a
+        channel neighbours in node-name order (station *attachment*
+        order on a LAN is construction-history dependent, so sorting
+        is what makes two differently-assembled but equal topologies
+        route identically).  Also assigns
         every LAN-attached host a default gateway (the first router on
         its segment) so it can address off-segment traffic.
         """
@@ -137,7 +146,7 @@ class Network:
         for channel in source.channels:
             if not channel.up:
                 continue
-            for neighbor in channel_neighbors(channel, source):
+            for neighbor in _sorted_neighbors(channel, source):
                 if neighbor.name in visited:
                     continue
                 visited.add(neighbor.name)
@@ -149,7 +158,7 @@ class Network:
             for channel in node.channels:
                 if not channel.up:
                     continue
-                for neighbor in channel_neighbors(channel, node):
+                for neighbor in _sorted_neighbors(channel, node):
                     if neighbor.name in visited:
                         continue
                     visited.add(neighbor.name)
@@ -180,7 +189,7 @@ class Network:
             for channel in node.channels:
                 if not channel.up:
                     continue
-                for neighbor in channel_neighbors(channel, node):
+                for neighbor in _sorted_neighbors(channel, node):
                     if neighbor.name not in visited:
                         visited.add(neighbor.name)
                         parents[neighbor.name] = node.name

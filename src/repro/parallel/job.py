@@ -74,6 +74,14 @@ class SimulationJob:
         :mod:`repro.core.engines`).  Batch jobs stay one-seed specs —
         the cache key, checkpoints, and dedup all keep working — and
         the executors regroup them into shared kernels at run time.
+    topology:
+        Coupling graph in :func:`repro.topo.parse_topology` grammar,
+        normalized to canonical form at construction.  ``"clique"``
+        (the default) is the paper's fully-coupled model and is
+        *omitted* from :meth:`to_dict`, so every pre-topology cache
+        key, checkpoint, and journal entry stays valid verbatim.  The
+        DES engine only models the fully-coupled case, so non-clique
+        topologies require ``"cascade"`` or ``"batch"``.
     """
 
     n_nodes: int
@@ -84,6 +92,7 @@ class SimulationJob:
     horizon: float
     direction: str = "up"
     engine: str = "cascade"
+    topology: str = "clique"
 
     def __post_init__(self) -> None:
         # Delegate parameter validation to the canonical dataclass.
@@ -95,6 +104,19 @@ class SimulationJob:
                 f"unknown direction {self.direction!r}; known: {', '.join(_DIRECTIONS)}"
             )
         validate_engine(self.engine)
+        from ..topo import ensure_spec
+
+        spec = ensure_spec(self.topology)
+        object.__setattr__(self, "topology", spec.canonical())
+        if self.engine == "des" and self.topology != "clique":
+            from ..topo import Coupling
+
+            if not Coupling(spec, self.n_nodes).is_complete:
+                raise ValueError(
+                    "engine 'des' only models the fully-coupled (clique) "
+                    f"case; topology {self.topology!r} needs 'cascade' or "
+                    "'batch'"
+                )
 
     @classmethod
     def from_params(
@@ -104,6 +126,7 @@ class SimulationJob:
         horizon: float,
         direction: str = "up",
         engine: str = "cascade",
+        topology: str = "clique",
     ) -> "SimulationJob":
         """Build a job from a parameter tuple plus run settings."""
         return cls(
@@ -115,6 +138,7 @@ class SimulationJob:
             horizon=horizon,
             direction=direction,
             engine=engine,
+            topology=topology,
         )
 
     @property
@@ -123,8 +147,13 @@ class SimulationJob:
         return RouterTimingParameters(self.n_nodes, self.tp, self.tc, self.tr)
 
     def to_dict(self) -> dict:
-        """Canonical plain-dict form (stable across sessions)."""
-        return {
+        """Canonical plain-dict form (stable across sessions).
+
+        The ``topology`` key appears only when non-default: a clique
+        job serializes exactly as it did before topologies existed,
+        so its cache key (and every cached result) is unchanged.
+        """
+        data = {
             "n_nodes": self.n_nodes,
             "tp": self.tp,
             "tc": self.tc,
@@ -134,6 +163,9 @@ class SimulationJob:
             "direction": self.direction,
             "engine": self.engine,
         }
+        if self.topology != "clique":
+            data["topology"] = self.topology
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimulationJob":
@@ -215,8 +247,11 @@ def run_job(
         faults.on_job(job, attempt)
     up = job.direction == "up"
     phases = "unsynchronized" if up else "synchronized"
+    topology = None if job.topology == "clique" else job.topology
     if job.engine == "cascade":
-        model = CascadeModel(job.params, seed=job.seed, initial_phases=phases)
+        model = CascadeModel(
+            job.params, seed=job.seed, initial_phases=phases, topology=topology
+        )
         model.run(
             until=job.horizon,
             stop_on_full_sync=up,
@@ -246,7 +281,15 @@ def run_job(
 
 def batch_group_key(job: SimulationJob) -> tuple:
     """Everything but the seed: jobs agreeing here share one kernel."""
-    return (job.n_nodes, job.tp, job.tc, job.tr, job.horizon, job.direction)
+    return (
+        job.n_nodes,
+        job.tp,
+        job.tc,
+        job.tr,
+        job.horizon,
+        job.direction,
+        job.topology,
+    )
 
 
 def run_batch(
@@ -285,6 +328,7 @@ def run_batch(
         seeds=[job.seed for job in jobs],
         initial_phases="unsynchronized" if up else "synchronized",
         backend=backend,
+        topology=None if first.topology == "clique" else first.topology,
     )
     batch.run(
         until=first.horizon,

@@ -72,6 +72,12 @@ class ProtocolSpec:
     split_horizon:
         Do not re-advertise a route onto the channel it was learned
         from.
+    poison_reverse:
+        Stronger variant of split horizon (RFC 1058 §2.2.2): instead
+        of omitting routes learned on a channel, advertise them back
+        at metric ``infinity``, actively breaking two-hop count-to-
+        infinity loops at the cost of larger updates.  Only meaningful
+        with ``split_horizon`` on; ignored otherwise.
     """
 
     name: str
@@ -87,6 +93,7 @@ class ProtocolSpec:
     holddown_periods: float = 0.0
     reset_mode: Literal["after_busy", "on_expiry"] = "after_busy"
     split_horizon: bool = True
+    poison_reverse: bool = False
 
     def __post_init__(self) -> None:
         if self.period <= 0:
@@ -277,10 +284,18 @@ class DistanceVectorAgent:
             channel.send(packet, self.router)
 
     def _routes_for_channel(self, channel) -> list[tuple[str, int]]:
-        """Advertised (dst, metric) pairs, split-horizon filtered."""
+        """Advertised (dst, metric) pairs, split-horizon filtered.
+
+        With ``poison_reverse`` the routes split horizon would omit
+        are advertised back at metric infinity instead, so the
+        neighbour that taught us the route hears an explicit "not via
+        me" rather than silence.
+        """
         routes = []
         for entry in self.table.values():
             if self.spec.split_horizon and entry.via is channel and not entry.local:
+                if self.spec.poison_reverse:
+                    routes.append((entry.dst, self.spec.infinity))
                 continue
             routes.append((entry.dst, entry.metric))
         return routes

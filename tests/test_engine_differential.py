@@ -206,6 +206,130 @@ def test_batch_backends_identical_mid_run():
                 ), name
 
 
+def run_cascade_topo(params, seed, horizon, phases, stops, topology):
+    model = CascadeModel(
+        params, seed=seed, initial_phases=phases,
+        keep_cluster_history=True, topology=topology,
+    )
+    end = model.run(until=horizon, **stops)
+    return _trace(
+        model.tracker, end, [rng._gen.state for rng in model._rngs], None
+    )
+
+
+def run_batch_topo(params, seed, horizon, phases, stops, backend, topology):
+    batch = BatchCascade(
+        params,
+        [seed],
+        initial_phases=phases,
+        keep_cluster_history=True,
+        backend=backend,
+        topology=topology,
+    )
+    ends = batch.run(until=horizon, **stops)
+    return _trace(
+        batch.members[0], ends[0], batch.rng_states(0), batch.phase_rng_state(0)
+    )
+
+
+def _drop_phase(row):
+    """Trace minus ``phase_state`` (cascade retains no phase stream)."""
+    return {key: value for key, value in row.items() if key != "phase_state"}
+
+
+#: Couplings whose generated graph is complete for the GRID sizes —
+#: these must be byte-identical to the untouched engines, consumed-RNG
+#: positions included (the cache-key-preservation guarantee).
+COMPLETE_TOPOLOGIES = ["clique", "erdos_renyi(p=1.0)", "switching(clique|clique,period=40.0)"]
+
+#: Non-complete couplings: no des reference exists, so the axis checks
+#: cascade == batch across every backend instead.
+SPARSE_TOPOLOGIES = ["ring", "star", "tree(b=2)", "erdos_renyi(p=0.45,seed=3)",
+                     "switching(ring|star,period=45.0)"]
+
+
+@pytest.mark.parametrize("topology", COMPLETE_TOPOLOGIES)
+@pytest.mark.parametrize("mode", PHASE_MODES)
+@pytest.mark.parametrize("n,tp,tc,tr", GRID[:3])
+def test_complete_topology_is_byte_identical_to_clique_engines(
+    n, tp, tc, tr, mode, topology
+):
+    """A complete coupling must not perturb the existing engines at all."""
+    params = RouterTimingParameters(n_nodes=n, tp=tp, tc=tc, tr=tr)
+    phases = _phases(mode, n, tp)
+    horizon = _horizon(tp, tc)
+    for seed in (1, 7):
+        baseline = run_cascade(params, seed, horizon, phases, {})
+        topo = run_cascade_topo(params, seed, horizon, phases, {}, topology)
+        assert topo == baseline
+        batch_baseline = run_batch(params, seed, horizon, phases, {}, "python")
+        for backend in ["python"] + (["numpy"] if HAVE_NUMPY else []) + (
+            ["compiled"] if HAVE_COMPILED else []
+        ):
+            row = run_batch_topo(
+                params, seed, horizon, phases, {}, backend, topology
+            )
+            assert row == batch_baseline, backend
+
+
+@pytest.mark.parametrize("censor", CENSORING)
+@pytest.mark.parametrize("topology", SPARSE_TOPOLOGIES)
+def test_sparse_topology_cascade_equals_batch(topology, censor):
+    """On non-clique graphs cascade and every batch backend agree with ==."""
+    for n, tp, tc, tr in [(6, 20.0, 0.5, 2.0), (8, 20.0, 0.3, 1.0)]:
+        params = RouterTimingParameters(n_nodes=n, tp=tp, tc=tc, tr=tr)
+        horizon = _horizon(tp, tc)
+        for mode in ("unsynchronized", "synchronized"):
+            stops = _stop_flags(mode, censor)
+            for seed in (1, 7):
+                reference = run_cascade_topo(
+                    params, seed, horizon, mode, stops, topology
+                )
+                for backend in ["python"] + (
+                    ["numpy"] if HAVE_NUMPY else []
+                ) + (["compiled"] if HAVE_COMPILED else []):
+                    row = run_batch_topo(
+                        params, seed, horizon, mode, stops, backend, topology
+                    )
+                    assert _drop_phase(row) == _drop_phase(reference), (
+                        backend, seed, mode,
+                    )
+
+
+def test_sparse_topology_fuzz():
+    """Seeded fuzz: cascade == batch on generated sparse couplings."""
+    gen = CaseGen(777)
+    for n, tc, tr, seed, phases in model_cases(seed=404, count=8):
+        if n < 4:
+            continue
+        topology = gen.choice(
+            ["ring", "tree(b=2)", f"erdos_renyi(p=0.5,seed={gen.randint(1, 9)})"]
+        )
+        params = RouterTimingParameters(n_nodes=n, tp=20.0, tc=tc, tr=tr)
+        horizon = _horizon(20.0, tc)
+        reference = run_cascade_topo(params, seed, horizon, phases, {}, topology)
+        row = run_batch_topo(
+            params, seed, horizon, phases, {}, BACKEND, topology
+        )
+        assert _drop_phase(row) == _drop_phase(reference), topology
+
+
+def test_topology_batch_resume_matches_single_run():
+    """Topology batches resume across horizons like the clique kernel."""
+    params = RouterTimingParameters(n_nodes=7, tp=20.0, tc=0.5, tr=2.0)
+    split = BatchCascade(params, [3, 4], topology="ring", keep_cluster_history=True)
+    whole = BatchCascade(params, [3, 4], topology="ring", keep_cluster_history=True)
+    for horizon in (300.0, 900.0, 2400.0):
+        split.run(until=horizon)
+    whole.run(until=2400.0)
+    for k in range(2):
+        assert split.rng_states(k) == whole.rng_states(k)
+        assert split.members[k].round_times == whole.members[k].round_times
+        assert split.members[k].first_time_at_least == (
+            whole.members[k].first_time_at_least
+        )
+
+
 def test_compiled_backend_present_when_required():
     """The compiled-backend CI job must actually test the compiled path.
 

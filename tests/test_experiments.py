@@ -40,11 +40,13 @@ class TestFigureResult:
 
 
 class TestRegistry:
-    def test_all_fifteen_figures_registered(self):
+    def test_all_eighteen_figures_registered(self):
+        # fig01-fig15 reproduce the paper; fig16-fig18 are the
+        # topology extension (DESIGN.md §13).
         ids = figure_ids()
-        assert len(ids) == 15
+        assert len(ids) == 18
         assert ids[0] == "fig01"
-        assert ids[-1] == "fig15"
+        assert ids[-1] == "fig18"
 
     def test_unknown_figure_rejected(self):
         with pytest.raises(ValueError):
@@ -83,11 +85,59 @@ class TestRegistry:
         assert len(cache) == 2  # one entry per seed
 
 
+class TestTopologyFigures:
+    def test_fig16_end_to_end_through_runner_and_cache(self, tmp_path):
+        from repro.parallel import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        kwargs = dict(fast=True, jobs=2, cache=cache, seeds=(1,))
+        first = run_figure("fig16", **kwargs)
+        assert first.figure_id == "fig16"
+        assert len(cache) > 0
+        entries = len(cache)
+        again = run_figure("fig16", **kwargs)
+        assert len(cache) == entries  # fully cache-served
+        assert again.metrics == first.metrics
+        # Sparse couplings synchronize, but slower than the clique.
+        assert first.metrics["synced_fraction[ring]"] == 1.0
+        assert first.metrics["slowdown_vs_clique_at_n_max[ring]"] > 1.0
+
+    def test_fig17_onset_tracks_connectivity(self):
+        result = run_figure("fig17", fast=True, jobs=2)
+        assert result.metrics["onset_fraction_low_p"] == 0.0
+        assert result.metrics["onset_fraction_high_p"] == 1.0
+        degrees = [d for d, _ in result.series["synced_fraction_by_mean_degree"]]
+        assert min(degrees) <= result.metrics["onset_mean_degree"] <= max(degrees)
+
+    def test_fig18_dv_agrees_with_abstract_model(self):
+        # The acceptance point: live RIP traffic on one LAN reproduces
+        # the abstract model's sync time at N=5 within the seed spread.
+        result = run_figure("fig18", fast=True, jobs=2)
+        assert result.metrics["points_in_abstract_spread"] >= 1
+        assert 0.5 <= result.metrics["dv_over_abstract_mean[n=5]"] <= 2.0
+
+    def test_topology_override_reaches_fig10_only(self, tmp_path):
+        from repro.parallel import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        result = run_figure(
+            "fig10", fast=True, jobs=2, cache=cache,
+            horizon=2e4, seeds=(1, 2), topology="ring",
+        )
+        assert any("topology='ring'" in note for note in result.notes)
+        # Analytic figures silently ignore the override.
+        assert run_figure("fig09", fast=True, topology="ring").series
+
+    def test_invalid_topology_rejected_before_running(self):
+        with pytest.raises(ValueError):
+            run_figure("fig10", topology="moebius")
+
+
 class TestCli:
     def test_list_prints_ids(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        assert "fig01" in out and "fig15" in out
+        assert "fig01" in out and "fig18" in out
 
     def test_single_figure_runs(self, capsys):
         assert main(["fig09", "--fast"]) == 0
@@ -114,6 +164,15 @@ class TestCli:
     def test_invalid_jobs_errors(self, capsys):
         assert main(["fig09", "--jobs", "0"]) == 2
         assert "jobs" in capsys.readouterr().err
+
+    def test_parser_topology_flag(self):
+        args = build_parser().parse_args(["fig10", "--topology", "ring"])
+        assert args.topology == "ring"
+        assert build_parser().parse_args(["fig10"]).topology is None
+
+    def test_invalid_topology_errors(self, capsys):
+        assert main(["fig10", "--topology", "moebius"]) == 2
+        assert "topology" in capsys.readouterr().err
 
     def test_bench_target_prints_table(self, capsys, monkeypatch, tmp_path):
         import repro.parallel as parallel

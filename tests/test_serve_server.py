@@ -115,6 +115,17 @@ class TestDeterminism:
         assert cold.body == direct
         assert warm.body == direct  # warm (cached) bytes identical too
 
+    def test_topology_field_threads_through_simulate(self, tmp_path):
+        spec = spec_dict(seed=13, topology="ring", tr=0.5)
+        job = SimulationJob.from_dict(spec)
+        assert job.topology == "ring"
+        direct = simulation_payload(job, ParallelRunner(jobs=1).run([job])[0])
+        with BackgroundServer(config(tmp_path)) as bg:
+            with ServeClient(bg.host, bg.port) as client:
+                response = client.simulate(spec)
+        assert response.status == 200
+        assert response.body == direct
+
     def test_restarted_server_serves_identical_bytes_from_cache(self, tmp_path):
         spec = spec_dict(seed=12)
         cfg = config(tmp_path)

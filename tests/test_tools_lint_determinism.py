@@ -172,3 +172,9 @@ class TestEnforcement:
         target = default_target()
         assert target.is_dir()
         assert scan_tree([target]) == []
+
+    def test_shipped_topo_is_clean(self):
+        """Graph generation must stay host-reproducible (CI scans it too)."""
+        target = default_target().parent / "topo"
+        assert target.is_dir()
+        assert scan_tree([target]) == []
